@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mindmappings/internal/surrogate"
+)
+
+func TestRunGeneratesLoadableDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.bin")
+	if err := run("conv1d", 200, 4, 0.5, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := surrogate.LoadDataset(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 200 {
+		t.Fatalf("dataset has %d samples, want 200", ds.Len())
+	}
+	if ds.Algo.Name != "conv1d" {
+		t.Fatalf("algorithm %q", ds.Algo.Name)
+	}
+}
+
+func TestRunRejectsUnknownAlgo(t *testing.T) {
+	if err := run("gemm", 100, 4, 0, 1, filepath.Join(t.TempDir(), "x.bin")); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunRejectsUnwritablePath(t *testing.T) {
+	if err := run("conv1d", 100, 4, 0, 1, "/nonexistent-dir/x.bin"); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §2 for the index):
+//
+//	experiments -fig t1       Table 1 (target problems)
+//	experiments -fig 3        Figure 3 (cost surface)
+//	experiments -fig space    §5.1.3 map-space characterization
+//	experiments -fig 5        Figure 5 (iso-iteration comparison)
+//	experiments -fig 6        Figure 6 (iso-time comparison)
+//	experiments -fig 7a       Figure 7a (surrogate loss curves)
+//	experiments -fig 7b       Figure 7b (loss-function comparison)
+//	experiments -fig 7c       Figure 7c (training-set-size sweep)
+//	experiments -fig ablate   §4.1.3 output-representation ablation
+//	experiments -fig step     §5.4.2 per-step cost
+//	experiments -fig components  search-component ablation (extension)
+//	experiments -fig tail     sampling ablation (extension)
+//	experiments -fig generality  edge-accelerator generality check (extension)
+//	experiments -fig summary  Figures 5+6 headline ratios
+//	experiments -fig all      everything above
+//
+// -fast shrinks budgets for a quick sanity pass; -repeats, -evals, -time,
+// and -latency scale toward the paper's methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mindmappings/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment to run (t1, 3, space, 5, 6, 7a, 7b, 7c, ablate, step, components, tail, generality, summary, all)")
+	fast := flag.Bool("fast", false, "reduced problem set and budgets")
+	repeats := flag.Int("repeats", 0, "override runs averaged per method/problem (paper: 100)")
+	evals := flag.Int("evals", 0, "override iso-iteration budget (paper: ~1000)")
+	isoTime := flag.Duration("time", 0, "override iso-time budget")
+	latency := flag.Duration("latency", 0, "override emulated reference-model query latency")
+	seed := flag.Int64("seed", 0, "override random seed")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	opts := experiments.Defaults(*fast)
+	if *repeats > 0 {
+		opts.Repeats = *repeats
+	}
+	if *evals > 0 {
+		opts.IsoIterations = *evals
+	}
+	if *isoTime > 0 {
+		opts.IsoTime = *isoTime
+	}
+	if *latency > 0 {
+		opts.QueryLatency = *latency
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	if err := run(experiments.New(opts), *fig); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(h *experiments.Harness, fig string) error {
+	w := os.Stdout
+	runOne := func(name string) error {
+		start := time.Now()
+		var err error
+		switch name {
+		case "t1":
+			err = h.Table1(w)
+		case "3":
+			_, err = h.CostSurface(w)
+		case "space":
+			_, err = h.SpaceStats(w)
+		case "5":
+			var cmp *experiments.Comparison
+			if cmp, err = h.RunIsoIteration(); err == nil {
+				cmp.Render(w)
+			}
+		case "6":
+			var cmp *experiments.Comparison
+			if cmp, err = h.RunIsoTime(); err == nil {
+				cmp.Render(w)
+			}
+		case "7a":
+			_, err = h.LossCurve(w, "cnn-layer")
+		case "7b":
+			_, err = h.LossFunctions(w, "cnn-layer")
+		case "7c":
+			_, err = h.DatasetSize(w, "cnn-layer")
+		case "ablate":
+			_, err = h.OutputReprAblation(w, "cnn-layer")
+		case "step":
+			_, err = h.PerStepCost(w)
+		case "components":
+			_, err = h.SearchComponents(w, "cnn-layer")
+		case "tail":
+			_, err = h.TailBiasAblation(w, "cnn-layer")
+		case "generality":
+			_, err = h.ArchGenerality(w)
+		case "summary":
+			var iso, it *experiments.Comparison
+			if iso, err = h.RunIsoIteration(); err != nil {
+				return err
+			}
+			if it, err = h.RunIsoTime(); err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "== headline summary ==")
+			fmt.Fprintf(w, "iso-iteration ratios vs MM: SA %.2fx GA %.2fx RL %.2fx (paper 1.40/1.76/1.29)\n",
+				iso.RatiosVsMM["SA"], iso.RatiosVsMM["GA"], iso.RatiosVsMM["RL"])
+			fmt.Fprintf(w, "iso-time     ratios vs MM: SA %.2fx GA %.2fx RL %.2fx (paper 3.16/4.19/2.90)\n",
+				it.RatiosVsMM["SA"], it.RatiosVsMM["GA"], it.RatiosVsMM["RL"])
+			fmt.Fprintf(w, "MM vs algorithmic minimum: %.2fx iso-iteration, %.2fx iso-time (paper 5.3x)\n",
+				iso.MMvsOracle, it.MMvsOracle)
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(w, "\n[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if fig != "all" {
+		return runOne(fig)
+	}
+	for _, name := range []string{"t1", "3", "space", "7a", "7b", "7c", "ablate", "step", "components", "tail", "generality", "5", "6", "summary"} {
+		if err := runOne(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

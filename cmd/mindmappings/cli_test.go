@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// End-to-end CLI tests: train a tiny surrogate, then drive search, compare
+// and surface through the real command functions.
+
+func trainTinySurrogate(t *testing.T) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "conv1d.surrogate")
+	err := cmdTrain([]string{
+		"-algo", "conv1d",
+		"-config", "tiny",
+		"-samples", "800",
+		"-epochs", "4",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("surrogate file missing: %v", err)
+	}
+	return out
+}
+
+func TestCmdTrainSearchCompare(t *testing.T) {
+	sur := trainTinySurrogate(t)
+
+	if err := cmdSearch([]string{
+		"-algo", "conv1d",
+		"-surrogate", sur,
+		"-shape", "1024,5",
+		"-evals", "60",
+	}); err != nil {
+		t.Fatalf("search: %v", err)
+	}
+
+	if err := cmdCompare([]string{
+		"-algo", "conv1d",
+		"-surrogate", sur,
+		"-shape", "1024,5",
+		"-evals", "40",
+		"-rlhidden", "16",
+	}); err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+}
+
+func TestCmdSearchErrors(t *testing.T) {
+	sur := trainTinySurrogate(t)
+	if err := cmdSearch([]string{"-algo", "conv1d", "-surrogate", sur}); err == nil {
+		t.Fatal("search without problem accepted")
+	}
+	if err := cmdSearch([]string{"-algo", "conv1d", "-surrogate", "/no/such/file", "-shape", "64,3"}); err == nil {
+		t.Fatal("missing surrogate file accepted")
+	}
+	// Wrong algorithm for the stored surrogate.
+	if err := cmdSearch([]string{"-algo", "cnn-layer", "-surrogate", sur, "-problem", "ResNet_Conv_4"}); err == nil {
+		t.Fatal("algorithm mismatch accepted")
+	}
+}
+
+func TestCmdTrainErrors(t *testing.T) {
+	if err := cmdTrain([]string{"-algo", "gemm"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := cmdTrain([]string{"-algo", "conv1d", "-config", "nope"}); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+	if err := cmdTrain([]string{
+		"-algo", "conv1d", "-config", "tiny",
+		"-samples", "500", "-epochs", "2",
+		"-out", "/no/such/dir/x.bin",
+	}); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}
+
+func TestCmdSurface(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "surface.dat")
+	if err := cmdSurface([]string{"-problem", "AlexNet_Conv_4", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty surface output")
+	}
+}
+
+func TestCmdSurfaceErrors(t *testing.T) {
+	if err := cmdSurface([]string{"-problem", "MTTKRP_0"}); err == nil {
+		t.Fatal("non-CNN problem accepted")
+	}
+	if err := cmdSurface([]string{"-problem", "AlexNet_Conv_4", "-out", "/no/such/dir/s.dat"}); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}

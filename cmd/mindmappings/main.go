@@ -1,0 +1,348 @@
+// Command mindmappings is the command-line front end of the Mind Mappings
+// framework: train surrogates (Phase 1), search for mappings (Phase 2),
+// compare search methods, and dump cost-surface data.
+//
+// Usage:
+//
+//	mindmappings train   -algo cnn-layer -config small -out cnn.surrogate
+//	mindmappings search  -algo cnn-layer -surrogate cnn.surrogate -problem ResNet_Conv_4 -evals 1000
+//	mindmappings compare -algo mttkrp    -surrogate mtt.surrogate -problem MTTKRP_0 -evals 1000
+//	mindmappings surface -problem ResNet_Conv_4 -out surface.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/core"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/search"
+	"mindmappings/internal/surrogate"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "surface":
+		err = cmdSurface(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mindmappings: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mindmappings:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `mindmappings <command> [flags]
+
+commands:
+  train     train a Phase-1 surrogate for an algorithm and save it
+  search    run the Phase-2 gradient search for one problem
+  compare   run Mind Mappings against SA/GA/RL/random on one problem
+  surface   dump the Figure-3 style cost surface for a CNN problem
+
+run "mindmappings <command> -h" for per-command flags
+`)
+}
+
+// surrogateConfig resolves a named Phase-1 configuration.
+func surrogateConfig(name string) (surrogate.Config, error) {
+	switch name {
+	case "tiny":
+		return surrogate.TinyConfig(), nil
+	case "small":
+		return surrogate.SmallConfig(), nil
+	case "paper":
+		return surrogate.PaperConfig(), nil
+	}
+	return surrogate.Config{}, fmt.Errorf("unknown config %q (want tiny, small, or paper)", name)
+}
+
+// newMapper builds the mapper for an algorithm name with the matching
+// accelerator datapath.
+func newMapper(algoName string) (*core.Mapper, error) {
+	algo, err := loopnest.AlgorithmByName(algoName)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewMapper(algo, arch.Default(len(algo.Tensors)-1))
+}
+
+// resolveProblem finds a Table-1 problem by name or parses an explicit
+// shape (comma-separated sizes in the algorithm's constructor order; for
+// cnn-layer: N,K,C,H,W,R,S).
+func resolveProblem(algoName, problemName, shape string) (loopnest.Problem, error) {
+	if problemName != "" {
+		all, err := loopnest.Table1Problems()
+		if err != nil {
+			return loopnest.Problem{}, err
+		}
+		for _, p := range all {
+			if p.Name == problemName && p.Algo.Name == algoName {
+				return p, nil
+			}
+		}
+		return loopnest.Problem{}, fmt.Errorf("problem %q not found for %s (see Table 1 names)", problemName, algoName)
+	}
+	if shape == "" {
+		return loopnest.Problem{}, fmt.Errorf("need -problem or -shape")
+	}
+	parts := strings.Split(shape, ",")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return loopnest.Problem{}, fmt.Errorf("bad shape element %q: %w", p, err)
+		}
+		dims = append(dims, v)
+	}
+	switch algoName {
+	case "cnn-layer":
+		if len(dims) != 7 {
+			return loopnest.Problem{}, fmt.Errorf("cnn-layer shape needs N,K,C,H,W,R,S")
+		}
+		return loopnest.NewCNNProblem("custom", dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6])
+	case "mttkrp":
+		if len(dims) != 4 {
+			return loopnest.Problem{}, fmt.Errorf("mttkrp shape needs I,J,K,L")
+		}
+		return loopnest.NewMTTKRPProblem("custom", dims[0], dims[1], dims[2], dims[3])
+	case "conv1d":
+		if len(dims) != 2 {
+			return loopnest.Problem{}, fmt.Errorf("conv1d shape needs W,R")
+		}
+		return loopnest.NewConv1DProblem("custom", dims[0], dims[1])
+	}
+	return loopnest.Problem{}, fmt.Errorf("unknown algorithm %q", algoName)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	algoName := fs.String("algo", "cnn-layer", "target algorithm: cnn-layer, mttkrp, conv1d")
+	cfgName := fs.String("config", "small", "phase-1 configuration: tiny, small, paper")
+	out := fs.String("out", "surrogate.bin", "output surrogate file")
+	samples := fs.Int("samples", 0, "override training-set size")
+	epochs := fs.Int("epochs", 0, "override training epochs")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := surrogateConfig(*cfgName)
+	if err != nil {
+		return err
+	}
+	if *samples > 0 {
+		cfg.Samples = *samples
+	}
+	if *epochs > 0 {
+		cfg.Train.Epochs = *epochs
+	}
+	cfg.Seed = *seed
+	cfg.Train.Log = os.Stderr
+
+	mp, err := newMapper(*algoName)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	hist, err := mp.TrainSurrogate(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := mp.SaveSurrogate(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s surrogate in %v (final train loss %.4f, test loss %.4f) -> %s\n",
+		*algoName, time.Since(start).Round(time.Second), hist.FinalTrain(), hist.FinalTest(), *out)
+	return nil
+}
+
+// parseObjective maps a CLI objective name onto the search objective.
+func parseObjective(name string) (search.Objective, error) {
+	switch strings.ToLower(name) {
+	case "edp", "":
+		return search.ObjectiveEDP, nil
+	case "ed2p":
+		return search.ObjectiveED2P, nil
+	case "energy":
+		return search.ObjectiveEnergy, nil
+	case "delay":
+		return search.ObjectiveDelay, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q (want edp, ed2p, energy, delay)", name)
+}
+
+func loadMapperWithSurrogate(algoName, path string) (*core.Mapper, error) {
+	mp, err := newMapper(algoName)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := mp.LoadSurrogate(f); err != nil {
+		return nil, err
+	}
+	return mp, nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	algoName := fs.String("algo", "cnn-layer", "target algorithm")
+	surPath := fs.String("surrogate", "surrogate.bin", "trained surrogate file")
+	problemName := fs.String("problem", "", "Table-1 problem name")
+	shape := fs.String("shape", "", "explicit problem shape (e.g. 16,256,256,14,14,3,3 for cnn-layer)")
+	evals := fs.Int("evals", 1000, "surrogate-query budget")
+	maxTime := fs.Duration("time", 0, "wall-clock budget (overrides -evals when set)")
+	objective := fs.String("objective", "edp", "optimization objective: edp, ed2p, energy, delay")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	obj, err := parseObjective(*objective)
+	if err != nil {
+		return err
+	}
+	mp, err := loadMapperWithSurrogate(*algoName, *surPath)
+	if err != nil {
+		return err
+	}
+	prob, err := resolveProblem(*algoName, *problemName, *shape)
+	if err != nil {
+		return err
+	}
+	pc, err := mp.NewProblemContext(prob)
+	if err != nil {
+		return err
+	}
+	pc.Objective = obj
+	budget := search.Budget{MaxEvals: *evals}
+	if *maxTime > 0 {
+		budget = search.Budget{MaxTime: *maxTime}
+	}
+	res, err := mp.FindMapping(pc, budget, *seed)
+	if err != nil {
+		return err
+	}
+	cost, norm, err := pc.Evaluate(&res.Best)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("problem    %s\n", prob.String())
+	fmt.Printf("evals      %d in %v\n", res.Evals, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("EDP        %.4g J*s (%.1fx algorithmic minimum)\n", cost.EDP, norm)
+	fmt.Printf("energy     %.4g pJ, cycles %.4g, PE utilization %.1f%%\n",
+		cost.TotalEnergyPJ, cost.Cycles, 100*cost.Utilization)
+	fmt.Printf("mapping    %s\n", res.Best.String())
+	fmt.Printf("\nloop nest:\n%s", pc.Space.RenderLoopNest(&res.Best))
+	fmt.Printf("\ncost report:\n")
+	cost.Render(os.Stdout, prob.Algo)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	algoName := fs.String("algo", "cnn-layer", "target algorithm")
+	surPath := fs.String("surrogate", "surrogate.bin", "trained surrogate file")
+	problemName := fs.String("problem", "", "Table-1 problem name")
+	shape := fs.String("shape", "", "explicit problem shape")
+	evals := fs.Int("evals", 1000, "evaluation budget per method")
+	maxTime := fs.Duration("time", 0, "wall-clock budget per method (overrides -evals)")
+	latency := fs.Duration("latency", 2*time.Millisecond, "emulated reference-cost-model latency (iso-time only)")
+	rlHidden := fs.Int("rlhidden", 64, "RL network width (paper: 300)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mp, err := loadMapperWithSurrogate(*algoName, *surPath)
+	if err != nil {
+		return err
+	}
+	prob, err := resolveProblem(*algoName, *problemName, *shape)
+	if err != nil {
+		return err
+	}
+	budget := search.Budget{MaxEvals: *evals}
+	isoTime := *maxTime > 0
+	if isoTime {
+		budget = search.Budget{MaxTime: *maxTime}
+	}
+	mm, err := mp.MindMappingsSearcher()
+	if err != nil {
+		return err
+	}
+	methods := append(core.Baselines(*rlHidden), mm)
+	fmt.Printf("%-8s %12s %10s %12s %12s\n", "method", "best EDP/min", "evals", "elapsed", "us/step")
+	for _, method := range methods {
+		pc, err := mp.NewProblemContext(prob)
+		if err != nil {
+			return err
+		}
+		if isoTime && method.Name() != "MM" {
+			pc.Model.QueryLatency = *latency
+		}
+		res, err := mp.SearchWith(method, pc, budget, *seed)
+		if err != nil {
+			return err
+		}
+		perStep := 0.0
+		if res.Evals > 0 {
+			perStep = float64(res.Elapsed.Microseconds()) / float64(res.Evals)
+		}
+		fmt.Printf("%-8s %12.1f %10d %12v %12.1f\n",
+			method.Name(), res.BestEDP, res.Evals, res.Elapsed.Round(time.Millisecond), perStep)
+	}
+	return nil
+}
+
+func cmdSurface(args []string) error {
+	fs := flag.NewFlagSet("surface", flag.ExitOnError)
+	problemName := fs.String("problem", "ResNet_Conv_4", "Table-1 CNN problem name")
+	out := fs.String("out", "", "output file (default stdout)")
+	seed := fs.Int64("seed", 1, "random seed for the fixed non-swept attributes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prob, err := resolveProblem("cnn-layer", *problemName, "")
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return writeSurface(w, prob, *seed)
+}

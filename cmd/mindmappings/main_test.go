@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mindmappings/internal/loopnest"
+)
+
+func TestSurrogateConfigNames(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "paper"} {
+		if _, err := surrogateConfig(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := surrogateConfig("huge"); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+}
+
+func TestNewMapperByAlgo(t *testing.T) {
+	for _, name := range []string{"cnn-layer", "mttkrp", "conv1d"} {
+		mp, err := newMapper(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mp.Algo.Name != name {
+			t.Fatalf("mapper algo %q, want %q", mp.Algo.Name, name)
+		}
+	}
+	if _, err := newMapper("gemm"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestResolveProblemTable1(t *testing.T) {
+	p, err := resolveProblem("cnn-layer", "ResNet_Conv_4", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shape[loopnest.CNNDimK] != 256 {
+		t.Fatalf("resolved wrong problem: %v", p.Shape)
+	}
+	if _, err := resolveProblem("mttkrp", "ResNet_Conv_4", ""); err == nil {
+		t.Fatal("CNN problem resolved for MTTKRP algorithm")
+	}
+	if _, err := resolveProblem("cnn-layer", "NoSuchLayer", ""); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+func TestResolveProblemShapes(t *testing.T) {
+	p, err := resolveProblem("cnn-layer", "", "1, 8, 4, 14, 14, 3, 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shape[loopnest.CNNDimX] != 12 {
+		t.Fatalf("X = %d, want 12", p.Shape[loopnest.CNNDimX])
+	}
+	if _, err := resolveProblem("cnn-layer", "", "1,2,3"); err == nil {
+		t.Fatal("short CNN shape accepted")
+	}
+	if _, err := resolveProblem("mttkrp", "", "64,128,256,128"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resolveProblem("conv1d", "", "1024,5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resolveProblem("conv1d", "", "1024,x"); err == nil {
+		t.Fatal("non-numeric shape accepted")
+	}
+	if _, err := resolveProblem("cnn-layer", "", ""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := resolveProblem("gemm", "", "2,2"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestWriteSurface(t *testing.T) {
+	prob, err := resolveProblem("cnn-layer", "", "1,8,8,6,6,3,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeSurface(&buf, prob, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ruggedness") {
+		t.Fatalf("surface output missing stats footer:\n%s", buf.String())
+	}
+}
+
+func TestWriteSurfaceRejectsNonCNN(t *testing.T) {
+	prob, err := resolveProblem("mttkrp", "", "64,128,256,128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSurface(&bytes.Buffer{}, prob, 1); err == nil {
+		t.Fatal("non-CNN surface accepted")
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	for name, want := range map[string]string{
+		"edp": "EDP", "ed2p": "ED2P", "energy": "energy", "delay": "delay", "EDP": "EDP",
+	} {
+		o, err := parseObjective(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.String() != want {
+			t.Fatalf("%s resolved to %s", name, o)
+		}
+	}
+	if _, err := parseObjective("latency"); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}

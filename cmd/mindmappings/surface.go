@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+
+	"mindmappings/internal/experiments"
+	"mindmappings/internal/loopnest"
+)
+
+// writeSurface dumps the Figure-3 cost surface for a CNN problem.
+func writeSurface(w io.Writer, prob loopnest.Problem, seed int64) error {
+	_, err := experiments.CostSurfaceFor(w, prob, seed)
+	return err
+}

@@ -1,0 +1,19 @@
+// Package mindmappings is a from-scratch Go reproduction of "Mind Mappings:
+// Enabling Efficient Algorithm-Accelerator Mapping Space Search" (ASPLOS
+// 2021).
+//
+// Mind Mappings searches the space of mappings from a tensor algorithm (CNN
+// layers, MTTKRP) to a flexible hardware accelerator. The mapping space is
+// high dimensional, non-convex and non-smooth, so prior work relies on
+// black-box optimizers. Mind Mappings instead trains a differentiable MLP
+// surrogate of the accelerator cost function (Phase 1) and then runs
+// projected gradient descent on the surrogate to find low energy-delay
+// product mappings (Phase 2).
+//
+// The implementation lives under internal/ and is exposed through
+// internal/core (the Mapper API), the runnable examples under examples/, and
+// the command-line tools under cmd/. The root-level benchmarks in
+// bench_test.go regenerate every table and figure of the paper's evaluation;
+// see DESIGN.md for the per-experiment index and EXPERIMENTS.md for measured
+// results.
+package mindmappings

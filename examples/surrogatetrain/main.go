@@ -1,0 +1,79 @@
+// Surrogate-training walkthrough (Phase 1, paper §4.1): generate a
+// training set by sampling valid mappings across representative CNN
+// problems, train the MLP surrogate under the paper's recipe (Huber loss,
+// SGD + momentum, step-decayed learning rate), inspect the loss curve
+// (Figure 7a) and prediction quality, and persist the model for later
+// Phase-2 searches.
+//
+// Run with: go run ./examples/surrogatetrain
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/surrogate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := surrogate.TinyConfig()
+	algo := loopnest.CNNLayer()
+	accel := arch.Default(2)
+
+	fmt.Printf("generating %d samples across %d representative CNN problems...\n",
+		cfg.Samples, cfg.Problems)
+	start := time.Now()
+	ds, err := surrogate.Generate(algo, accel, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d samples (%d-wide mapping vectors, %d-wide meta-statistics) in %v\n",
+		ds.Len(), len(ds.X[0]), len(ds.Y[0]), time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("\ntraining the MLP surrogate (%v hidden, Huber loss, %d epochs)...\n",
+		cfg.HiddenSizes, cfg.Train.Epochs)
+	start = time.Now()
+	sur, hist, err := surrogate.Train(ds, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  done in %v; loss curve (Figure 7a):\n", time.Since(start).Round(time.Millisecond))
+	step := len(hist.TrainLoss) / 8
+	if step < 1 {
+		step = 1
+	}
+	for e := 0; e < len(hist.TrainLoss); e += step {
+		fmt.Printf("  epoch %3d  train %.4f  test %.4f\n", e, hist.TrainLoss[e], hist.TestLoss[e])
+	}
+	fmt.Printf("  epoch %3d  train %.4f  test %.4f (final)\n",
+		len(hist.TrainLoss)-1, hist.FinalTrain(), hist.FinalTest())
+
+	mae, corr, err := sur.EvaluateQuality(ds, 2000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nprediction quality on the sampled distribution:\n")
+	fmt.Printf("  normalized-EDP MAE   %.1f\n  log-EDP correlation  %.3f\n", mae, corr)
+
+	const out = "cnn.surrogate"
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sur.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("\nsaved to %s — reuse it with:\n  go run ./cmd/mindmappings search -algo cnn-layer -surrogate %s -problem ResNet_Conv_4\n", out, out)
+	return nil
+}

@@ -1,0 +1,88 @@
+package arch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	s := Default(2)
+	if s.NumPEs != 256 {
+		t.Fatalf("PEs = %d, want 256 (paper §5.1.2)", s.NumPEs)
+	}
+	if s.L1BytesPerPE != 64*1024 {
+		t.Fatalf("L1 = %d, want 64 KB", s.L1BytesPerPE)
+	}
+	if s.L2Bytes != 512*1024 {
+		t.Fatalf("L2 = %d, want 512 KB", s.L2Bytes)
+	}
+	if s.ClockHz != 1e9 {
+		t.Fatalf("clock = %v, want 1 GHz", s.ClockHz)
+	}
+	if s.OperandsPerMAC != 2 {
+		t.Fatalf("operands = %d", s.OperandsPerMAC)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+}
+
+func TestEnergyLadder(t *testing.T) {
+	s := Default(3)
+	if !(s.EnergyPerAccess[L1] < s.EnergyPerAccess[L2] &&
+		s.EnergyPerAccess[L2] < s.EnergyPerAccess[DRAM]) {
+		t.Fatalf("energy ladder not increasing: %v", s.EnergyPerAccess)
+	}
+}
+
+func TestValidateCatchesEveryField(t *testing.T) {
+	mutations := map[string]func(*Spec){
+		"pes":       func(s *Spec) { s.NumPEs = 0 },
+		"l1":        func(s *Spec) { s.L1BytesPerPE = 0 },
+		"l2":        func(s *Spec) { s.L2Bytes = 0 },
+		"banks":     func(s *Spec) { s.Banks = 0 },
+		"word":      func(s *Spec) { s.WordBytes = 0 },
+		"energy":    func(s *Spec) { s.EnergyPerAccess[L2] = 0 },
+		"bandwidth": func(s *Spec) { s.BandwidthWords[DRAM] = 0 },
+		"mac":       func(s *Spec) { s.MACEnergyPJ = 0 },
+		"clock":     func(s *Spec) { s.ClockHz = 0 },
+		"operands":  func(s *Spec) { s.OperandsPerMAC = 0 },
+	}
+	for name, mutate := range mutations {
+		s := Default(2)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", name)
+		}
+	}
+}
+
+func TestLevelBytesAndWords(t *testing.T) {
+	s := Default(2)
+	if s.LevelBytes(L1) != 64*1024 || s.LevelBytes(L2) != 512*1024 {
+		t.Fatal("LevelBytes wrong")
+	}
+	if s.LevelBytes(DRAM) != 0 {
+		t.Fatal("DRAM has no bounded capacity")
+	}
+	if s.LevelWords(L1) != 32*1024 {
+		t.Fatalf("L1 words = %d, want 32768 at 2 B/word", s.LevelWords(L1))
+	}
+}
+
+func TestEnergyPerWordOnce(t *testing.T) {
+	s := Default(2)
+	want := s.EnergyPerAccess[L1] + s.EnergyPerAccess[L2] + s.EnergyPerAccess[DRAM]
+	if math.Abs(s.EnergyPerWordOnce()-want) > 1e-12 {
+		t.Fatalf("EnergyPerWordOnce = %v, want %v", s.EnergyPerWordOnce(), want)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if L1.String() != "L1" || L2.String() != "L2" || DRAM.String() != "DRAM" {
+		t.Fatal("level names wrong")
+	}
+	if Level(9).String() == "" {
+		t.Fatal("unknown level must still render")
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/search"
+	"mindmappings/internal/stats"
+	"mindmappings/internal/surrogate"
+)
+
+var (
+	mapperOnce sync.Once
+	mapperFix  *Mapper
+	mapperErr  error
+)
+
+// trainedMapper returns a shared Conv1D mapper with a tiny trained
+// surrogate.
+func trainedMapper(t *testing.T) *Mapper {
+	t.Helper()
+	mapperOnce.Do(func() {
+		mp, err := NewMapper(loopnest.Conv1D(), arch.Default(2))
+		if err != nil {
+			mapperErr = err
+			return
+		}
+		cfg := surrogate.TinyConfig()
+		cfg.HiddenSizes = []int{32, 32}
+		cfg.Samples = 2000
+		cfg.Problems = 6
+		cfg.Train.Epochs = 12
+		if _, err := mp.TrainSurrogate(cfg); err != nil {
+			mapperErr = err
+			return
+		}
+		mapperFix = mp
+	})
+	if mapperErr != nil {
+		t.Fatal(mapperErr)
+	}
+	return mapperFix
+}
+
+func TestNewMapperValidation(t *testing.T) {
+	if _, err := NewMapper(nil, arch.Default(2)); err == nil {
+		t.Fatal("accepted nil algorithm")
+	}
+	bad := arch.Default(2)
+	bad.NumPEs = 0
+	if _, err := NewMapper(loopnest.Conv1D(), bad); err == nil {
+		t.Fatal("accepted invalid arch")
+	}
+	if _, err := NewMapper(loopnest.MTTKRP(), arch.Default(2)); err == nil {
+		t.Fatal("accepted operand mismatch (MTTKRP needs 3-operand PEs)")
+	}
+}
+
+func TestTrainingHistory(t *testing.T) {
+	mp := trainedMapper(t)
+	if mp.Surrogate() == nil {
+		t.Fatal("surrogate missing after training")
+	}
+}
+
+func TestFindMappingRequiresSurrogate(t *testing.T) {
+	mp, err := NewMapper(loopnest.Conv1D(), arch.Default(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := loopnest.NewConv1DProblem("p", 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := mp.NewProblemContext(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.FindMapping(pc, search.Budget{MaxEvals: 10}, 1); err == nil {
+		t.Fatal("searched without surrogate")
+	}
+	if _, err := mp.MindMappingsSearcher(); err == nil {
+		t.Fatal("returned searcher without surrogate")
+	}
+	if err := mp.SaveSurrogate(&bytes.Buffer{}); err == nil {
+		t.Fatal("saved missing surrogate")
+	}
+}
+
+func TestNewProblemContextRejectsWrongAlgorithm(t *testing.T) {
+	mp := trainedMapper(t)
+	cnnProb, err := loopnest.NewCNNProblem("cnn", 4, 16, 8, 14, 14, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.NewProblemContext(cnnProb); err == nil {
+		t.Fatal("accepted CNN problem on Conv1D mapper")
+	}
+}
+
+func TestEndToEndFindMapping(t *testing.T) {
+	mp := trainedMapper(t)
+	prob, err := loopnest.NewConv1DProblem("target", 2048, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := mp.NewProblemContext(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mp.FindMapping(pc, search.Budget{MaxEvals: 150}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.IsMember(&res.Best); err != nil {
+		t.Fatalf("returned invalid mapping: %v", err)
+	}
+	if res.BestEDP < 1 {
+		t.Fatalf("normalized EDP %v below lower bound", res.BestEDP)
+	}
+	// The found mapping must beat the average random mapping comfortably.
+	rng := stats.NewRNG(77)
+	var mean stats.Running
+	for i := 0; i < 40; i++ {
+		m := pc.GetMapping(rng)
+		_, edp, err := pc.Evaluate(&m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean.Add(edp)
+	}
+	if res.BestEDP > 0.5*mean.Mean() {
+		t.Fatalf("found EDP %v does not beat mean random %v", res.BestEDP, mean.Mean())
+	}
+}
+
+func TestProblemContextRoutines(t *testing.T) {
+	mp := trainedMapper(t)
+	prob, err := loopnest.NewConv1DProblem("routines", 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := mp.NewProblemContext(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	m := pc.GetMapping(rng)
+	if err := pc.IsMember(&m); err != nil {
+		t.Fatalf("GetMapping returned invalid mapping: %v", err)
+	}
+	// Corrupt it, project, revalidate.
+	m.Spatial[0] = 999
+	if err := pc.IsMember(&m); err == nil {
+		t.Fatal("corruption not detected")
+	}
+	fixed := pc.GetProjection(m)
+	if err := pc.IsMember(&fixed); err != nil {
+		t.Fatalf("projection invalid: %v", err)
+	}
+	cost, edp, err := pc.Evaluate(&fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.EDP <= 0 || edp < 1 {
+		t.Fatalf("evaluation wrong: %v / %v", cost.EDP, edp)
+	}
+}
+
+func TestSurrogateSaveLoadThroughMapper(t *testing.T) {
+	mp := trainedMapper(t)
+	var buf bytes.Buffer
+	if err := mp.SaveSurrogate(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewMapper(loopnest.Conv1D(), arch.Default(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadSurrogate(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Surrogate() == nil {
+		t.Fatal("surrogate missing after load")
+	}
+	// Loading a Conv1D surrogate into a CNN mapper must fail.
+	buf.Reset()
+	if err := mp.SaveSurrogate(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cnnMapper, err := NewMapper(loopnest.CNNLayer(), arch.Default(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cnnMapper.LoadSurrogate(&buf); err == nil {
+		t.Fatal("accepted surrogate for wrong algorithm")
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	bs := Baselines(32)
+	if len(bs) != 4 {
+		t.Fatalf("%d baselines, want 4", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		names[b.Name()] = true
+	}
+	for _, want := range []string{"SA", "GA", "RL", "Random"} {
+		if !names[want] {
+			t.Fatalf("missing baseline %s", want)
+		}
+	}
+}
+
+func TestSearchWithBaseline(t *testing.T) {
+	mp := trainedMapper(t)
+	prob, err := loopnest.NewConv1DProblem("base", 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := mp.NewProblemContext(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mp.SearchWith(search.SimulatedAnnealing{}, pc, search.Budget{MaxEvals: 60}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 60 {
+		t.Fatalf("evals = %d", res.Evals)
+	}
+}
+
+func TestObjectivePropagatesThroughContext(t *testing.T) {
+	mp := trainedMapper(t)
+	prob, err := loopnest.NewConv1DProblem("obj", 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := mp.NewProblemContext(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc.Objective = search.ObjectiveDelay
+	res, err := mp.FindMapping(pc, search.Budget{MaxEvals: 200}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A delay-objective search should exploit parallelism.
+	if res.Best.SpatialPEs() < 4 {
+		t.Fatalf("delay-objective mapping uses only %d PEs", res.Best.SpatialPEs())
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The harness trains surrogates on first use; share one across tests.
+var (
+	harnessOnce sync.Once
+	harnessFix  *Harness
+)
+
+func fastHarness(t testing.TB) *Harness {
+	t.Helper()
+	harnessOnce.Do(func() {
+		opts := Defaults(true)
+		opts.IsoIterations = 200
+		opts.IsoTime = 250 * time.Millisecond
+		opts.QueryLatency = 500 * time.Microsecond
+		opts.SpaceSamples = 600
+		harnessFix = New(opts)
+	})
+	return harnessFix
+}
+
+func TestDefaults(t *testing.T) {
+	fast := Defaults(true)
+	if !fast.Fast || fast.Repeats != 1 {
+		t.Fatalf("fast defaults: %+v", fast)
+	}
+	full := Defaults(false)
+	if full.Fast || full.IsoIterations != 1000 {
+		t.Fatalf("full defaults: %+v", full)
+	}
+	if full.Repeats < 2 {
+		t.Fatal("full defaults must average repeats")
+	}
+}
+
+func TestProblemsSelection(t *testing.T) {
+	h := fastHarness(t)
+	probs, err := h.Problems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 2 {
+		t.Fatalf("fast problems = %d, want 2", len(probs))
+	}
+	full := New(Defaults(false))
+	probsFull, err := full.Problems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probsFull) != 8 {
+		t.Fatalf("full problems = %d, want 8 (Table 1)", len(probsFull))
+	}
+}
+
+func TestSurrogateCaching(t *testing.T) {
+	h := fastHarness(t)
+	a, err := h.Surrogate("cnn-layer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Surrogate("cnn-layer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("surrogate not cached")
+	}
+	if _, err := h.Surrogate("nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	h := fastHarness(t)
+	var buf bytes.Buffer
+	if err := h.Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ResNet_Conv_3", "MTTKRP_1", "AlexNet_Conv_2"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Table 1 output missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestCostSurface(t *testing.T) {
+	h := fastHarness(t)
+	var buf bytes.Buffer
+	st, err := h.CostSurface(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Points < 20 {
+		t.Fatalf("only %d surface points", st.Points)
+	}
+	if st.MaxEDP <= st.MinEDP {
+		t.Fatal("flat cost surface — no mapping sensitivity")
+	}
+	// The paper's core premise: the surface is rugged. Adjacent tile-size
+	// choices must change EDP substantially relative to the mean.
+	if st.Ruggedness < 0.05 {
+		t.Fatalf("ruggedness %v too low; surface unexpectedly smooth", st.Ruggedness)
+	}
+}
+
+func TestSpaceStats(t *testing.T) {
+	h := fastHarness(t)
+	var buf bytes.Buffer
+	chars, err := h.SpaceStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chars) != 2 {
+		t.Fatalf("%d algorithms characterized", len(chars))
+	}
+	for _, c := range chars {
+		if c.EnergyMean <= 1 {
+			t.Fatalf("%s mean normalized energy %v <= 1", c.Algo, c.EnergyMean)
+		}
+		if c.EnergyStd <= 0 {
+			t.Fatalf("%s zero energy variance", c.Algo)
+		}
+		for name, lg := range c.SizeLog10 {
+			if lg < 10 {
+				t.Fatalf("%s map space exponent %v implausibly small", name, lg)
+			}
+		}
+	}
+}
+
+func TestIsoIterationFast(t *testing.T) {
+	h := fastHarness(t)
+	cmp, err := h.RunIsoIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Problems) != 2 {
+		t.Fatalf("%d problems", len(cmp.Problems))
+	}
+	for _, pc := range cmp.Problems {
+		if len(pc.Series) != 5 {
+			t.Fatalf("%s: %d methods, want 5", pc.Problem, len(pc.Series))
+		}
+		for _, s := range pc.Series {
+			if s.FinalMean < 1 {
+				t.Fatalf("%s/%s final EDP %v below lower bound", pc.Problem, s.Method, s.FinalMean)
+			}
+		}
+		mm := pc.FinalFor("MM")
+		rnd := pc.FinalFor("Random")
+		if mm > rnd*2 {
+			t.Errorf("%s: MM (%v) much worse than random (%v)", pc.Problem, mm, rnd)
+		}
+	}
+	var buf bytes.Buffer
+	cmp.Render(&buf)
+	if !strings.Contains(buf.String(), "summary") {
+		t.Fatal("render missing summary")
+	}
+	t.Logf("iso-iteration fast results:\n%s", buf.String())
+}
+
+func TestIsoTimeFast(t *testing.T) {
+	h := fastHarness(t)
+	cmp, err := h.RunIsoTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range cmp.Problems {
+		mm := pc.FinalFor("MM")
+		if mm <= 0 {
+			t.Fatalf("%s: no MM result", pc.Problem)
+		}
+	}
+	var buf bytes.Buffer
+	cmp.Render(&buf)
+	t.Logf("iso-time fast results:\n%s", buf.String())
+	// The mechanism behind Figure 6: MM performs many more steps per unit
+	// time than latency-paying methods.
+	for _, pc := range cmp.Problems {
+		var mmEvals, saEvals float64
+		for _, s := range pc.Series {
+			switch s.Method {
+			case "MM":
+				mmEvals = s.EvalsMean
+			case "SA":
+				saEvals = s.EvalsMean
+			}
+		}
+		if mmEvals < 2*saEvals {
+			t.Errorf("%s: MM evals %v not clearly above SA evals %v under latency",
+				pc.Problem, mmEvals, saEvals)
+		}
+	}
+}
+
+func TestPerStepCost(t *testing.T) {
+	h := fastHarness(t)
+	var buf bytes.Buffer
+	costs, err := h.PerStepCost(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]StepCost{}
+	for _, c := range costs {
+		byName[c.Method] = c
+	}
+	if byName["SA"].RatioToMM < 2 {
+		t.Errorf("SA per-step ratio %v; expected latency-dominated slowdown", byName["SA"].RatioToMM)
+	}
+	if byName["RL"].RatioToMM < byName["SA"].RatioToMM {
+		t.Errorf("RL (%v) should be at least as slow per step as SA (%v)",
+			byName["RL"].RatioToMM, byName["SA"].RatioToMM)
+	}
+	t.Logf("per-step costs:\n%s", buf.String())
+}

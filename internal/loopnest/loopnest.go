@@ -1,0 +1,355 @@
+// Package loopnest defines the algorithms and problems whose mappings are
+// searched: an Algorithm is a family of perfectly nested affine loop
+// computations over a set of named dimensions and tensors (dataspaces), and
+// a Problem is a parameterized instance of an algorithm (paper §2.1: "a
+// problem is a parameterized instance of an algorithm").
+//
+// Three algorithms are provided, matching the paper: CNN-Layer (§5.1.1,
+// Equation 3), MTTKRP (Equation 4), and the pedagogical 1D-Convolution from
+// §3 (Equation 2). Table1Problems reproduces the paper's Table 1 workloads.
+package loopnest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Tensor describes one dataspace of an algorithm: which loop dimensions
+// index it, how tile sizes translate into a resident footprint (in words),
+// and whether it is the computation's output (outputs incur partial-sum
+// read-modify-write traffic).
+type Tensor struct {
+	Name string
+	// Dims lists the algorithm-dimension indices this tensor depends on.
+	// A loop over a dimension not listed here can reuse the tensor's tile.
+	Dims []int
+	// Footprint returns the number of distinct words the tensor occupies for
+	// the given per-dimension tile sizes (len == number of algorithm dims).
+	// Convolution inputs implement halo footprints here.
+	Footprint func(tile []int) int64
+	// Output marks the tensor produced by the computation.
+	Output bool
+}
+
+// Relevant reports whether dimension d indexes the tensor.
+func (t *Tensor) Relevant(d int) bool {
+	for _, td := range t.Dims {
+		if td == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Algorithm is a family of problems over fixed dimensions and tensors.
+type Algorithm struct {
+	Name     string
+	DimNames []string
+	Tensors  []Tensor
+	// OperandsPerMAC is how many input operands each innermost compute
+	// operation consumes (2 for CNN, 3 for MTTKRP; paper §5.1.2).
+	OperandsPerMAC int
+	// SampleSpace lists representative sizes per dimension used when
+	// sampling random problems for surrogate training (paper §5.5
+	// "Representative problems"). Custom algorithms must populate it
+	// before calling RandomProblem or surrogate.Generate.
+	SampleSpace [][]int
+}
+
+// NumDims returns the number of loop dimensions.
+func (a *Algorithm) NumDims() int { return len(a.DimNames) }
+
+// OutputTensor returns the index of the output tensor.
+func (a *Algorithm) OutputTensor() int {
+	for i := range a.Tensors {
+		if a.Tensors[i].Output {
+			return i
+		}
+	}
+	return -1
+}
+
+// Problem is a specific shape of an algorithm, e.g. one CNN layer.
+type Problem struct {
+	Algo  *Algorithm
+	Name  string
+	Shape []int // size per dimension, len == Algo.NumDims()
+}
+
+// Validate checks that the shape is complete and positive and that derived
+// tensor footprints are well-formed.
+func (p *Problem) Validate() error {
+	if p.Algo == nil {
+		return errors.New("loopnest: problem has no algorithm")
+	}
+	if len(p.Shape) != p.Algo.NumDims() {
+		return fmt.Errorf("loopnest: problem %q has %d dims, algorithm %q needs %d",
+			p.Name, len(p.Shape), p.Algo.Name, p.Algo.NumDims())
+	}
+	for d, s := range p.Shape {
+		if s < 1 {
+			return fmt.Errorf("loopnest: problem %q dim %s = %d, must be >= 1",
+				p.Name, p.Algo.DimNames[d], s)
+		}
+	}
+	for i := range p.Algo.Tensors {
+		if fp := p.Algo.Tensors[i].Footprint(p.Shape); fp < 1 {
+			return fmt.Errorf("loopnest: problem %q tensor %s footprint %d",
+				p.Name, p.Algo.Tensors[i].Name, fp)
+		}
+	}
+	return nil
+}
+
+// MACs returns the total number of innermost compute operations: the
+// product of all dimension sizes.
+func (p *Problem) MACs() float64 {
+	macs := 1.0
+	for _, s := range p.Shape {
+		macs *= float64(s)
+	}
+	return macs
+}
+
+// TotalWords returns the summed full footprint of all tensors in words.
+func (p *Problem) TotalWords() float64 {
+	total := 0.0
+	for i := range p.Algo.Tensors {
+		total += float64(p.Algo.Tensors[i].Footprint(p.Shape))
+	}
+	return total
+}
+
+// String renders the problem as "name(dim=size, ...)".
+func (p *Problem) String() string {
+	s := p.Name + "("
+	for d, v := range p.Shape {
+		if d > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s=%d", p.Algo.DimNames[d], v)
+	}
+	return s + ")"
+}
+
+// PID returns the problem-identifier vector fed to the surrogate: log2 of
+// each dimension size (paper §4.1.1: "we encode each pid as the specific
+// parameterization of the problem"). Log-space keeps the magnitudes of very
+// different dimensions comparable before whitening.
+func (p *Problem) PID() []float64 {
+	pid := make([]float64, len(p.Shape))
+	for d, s := range p.Shape {
+		pid[d] = math.Log2(float64(s))
+	}
+	return pid
+}
+
+// AlgorithmByName returns the built-in algorithm registered under name
+// ("cnn-layer", "mttkrp", or "conv1d").
+func AlgorithmByName(name string) (*Algorithm, error) {
+	switch name {
+	case "cnn-layer":
+		return CNNLayer(), nil
+	case "mttkrp":
+		return MTTKRP(), nil
+	case "conv1d":
+		return Conv1D(), nil
+	}
+	return nil, fmt.Errorf("loopnest: unknown algorithm %q (want cnn-layer, mttkrp, or conv1d)", name)
+}
+
+// CNN dimension indices (paper Equation 3). X and Y are the output spatial
+// dimensions: X = H-R+1, Y = W-S+1 at stride 1.
+const (
+	CNNDimN = iota
+	CNNDimK
+	CNNDimC
+	CNNDimX
+	CNNDimY
+	CNNDimR
+	CNNDimS
+)
+
+// CNNLayer returns the CNN-Layer algorithm: 7 dimensions (N,K,C,X,Y,R,S)
+// and 3 tensors (Weights, Inputs, Outputs). The input tensor footprint uses
+// halos: a tile covering X' outputs and R' filter taps needs X'+R'-1 input
+// columns.
+func CNNLayer() *Algorithm {
+	return &Algorithm{
+		Name:           "cnn-layer",
+		DimNames:       []string{"N", "K", "C", "X", "Y", "R", "S"},
+		OperandsPerMAC: 2,
+		Tensors: []Tensor{
+			{
+				Name: "Weights",
+				Dims: []int{CNNDimK, CNNDimC, CNNDimR, CNNDimS},
+				Footprint: func(t []int) int64 {
+					return int64(t[CNNDimK]) * int64(t[CNNDimC]) * int64(t[CNNDimR]) * int64(t[CNNDimS])
+				},
+			},
+			{
+				Name: "Inputs",
+				Dims: []int{CNNDimN, CNNDimC, CNNDimX, CNNDimY, CNNDimR, CNNDimS},
+				Footprint: func(t []int) int64 {
+					h := int64(t[CNNDimX] + t[CNNDimR] - 1)
+					w := int64(t[CNNDimY] + t[CNNDimS] - 1)
+					return int64(t[CNNDimN]) * int64(t[CNNDimC]) * h * w
+				},
+			},
+			{
+				Name:   "Outputs",
+				Dims:   []int{CNNDimN, CNNDimK, CNNDimX, CNNDimY},
+				Output: true,
+				Footprint: func(t []int) int64 {
+					return int64(t[CNNDimN]) * int64(t[CNNDimK]) * int64(t[CNNDimX]) * int64(t[CNNDimY])
+				},
+			},
+		},
+		SampleSpace: [][]int{
+			{1, 2, 4, 8, 16, 32},                 // N
+			{32, 48, 64, 96, 128, 192, 256, 512}, // K (paper: K sampled from [32,512])
+			{16, 32, 64, 96, 128, 192, 256, 384}, // C
+			{7, 12, 13, 14, 26, 27, 28, 54, 56},  // X
+			{7, 12, 13, 14, 26, 27, 28, 54, 56},  // Y
+			{1, 3, 5, 7},                         // R
+			{1, 3, 5, 7},                         // S
+		},
+	}
+}
+
+// NewCNNProblem builds a CNN-Layer problem from the input-image view used by
+// Table 1 (N, K, C, H, W, R, S at stride 1); the output resolution is
+// X=H-R+1, Y=W-S+1.
+func NewCNNProblem(name string, n, k, c, h, w, r, s int) (Problem, error) {
+	x := h - r + 1
+	y := w - s + 1
+	p := Problem{
+		Algo:  CNNLayer(),
+		Name:  name,
+		Shape: []int{n, k, c, x, y, r, s},
+	}
+	if err := p.Validate(); err != nil {
+		return Problem{}, err
+	}
+	return p, nil
+}
+
+// MTTKRP dimension indices (paper Equation 4).
+const (
+	MTTKRPDimI = iota
+	MTTKRPDimJ
+	MTTKRPDimK
+	MTTKRPDimL
+)
+
+// MTTKRP returns the matricized-tensor-times-Khatri-Rao-product algorithm:
+// O[i,j] = Σ_k Σ_l A[i,k,l]·B[k,j]·C[l,j], 4 dimensions and 4 tensors.
+func MTTKRP() *Algorithm {
+	return &Algorithm{
+		Name:           "mttkrp",
+		DimNames:       []string{"I", "J", "K", "L"},
+		OperandsPerMAC: 3,
+		Tensors: []Tensor{
+			{
+				Name: "A",
+				Dims: []int{MTTKRPDimI, MTTKRPDimK, MTTKRPDimL},
+				Footprint: func(t []int) int64 {
+					return int64(t[MTTKRPDimI]) * int64(t[MTTKRPDimK]) * int64(t[MTTKRPDimL])
+				},
+			},
+			{
+				Name: "B",
+				Dims: []int{MTTKRPDimK, MTTKRPDimJ},
+				Footprint: func(t []int) int64 {
+					return int64(t[MTTKRPDimK]) * int64(t[MTTKRPDimJ])
+				},
+			},
+			{
+				Name: "C",
+				Dims: []int{MTTKRPDimL, MTTKRPDimJ},
+				Footprint: func(t []int) int64 {
+					return int64(t[MTTKRPDimL]) * int64(t[MTTKRPDimJ])
+				},
+			},
+			{
+				Name:   "O",
+				Dims:   []int{MTTKRPDimI, MTTKRPDimJ},
+				Output: true,
+				Footprint: func(t []int) int64 {
+					return int64(t[MTTKRPDimI]) * int64(t[MTTKRPDimJ])
+				},
+			},
+		},
+		SampleSpace: [][]int{
+			{64, 128, 256, 512, 1024, 2048},   // I
+			{256, 512, 1024, 2048, 4096},      // J
+			{128, 256, 512, 1024, 2048, 4096}, // K
+			{128, 256, 512, 1024, 2048, 4096}, // L
+		},
+	}
+}
+
+// NewMTTKRPProblem builds an MTTKRP problem with the given matrix shapes.
+func NewMTTKRPProblem(name string, i, j, k, l int) (Problem, error) {
+	p := Problem{Algo: MTTKRP(), Name: name, Shape: []int{i, j, k, l}}
+	if err := p.Validate(); err != nil {
+		return Problem{}, err
+	}
+	return p, nil
+}
+
+// Conv1D dimension indices (paper Equation 2): X is the output width, R the
+// filter size.
+const (
+	Conv1DDimX = iota
+	Conv1DDimR
+)
+
+// Conv1D returns the 1D convolution used as the paper's running example in
+// §3: O[x] = Σ_r I[x+r]·F[r].
+func Conv1D() *Algorithm {
+	return &Algorithm{
+		Name:           "conv1d",
+		DimNames:       []string{"X", "R"},
+		OperandsPerMAC: 2,
+		Tensors: []Tensor{
+			{
+				Name: "F",
+				Dims: []int{Conv1DDimR},
+				Footprint: func(t []int) int64 {
+					return int64(t[Conv1DDimR])
+				},
+			},
+			{
+				Name: "I",
+				Dims: []int{Conv1DDimX, Conv1DDimR},
+				Footprint: func(t []int) int64 {
+					return int64(t[Conv1DDimX] + t[Conv1DDimR] - 1)
+				},
+			},
+			{
+				Name:   "O",
+				Dims:   []int{Conv1DDimX},
+				Output: true,
+				Footprint: func(t []int) int64 {
+					return int64(t[Conv1DDimX])
+				},
+			},
+		},
+		SampleSpace: [][]int{
+			{64, 128, 256, 512, 1024, 2048, 4096}, // X
+			{2, 3, 4, 5, 7, 8, 9, 16},             // R
+		},
+	}
+}
+
+// NewConv1DProblem builds a 1D-convolution problem from the input width W
+// and filter size R (output width W-R+1).
+func NewConv1DProblem(name string, w, r int) (Problem, error) {
+	p := Problem{Algo: Conv1D(), Name: name, Shape: []int{w - r + 1, r}}
+	if err := p.Validate(); err != nil {
+		return Problem{}, err
+	}
+	return p, nil
+}

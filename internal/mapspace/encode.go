@@ -1,0 +1,124 @@
+package mapspace
+
+import (
+	"fmt"
+	"math"
+
+	"mindmappings/internal/arch"
+)
+
+// Vector layout (paper §5.5): the surrogate input is the concatenation of
+//
+//	[ problem id | tile-factor log2s (3 levels x D) | spatial log2s (D) |
+//	  loop-order ranks (3 levels x D) | allocations (2 levels x T) ]
+//
+// which yields 62 values for CNN-Layer (7+21+7+21+6) and 40 for MTTKRP
+// (4+12+4+12+8), exactly the input widths the paper reports.
+
+// VectorLen returns the length of the encoded mapping vector including the
+// problem-id prefix.
+func (s *Space) VectorLen() int {
+	d := s.NumDims()
+	return d + // problem id
+		int(arch.NumLevels)*d + // temporal tile factors
+		d + // spatial factors
+		int(arch.NumLevels)*d + // loop-order ranks
+		arch.OnChipLevels*s.NumTensors() // buffer allocations
+}
+
+// PIDLen returns the length of the problem-id prefix.
+func (s *Space) PIDLen() int { return s.NumDims() }
+
+// Encode flattens a mapping into the surrogate's input vector (paper
+// §4.1.2: each programmable attribute converted to floats and flattened).
+// Tile and spatial factors are encoded in log2, loop orders as normalized
+// rank positions, allocations as raw fractions; the problem id (log2 of
+// each dimension size) is the prefix.
+func (s *Space) Encode(m *Mapping) []float64 {
+	d := s.NumDims()
+	vec := make([]float64, 0, s.VectorLen())
+	vec = append(vec, s.Prob.PID()...)
+	for l := arch.L1; l < arch.NumLevels; l++ {
+		for dim := 0; dim < d; dim++ {
+			vec = append(vec, math.Log2(float64(m.Tile[l][dim])))
+		}
+	}
+	for dim := 0; dim < d; dim++ {
+		vec = append(vec, math.Log2(float64(m.Spatial[dim])))
+	}
+	denom := float64(d - 1)
+	if denom <= 0 {
+		denom = 1
+	}
+	for l := arch.L1; l < arch.NumLevels; l++ {
+		pos := make([]float64, d)
+		for p, dim := range m.Order[l] {
+			pos[dim] = float64(p) / denom
+		}
+		vec = append(vec, pos...)
+	}
+	for level := arch.L1; level < arch.OnChipLevels; level++ {
+		vec = append(vec, m.Alloc[level]...)
+	}
+	return vec
+}
+
+// Decode parses a surrogate-layout vector (such as one produced by a
+// gradient step on an encoded mapping) and projects it onto the nearest
+// valid mapping. The problem-id prefix is ignored — the space already knows
+// its problem.
+func (s *Space) Decode(vec []float64) (Mapping, error) {
+	if len(vec) != s.VectorLen() {
+		return Mapping{}, fmt.Errorf("mapspace: decode vector length %d, want %d",
+			len(vec), s.VectorLen())
+	}
+	d := s.NumDims()
+	i := d // skip problem id
+	des := desired{logs: make([][4]float64, d)}
+	levelToSlot := [arch.NumLevels]int{ChainL1, ChainL2, ChainDRAM}
+	for l := arch.L1; l < arch.NumLevels; l++ {
+		for dim := 0; dim < d; dim++ {
+			des.logs[dim][levelToSlot[l]] = sanitizeLog(vec[i])
+			i++
+		}
+	}
+	for dim := 0; dim < d; dim++ {
+		des.logs[dim][ChainSpatial] = sanitizeLog(vec[i])
+		i++
+	}
+	for l := arch.L1; l < arch.NumLevels; l++ {
+		des.ranks[l] = make([]float64, d)
+		for dim := 0; dim < d; dim++ {
+			r := vec[i]
+			if math.IsNaN(r) {
+				r = 0
+			}
+			des.ranks[l][dim] = r
+			i++
+		}
+	}
+	for level := arch.L1; level < arch.OnChipLevels; level++ {
+		des.alloc[level] = make([]float64, s.NumTensors())
+		for t := range des.alloc[level] {
+			des.alloc[level][t] = clamp01(vec[i])
+			i++
+		}
+	}
+	return s.projectDesired(des), nil
+}
+
+// sanitizeLog bounds a desired log2 tile factor so NaNs and infinities from
+// a runaway gradient cannot poison projection.
+func sanitizeLog(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	const maxLog = 40 // 2^40 exceeds any dimension here
+	if v > maxLog {
+		return maxLog
+	}
+	if v < -maxLog {
+		return -maxLog
+	}
+	return v
+}

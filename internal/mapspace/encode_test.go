@@ -1,0 +1,154 @@
+package mapspace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+)
+
+func TestVectorLenMatchesPaper(t *testing.T) {
+	// Paper §5.5: "The input mapping vector is 62/40 values in length for
+	// CNN-Layer/MTTKRP".
+	cnnProb, err := loopnest.NewCNNProblem("p", 4, 16, 8, 14, 14, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnn, err := New(arch.Default(2), cnnProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cnn.VectorLen(); got != 62 {
+		t.Fatalf("CNN vector length = %d, want 62", got)
+	}
+	mttProb, err := loopnest.NewMTTKRPProblem("p", 64, 128, 256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtt, err := New(arch.Default(3), mttProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mtt.VectorLen(); got != 40 {
+		t.Fatalf("MTTKRP vector length = %d, want 40", got)
+	}
+}
+
+func TestEncodeLayout(t *testing.T) {
+	s := testSpaceMTTKRP(t)
+	m := s.minimalMapping()
+	vec := s.Encode(&m)
+	if len(vec) != s.VectorLen() {
+		t.Fatalf("encoded length %d != %d", len(vec), s.VectorLen())
+	}
+	// PID prefix: log2 of shape (64,128,256,128).
+	for i, want := range []float64{6, 7, 8, 7} {
+		if math.Abs(vec[i]-want) > 1e-12 {
+			t.Fatalf("pid = %v", vec[:4])
+		}
+	}
+	// Minimal mapping: all on-chip tiles 1 -> log2 = 0; DRAM factors carry
+	// everything.
+	d := s.NumDims()
+	for i := 0; i < 2*d; i++ { // L1 and L2 tile blocks
+		if vec[d+i] != 0 {
+			t.Fatalf("on-chip tile log at %d = %v, want 0", d+i, vec[d+i])
+		}
+	}
+	for dim := 0; dim < d; dim++ { // DRAM block holds full sizes
+		if math.Abs(vec[d+2*d+dim]-vec[dim]) > 1e-12 {
+			t.Fatalf("DRAM tile log != pid log at dim %d", dim)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, s := range []*Space{testSpaceCNN(t), testSpaceMTTKRP(t)} {
+		rng := rand.New(rand.NewSource(21))
+		for i := 0; i < 40; i++ {
+			m := s.Random(rng)
+			vec := s.Encode(&m)
+			back, err := s.Decode(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.IsMember(&back); err != nil {
+				t.Fatalf("decoded mapping invalid: %v", err)
+			}
+			// A valid mapping must round-trip its structure exactly: the
+			// desired point is already a member, so projection is identity
+			// on chains and orders.
+			for dim := range s.Prob.Shape {
+				if back.Chain(dim) != m.Chain(dim) {
+					t.Fatalf("%s: chain round-trip %v -> %v", s.Prob.Name, m.Chain(dim), back.Chain(dim))
+				}
+			}
+			for l := arch.L1; l < arch.NumLevels; l++ {
+				for p := range m.Order[l] {
+					if m.Order[l][p] != back.Order[l][p] {
+						t.Fatalf("order round-trip failed at level %s", l)
+					}
+				}
+			}
+			for level := arch.L1; level < arch.OnChipLevels; level++ {
+				for tIdx := range m.Alloc[level] {
+					if math.Abs(m.Alloc[level][tIdx]-back.Alloc[level][tIdx]) > 1e-6 {
+						t.Fatalf("alloc round-trip %v -> %v", m.Alloc[level], back.Alloc[level])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeWrongLength(t *testing.T) {
+	s := testSpaceCNN(t)
+	if _, err := s.Decode(make([]float64, 3)); err == nil {
+		t.Fatal("accepted short vector")
+	}
+}
+
+// Property: decoding arbitrary noise vectors always yields valid mappings —
+// this is what makes gradient steps in encoded space safe.
+func TestDecodeNoiseProperty(t *testing.T) {
+	s := testSpaceCNN(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vec := make([]float64, s.VectorLen())
+		for i := range vec {
+			switch rng.Intn(10) {
+			case 0:
+				vec[i] = math.NaN()
+			case 1:
+				vec[i] = math.Inf(1)
+			case 2:
+				vec[i] = math.Inf(-1)
+			default:
+				vec[i] = rng.NormFloat64() * 10
+			}
+		}
+		m, err := s.Decode(vec)
+		if err != nil {
+			return false
+		}
+		return s.IsMember(&m) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSanitizeLog(t *testing.T) {
+	if sanitizeLog(math.NaN()) != 0 {
+		t.Fatal("NaN must sanitize to 0")
+	}
+	if sanitizeLog(1e9) != 40 || sanitizeLog(-1e9) != -40 {
+		t.Fatal("infinite logs must clamp")
+	}
+	if sanitizeLog(3.5) != 3.5 {
+		t.Fatal("ordinary values must pass through")
+	}
+}

@@ -1,0 +1,120 @@
+// Package mapspace implements the algorithm-accelerator mapping space of
+// the paper (§2.1): mappings, membership testing, uniform random sampling,
+// projection of arbitrary points onto the valid space, perturbation and
+// recombination operators for the black-box baselines, and the flat
+// float-vector encoding consumed by the surrogate (§4.1.2, §5.5).
+//
+// A mapping assigns every problem dimension a four-band tile factorization
+// (L1-temporal, spatial-across-PEs, L2-temporal, DRAM-temporal), a loop
+// order per temporal level, and a buffer-bank allocation per tensor per
+// on-chip level — the programmable attributes of the evaluated accelerator
+// (§5.1.3).
+package mapspace
+
+import (
+	"fmt"
+	"strings"
+
+	"mindmappings/internal/arch"
+)
+
+// Mapping is one point in a map space: a complete assignment to the
+// accelerator's programmable attributes for one problem.
+type Mapping struct {
+	// Tile holds temporal tile factors indexed [level][dim] for levels
+	// arch.L1, arch.L2, arch.DRAM. Together with Spatial, the per-dimension
+	// factors multiply to the problem dimension size.
+	Tile [arch.NumLevels][]int
+	// Spatial is the per-dimension parallelism across PEs; the product over
+	// dims may not exceed the PE count.
+	Spatial []int
+	// Order is the loop ordering per temporal level; Order[l] is a
+	// permutation of dimension indices, outermost first.
+	Order [arch.NumLevels][]int
+	// Alloc is the fraction of buffer capacity allocated to each tensor at
+	// each on-chip level, indexed [level][tensor]; per-level sums must not
+	// exceed 1.
+	Alloc [arch.OnChipLevels][]float64
+}
+
+// Clone returns a deep copy of the mapping.
+func (m *Mapping) Clone() Mapping {
+	var out Mapping
+	for l := range m.Tile {
+		out.Tile[l] = append([]int(nil), m.Tile[l]...)
+	}
+	out.Spatial = append([]int(nil), m.Spatial...)
+	for l := range m.Order {
+		out.Order[l] = append([]int(nil), m.Order[l]...)
+	}
+	for l := range m.Alloc {
+		out.Alloc[l] = append([]float64(nil), m.Alloc[l]...)
+	}
+	return out
+}
+
+// Chain returns dimension d's four-band factorization.
+func (m *Mapping) Chain(d int) FactorChain {
+	return FactorChain{
+		ChainL1:      m.Tile[arch.L1][d],
+		ChainSpatial: m.Spatial[d],
+		ChainL2:      m.Tile[arch.L2][d],
+		ChainDRAM:    m.Tile[arch.DRAM][d],
+	}
+}
+
+// SetChain installs a four-band factorization for dimension d.
+func (m *Mapping) SetChain(d int, c FactorChain) {
+	m.Tile[arch.L1][d] = c[ChainL1]
+	m.Spatial[d] = c[ChainSpatial]
+	m.Tile[arch.L2][d] = c[ChainL2]
+	m.Tile[arch.DRAM][d] = c[ChainDRAM]
+}
+
+// SpatialPEs returns the number of PEs the mapping uses: the product of all
+// spatial factors.
+func (m *Mapping) SpatialPEs() int {
+	pes := 1
+	for _, s := range m.Spatial {
+		pes *= s
+	}
+	return pes
+}
+
+// CumulativeTile returns the per-dimension data-tile sizes resident at the
+// given level: at L1 the L1 temporal factors; at L2 additionally the
+// spatial and L2 factors (the shared buffer holds the tiles of all PEs);
+// at DRAM the full problem shape.
+func (m *Mapping) CumulativeTile(level arch.Level) []int {
+	d := len(m.Spatial)
+	out := make([]int, d)
+	for i := 0; i < d; i++ {
+		t := m.Tile[arch.L1][i]
+		if level >= arch.L2 {
+			t *= m.Spatial[i] * m.Tile[arch.L2][i]
+		}
+		if level >= arch.DRAM {
+			t *= m.Tile[arch.DRAM][i]
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// String renders the mapping compactly for logs and error messages.
+func (m *Mapping) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tiles L1=%v sp=%v L2=%v DRAM=%v order L1=%v L2=%v DRAM=%v alloc L1=%s L2=%s",
+		m.Tile[arch.L1], m.Spatial, m.Tile[arch.L2], m.Tile[arch.DRAM],
+		m.Order[arch.L1], m.Order[arch.L2], m.Order[arch.DRAM],
+		fmtFracs(m.Alloc[arch.L1]), fmtFracs(m.Alloc[arch.L2]))
+	return b.String()
+}
+
+func fmtFracs(fs []float64) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = fmt.Sprintf("%.2f", f)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,254 @@
+package mapspace
+
+import (
+	"math"
+	"sort"
+
+	"mindmappings/internal/arch"
+)
+
+// desired captures a possibly-infeasible target point in mapping space:
+// continuous log2 tile factors, continuous loop-order rank scores (lower is
+// outer), and continuous allocations. Projection turns it into the nearest
+// valid Mapping.
+type desired struct {
+	logs  [][4]float64
+	ranks [arch.NumLevels][]float64
+	alloc [arch.OnChipLevels][]float64
+}
+
+func (s *Space) desiredFrom(m *Mapping) desired {
+	d := s.NumDims()
+	des := desired{logs: make([][4]float64, d)}
+	structurallyComplete := len(m.Spatial) == d
+	for l := range m.Tile {
+		if len(m.Tile[l]) != d {
+			structurallyComplete = false
+		}
+	}
+	for dim := 0; dim < d && structurallyComplete; dim++ {
+		c := m.Chain(dim)
+		for i, f := range c {
+			if f < 1 {
+				f = 1
+			}
+			des.logs[dim][i] = math.Log2(float64(f))
+		}
+	}
+	if !structurallyComplete {
+		// Incomplete mappings project as if they requested everything at
+		// DRAM (the minimal tiling).
+		for dim := 0; dim < d; dim++ {
+			des.logs[dim][ChainDRAM] = math.Log2(float64(s.Prob.Shape[dim]))
+		}
+	}
+	for l := arch.L1; l < arch.NumLevels; l++ {
+		des.ranks[l] = make([]float64, d)
+		if isPermutation(m.Order[l], d) {
+			for pos, dim := range m.Order[l] {
+				des.ranks[l][dim] = float64(pos)
+			}
+		} // else: all-zero ranks decode to the identity order
+	}
+	for level := arch.L1; level < arch.OnChipLevels; level++ {
+		des.alloc[level] = make([]float64, s.NumTensors())
+		for t := range des.alloc[level] {
+			if t < len(m.Alloc[level]) {
+				des.alloc[level][t] = m.Alloc[level][t]
+			}
+		}
+	}
+	return des
+}
+
+// Project maps an arbitrary (possibly invalid) mapping onto the nearest
+// valid member of the space — the paper's getProjection routine, used after
+// every gradient step ("we calculate nearest neighbor valid mappings based
+// on euclidean distance ... a standard approach, often referred to as
+// Projected Gradient Descent", §4.2). Distances are measured in log2 space
+// for tile factors, rank space for loop orders, and fraction space for
+// allocations.
+func (s *Space) Project(m Mapping) Mapping {
+	return s.projectDesired(s.desiredFrom(&m))
+}
+
+// Repair returns m unchanged when it is already valid, otherwise its
+// projection. All mutation-style operators funnel through this.
+func (s *Space) Repair(m Mapping) Mapping {
+	if s.IsMember(&m) == nil {
+		return m
+	}
+	return s.Project(m)
+}
+
+func (s *Space) projectDesired(des desired) Mapping {
+	m := s.emptyMapping()
+
+	// 1. Per-dimension nearest factor chains under the PE budget. Greedy in
+	// descending desired spatial so large parallelism requests are honored
+	// first.
+	d := s.NumDims()
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = i
+	}
+	sort.SliceStable(dims, func(a, b int) bool {
+		return des.logs[dims[a]][ChainSpatial] > des.logs[dims[b]][ChainSpatial]
+	})
+	budget := s.Arch.NumPEs
+	for _, dim := range dims {
+		c, ok := NearestChain(s.chains[dim], des.logs[dim], budget)
+		if !ok {
+			// Always possible: spatial factor 1 chains exist for every size.
+			c, _ = NearestChain(s.chains[dim], des.logs[dim], 1)
+		}
+		m.SetChain(dim, c)
+		budget /= c[ChainSpatial]
+	}
+
+	// 2. Shrink tiles until footprints fit raw buffer capacity.
+	s.shrinkToFit(&m, des.logs)
+
+	// 3. Loop orders: argsort of the rank scores, ties broken by dimension
+	// index for determinism.
+	for l := arch.L1; l < arch.NumLevels; l++ {
+		m.Order[l] = ranksToPerm(des.ranks[l])
+	}
+
+	// 4. Allocations: clamp the request and project onto the feasible
+	// region (footprint floor per tensor, per-level sum at most 1).
+	for level := arch.L1; level < arch.OnChipLevels; level++ {
+		for t := range m.Alloc[level] {
+			m.Alloc[level][t] = clamp01(des.alloc[level][t])
+		}
+	}
+	if !s.repairAlloc(&m) {
+		// shrinkToFit guarantees feasibility; reaching here means a logic
+		// error, so fail safe with the always-valid minimal mapping.
+		m = s.minimalMapping()
+	}
+	return m
+}
+
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ranksToPerm converts per-dimension rank scores into a permutation
+// (outermost first). Lower scores go outer; ties resolve by dimension index.
+func ranksToPerm(ranks []float64) []int {
+	perm := identityPerm(len(ranks))
+	if len(ranks) == 0 {
+		return perm
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ra, rb := ranks[perm[a]], ranks[perm[b]]
+		if math.IsNaN(ra) {
+			ra = 0
+		}
+		if math.IsNaN(rb) {
+			rb = 0
+		}
+		return ra < rb
+	})
+	return perm
+}
+
+// bandProduct returns the cumulative tile factor of dimension dim at the
+// given on-chip level (L1: the L1 factor; L2: L1·spatial·L2).
+func bandProduct(m *Mapping, level arch.Level, dim int) int {
+	p := m.Tile[arch.L1][dim]
+	if level >= arch.L2 {
+		p *= m.Spatial[dim] * m.Tile[arch.L2][dim]
+	}
+	return p
+}
+
+// shrinkToFit reduces tile factors, nearest-first relative to the desired
+// logs, until the summed tensor footprints fit the raw capacity of both
+// on-chip levels. Termination: every replacement strictly reduces the
+// offending cumulative tile factor, which is bounded below by 1, and the
+// all-ones tiling fits by construction of the Space.
+func (s *Space) shrinkToFit(m *Mapping, logs [][4]float64) {
+	for level := arch.L1; level < arch.OnChipLevels; level++ {
+		capWords := float64(s.Arch.LevelWords(level))
+		for s.totalFootprint(m, level) > capWords+allocTolerance {
+			if !s.shrinkOnce(m, level, logs) {
+				// Nothing left to shrink at this level; force minimal
+				// on-chip tiles for every dimension as a final safety net.
+				for dim, size := range s.Prob.Shape {
+					m.SetChain(dim, FactorChain{1, 1, 1, size})
+				}
+				break
+			}
+		}
+	}
+}
+
+// shrinkOnce picks the dimension that contributes the largest cumulative
+// tile factor at the level among dimensions relevant to the largest-
+// footprint tensor, and replaces its chain with the nearest one having a
+// strictly smaller cumulative factor (and no larger spatial factor, to keep
+// the PE budget satisfied). Returns false when no dimension can shrink.
+func (s *Space) shrinkOnce(m *Mapping, level arch.Level, logs [][4]float64) bool {
+	tile := m.CumulativeTile(level)
+	// Tensors by descending footprint.
+	type tfp struct {
+		t  int
+		fp float64
+	}
+	var order []tfp
+	for t := range s.Prob.Algo.Tensors {
+		order = append(order, tfp{t, float64(s.Prob.Algo.Tensors[t].Footprint(tile))})
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].fp > order[b].fp })
+
+	for _, cand := range order {
+		tensor := &s.Prob.Algo.Tensors[cand.t]
+		bestDim := -1
+		bestProd := 1
+		for _, dim := range tensor.Dims {
+			if p := bandProduct(m, level, dim); p > bestProd {
+				bestProd = p
+				bestDim = dim
+			}
+		}
+		if bestDim < 0 {
+			continue
+		}
+		cur := m.Chain(bestDim)
+		curSpatial := cur[ChainSpatial]
+		curProd := bandProduct(m, level, bestDim)
+		best := FactorChain{}
+		bestDist := math.Inf(1)
+		found := false
+		for _, c := range s.chains[bestDim] {
+			if c[ChainSpatial] > curSpatial {
+				continue
+			}
+			p := c[ChainL1]
+			if level >= arch.L2 {
+				p *= c[ChainSpatial] * c[ChainL2]
+			}
+			if p >= curProd {
+				continue
+			}
+			if dist := c.LogDistance(logs[bestDim]); dist < bestDist {
+				bestDist = dist
+				best = c
+				found = true
+			}
+		}
+		if found {
+			m.SetChain(bestDim, best)
+			return true
+		}
+	}
+	return false
+}

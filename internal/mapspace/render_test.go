@@ -1,0 +1,84 @@
+package mapspace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mindmappings/internal/arch"
+)
+
+func TestRenderLoopNestMinimal(t *testing.T) {
+	s := testSpaceMTTKRP(t)
+	m := s.Minimal()
+	out := s.RenderLoopNest(&m)
+	// Minimal mapping: all loops at DRAM, no spatial or on-chip loops.
+	if !strings.Contains(out, "DRAM loops") {
+		t.Fatalf("missing DRAM band:\n%s", out)
+	}
+	if strings.Contains(out, "parallel for") {
+		t.Fatalf("minimal mapping must have no spatial band:\n%s", out)
+	}
+	if !strings.Contains(out, "O[...] += A[...] * B[...] * C[...]") {
+		t.Fatalf("missing innermost statement:\n%s", out)
+	}
+	if !strings.Contains(out, "// problem") {
+		t.Fatalf("missing problem header:\n%s", out)
+	}
+}
+
+func TestRenderLoopNestBands(t *testing.T) {
+	s := testSpaceMTTKRP(t)
+	m := s.Minimal()
+	// I = 64: 2 in L1, 4 spatial, 2 in L2, 4 at DRAM.
+	m.SetChain(0, FactorChain{2, 4, 2, 4})
+	m = s.Repair(m)
+	out := s.RenderLoopNest(&m)
+	for _, want := range []string{
+		"for i2 in [0:4)",
+		"for i1 in [0:2)",
+		"parallel for i_sp in [0:4)",
+		"for i0 in [0:2)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderLoopNestOmitsUnitLoops(t *testing.T) {
+	s := testSpaceCNN(t)
+	rng := rand.New(rand.NewSource(3))
+	m := s.Random(rng)
+	out := s.RenderLoopNest(&m)
+	if strings.Contains(out, "[0:1)") {
+		t.Fatalf("unit loops must be omitted:\n%s", out)
+	}
+}
+
+func TestRenderLoopNestOrderRespected(t *testing.T) {
+	s := testSpaceMTTKRP(t)
+	m := s.Minimal()
+	m.SetChain(0, FactorChain{1, 1, 1, 64})  // I
+	m.SetChain(1, FactorChain{1, 1, 1, 128}) // J
+	m.Order[arch.DRAM] = []int{1, 0, 2, 3}   // J outermost
+	m = s.Repair(m)
+	out := s.RenderLoopNest(&m)
+	jPos := strings.Index(out, "for j2")
+	iPos := strings.Index(out, "for i2")
+	if jPos < 0 || iPos < 0 || jPos > iPos {
+		t.Fatalf("J must render outside I:\n%s", out)
+	}
+}
+
+func TestRenderLoopNestAllocations(t *testing.T) {
+	s := testSpaceCNN(t)
+	m := s.Minimal()
+	out := s.RenderLoopNest(&m)
+	if !strings.Contains(out, "L1 allocation:") || !strings.Contains(out, "L2 allocation:") {
+		t.Fatalf("missing allocation annotations:\n%s", out)
+	}
+	if !strings.Contains(out, "Weights=") {
+		t.Fatalf("missing tensor allocation entries:\n%s", out)
+	}
+}

@@ -1,0 +1,176 @@
+// Package mat implements the small dense linear-algebra kernels needed by
+// the neural-network library: matrix-vector products (plain and transposed),
+// rank-1 updates, and element-wise vector helpers.
+//
+// Matrices are stored row-major in a flat slice. The package favors clarity
+// and zero allocations on hot paths (all kernels write into caller-provided
+// destinations) over generality; it is the compute substrate for
+// internal/nn, which in turn is the substrate for the paper's differentiable
+// surrogate and the DDPG reinforcement-learning baseline.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major rows x cols matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewDense allocates a zeroed rows x cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Dense) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at (r, c).
+func (m *Dense) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view (not a copy) of row r.
+func (m *Dense) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element of m to 0.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Scale multiplies every element of m by s.
+func (m *Dense) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled adds s*other to m element-wise. Panics on shape mismatch.
+func (m *Dense) AddScaled(s float64, other *Dense) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("mat: AddScaled shape mismatch %dx%d vs %dx%d",
+			m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// MatVec computes dst = m * x. dst must have length m.Rows and x length
+// m.Cols. dst and x must not alias.
+func MatVec(dst []float64, m *Dense, x []float64) {
+	if len(dst) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MatVec shapes dst=%d m=%dx%d x=%d",
+			len(dst), m.Rows, m.Cols, len(x)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		sum := 0.0
+		for c, w := range row {
+			sum += w * x[c]
+		}
+		dst[r] = sum
+	}
+}
+
+// MatTVec computes dst = transpose(m) * y. dst must have length m.Cols and y
+// length m.Rows. dst and y must not alias.
+func MatTVec(dst []float64, m *Dense, y []float64) {
+	if len(dst) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("mat: MatTVec shapes dst=%d m=%dx%d y=%d",
+			len(dst), m.Rows, m.Cols, len(y)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		yr := y[r]
+		if yr == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, w := range row {
+			dst[c] += w * yr
+		}
+	}
+}
+
+// OuterAcc accumulates the rank-1 update m += y * transpose(x), i.e.
+// m[r][c] += y[r]*x[c]. y must have length m.Rows and x length m.Cols.
+func OuterAcc(m *Dense, y, x []float64) {
+	if len(y) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: OuterAcc shapes m=%dx%d y=%d x=%d",
+			m.Rows, m.Cols, len(y), len(x)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		yr := y[r]
+		if yr == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, xv := range x {
+			row[c] += yr * xv
+		}
+	}
+}
+
+// AddVec computes dst[i] += src[i]. Panics on length mismatch.
+func AddVec(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mat: AddVec lengths %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// AddScaledVec computes dst[i] += s*src[i]. Panics on length mismatch.
+func AddScaledVec(dst []float64, s float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mat: AddScaledVec lengths %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += s * v
+	}
+}
+
+// ScaleVec multiplies every element of v by s.
+func ScaleVec(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dot returns the inner product of a and b. Panics on length mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot lengths %d vs %d", len(a), len(b)))
+	}
+	sum := 0.0
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestActivationByName(t *testing.T) {
+	for _, name := range []string{"relu", "leakyrelu", "tanh", "sigmoid", "identity"} {
+		a, err := ActivationByName(name)
+		if err != nil {
+			t.Fatalf("ActivationByName(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("round-trip name %q != %q", a.Name(), name)
+		}
+	}
+	if _, err := ActivationByName("swish"); err == nil {
+		t.Fatal("expected error for unknown activation")
+	}
+}
+
+func TestReLUForward(t *testing.T) {
+	x := []float64{-2, 0, 3}
+	dst := make([]float64, 3)
+	ReLU{}.Forward(dst, x)
+	want := []float64{0, 0, 3}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("ReLU(%v) = %v, want %v", x, dst, want)
+		}
+	}
+}
+
+func TestLeakyReLUForward(t *testing.T) {
+	a := LeakyReLU{Slope: 0.1}
+	dst := make([]float64, 2)
+	a.Forward(dst, []float64{-10, 10})
+	if dst[0] != -1 || dst[1] != 10 {
+		t.Fatalf("LeakyReLU = %v", dst)
+	}
+}
+
+func TestTanhSigmoidKnownValues(t *testing.T) {
+	dst := make([]float64, 1)
+	Tanh{}.Forward(dst, []float64{0})
+	if dst[0] != 0 {
+		t.Fatalf("tanh(0) = %v", dst[0])
+	}
+	Sigmoid{}.Forward(dst, []float64{0})
+	if math.Abs(dst[0]-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", dst[0])
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	x := []float64{1, -2, 3}
+	dst := make([]float64, 3)
+	Identity{}.Forward(dst, x)
+	for i := range x {
+		if dst[i] != x[i] {
+			t.Fatal("identity must copy input")
+		}
+	}
+	d := make([]float64, 3)
+	Identity{}.Deriv(d, x, dst)
+	for _, v := range d {
+		if v != 1 {
+			t.Fatal("identity derivative must be 1")
+		}
+	}
+}
+
+// Every activation's Deriv must match a central finite difference of its
+// Forward, away from non-differentiable points.
+func TestActivationDerivMatchesFiniteDifference(t *testing.T) {
+	acts := []Activation{ReLU{}, LeakyReLU{Slope: 0.01}, Tanh{}, Sigmoid{}, Identity{}}
+	rng := rand.New(rand.NewSource(3))
+	const h = 1e-6
+	for _, a := range acts {
+		for trial := 0; trial < 50; trial++ {
+			x := rng.NormFloat64() * 2
+			if math.Abs(x) < 1e-3 {
+				x = 0.5 // avoid the ReLU kink
+			}
+			in := []float64{x}
+			out := []float64{0}
+			a.Forward(out, in)
+			d := []float64{0}
+			a.Deriv(d, in, out)
+
+			plus, minus := []float64{0}, []float64{0}
+			a.Forward(plus, []float64{x + h})
+			a.Forward(minus, []float64{x - h})
+			fd := (plus[0] - minus[0]) / (2 * h)
+			if math.Abs(fd-d[0]) > 1e-4 {
+				t.Fatalf("%s: deriv mismatch at x=%v: fd=%v analytic=%v", a.Name(), x, fd, d[0])
+			}
+		}
+	}
+}
+
+func TestActivationForwardInPlace(t *testing.T) {
+	// dst aliasing x must be supported.
+	for _, a := range []Activation{ReLU{}, LeakyReLU{Slope: 0.5}, Tanh{}, Sigmoid{}, Identity{}} {
+		x := []float64{-1, 0.5}
+		want := make([]float64, 2)
+		a.Forward(want, x)
+		a.Forward(x, x)
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("%s: in-place forward differs: %v vs %v", a.Name(), x, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestNet(t *testing.T, sizes []int, act Activation, seed int64) *MLP {
+	t.Helper()
+	net, err := NewMLP(sizes, act, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestNewMLPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMLP([]int{3}, ReLU{}, rng); err == nil {
+		t.Fatal("accepted single-layer size list")
+	}
+	if _, err := NewMLP([]int{3, 0, 2}, ReLU{}, rng); err == nil {
+		t.Fatal("accepted zero-width layer")
+	}
+	net, err := NewMLP([]int{3, 4, 2}, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Hidden.Name() != "relu" {
+		t.Fatal("nil activation must default to relu")
+	}
+	if net.InDim() != 3 || net.OutDim() != 2 {
+		t.Fatalf("dims %d/%d", net.InDim(), net.OutDim())
+	}
+	if got, want := net.NumParams(), 3*4+4+4*2+2; got != want {
+		t.Fatalf("NumParams = %d, want %d", got, want)
+	}
+}
+
+func TestForwardHandComputed(t *testing.T) {
+	// Single hidden layer, weights set by hand:
+	// h = relu(W1 x + b1), y = W2 h + b2.
+	net := newTestNet(t, []int{2, 2, 1}, ReLU{}, 1)
+	copy(net.Layers[0].W.Data, []float64{1, -1, 2, 0})
+	copy(net.Layers[0].B, []float64{0, -1})
+	copy(net.Layers[1].W.Data, []float64{3, 0.5})
+	copy(net.Layers[1].B, []float64{0.25})
+
+	ws := net.NewWorkspace()
+	out := net.Forward(ws, []float64{1, 2})
+	// pre1 = [1*1-1*2, 2*1+0*2] + [0,-1] = [-1, 1]; relu -> [0, 1]
+	// y = 3*0 + 0.5*1 + 0.25 = 0.75
+	if math.Abs(out[0]-0.75) > 1e-12 {
+		t.Fatalf("Forward = %v, want 0.75", out[0])
+	}
+}
+
+func TestForwardShapePanics(t *testing.T) {
+	net := newTestNet(t, []int{2, 2, 1}, ReLU{}, 1)
+	ws := net.NewWorkspace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input width")
+		}
+	}()
+	net.Forward(ws, []float64{1, 2, 3})
+}
+
+func TestBackwardShapePanics(t *testing.T) {
+	net := newTestNet(t, []int{2, 2, 1}, ReLU{}, 1)
+	ws := net.NewWorkspace()
+	net.Forward(ws, []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong dOut width")
+		}
+	}()
+	net.Backward(ws, []float64{1, 2}, net.NewGrads())
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	net := newTestNet(t, []int{2, 3, 1}, Tanh{}, 5)
+	clone := net.Clone()
+	clone.Layers[0].W.Data[0] += 100
+	clone.Layers[0].B[0] += 100
+	if net.Layers[0].W.Data[0] == clone.Layers[0].W.Data[0] {
+		t.Fatal("Clone shares weights")
+	}
+	if net.Layers[0].B[0] == clone.Layers[0].B[0] {
+		t.Fatal("Clone shares biases")
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	net := newTestNet(t, []int{4, 8, 3}, Tanh{}, 2)
+	ws1, ws2 := net.NewWorkspace(), net.NewWorkspace()
+	x := []float64{0.1, -0.2, 0.3, 0.4}
+	a := append([]float64(nil), net.Forward(ws1, x)...)
+	b := net.Forward(ws2, x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("forward must be deterministic across workspaces")
+		}
+	}
+}
+
+// The central property of the whole library: parameter gradients from
+// Backward match finite differences of the loss for random nets, inputs and
+// smooth activations.
+func TestBackwardParameterGradientsMatchFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sizes := []int{1 + r.Intn(4), 1 + r.Intn(5), 1 + r.Intn(4), 1 + r.Intn(3)}
+		net, err := NewMLP(sizes, Tanh{}, r)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, net.InDim())
+		target := make([]float64, net.OutDim())
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range target {
+			target[i] = r.NormFloat64()
+		}
+		loss := MSE{}
+		ws := net.NewWorkspace()
+		grads := net.NewGrads()
+		lossGrad := make([]float64, net.OutDim())
+		out := net.Forward(ws, x)
+		loss.Eval(out, target, lossGrad)
+		net.Backward(ws, lossGrad, grads)
+
+		eval := func() float64 {
+			o := net.Forward(ws, x)
+			tmp := make([]float64, len(o))
+			return loss.Eval(o, target, tmp)
+		}
+		const h = 1e-6
+		// Spot-check a handful of random parameters in each layer.
+		for li, l := range net.Layers {
+			for probe := 0; probe < 3; probe++ {
+				pi := r.Intn(len(l.W.Data))
+				orig := l.W.Data[pi]
+				l.W.Data[pi] = orig + h
+				fp := eval()
+				l.W.Data[pi] = orig - h
+				fm := eval()
+				l.W.Data[pi] = orig
+				fd := (fp - fm) / (2 * h)
+				if math.Abs(fd-grads.W[li].Data[pi]) > 1e-4*(1+math.Abs(fd)) {
+					return false
+				}
+			}
+			bi := r.Intn(len(l.B))
+			orig := l.B[bi]
+			l.B[bi] = orig + h
+			fp := eval()
+			l.B[bi] = orig - h
+			fm := eval()
+			l.B[bi] = orig
+			fd := (fp - fm) / (2 * h)
+			if math.Abs(fd-grads.B[li][bi]) > 1e-4*(1+math.Abs(fd)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Phase-2 primitive: InputGradient must match finite differences of a scalar
+// function of the output with respect to the input.
+func TestInputGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 20; trial++ {
+		sizes := []int{3, 6, 5, 2}
+		net, err := NewMLP(sizes, Tanh{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := net.NewWorkspace()
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		// Scalar g(y) = 2*y0 - 3*y1 => dOut = [2, -3].
+		dOut := []float64{2, -3}
+		grad := append([]float64(nil), net.InputGradient(ws, x, dOut)...)
+
+		scalar := func(in []float64) float64 {
+			y := net.Forward(ws, in)
+			return 2*y[0] - 3*y[1]
+		}
+		const h = 1e-6
+		for i := range x {
+			orig := x[i]
+			x[i] = orig + h
+			fp := scalar(x)
+			x[i] = orig - h
+			fm := scalar(x)
+			x[i] = orig
+			fd := (fp - fm) / (2 * h)
+			if math.Abs(fd-grad[i]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("trial %d input grad[%d]: fd=%v analytic=%v", trial, i, fd, grad[i])
+			}
+		}
+	}
+}
+
+func TestBackwardAccumulates(t *testing.T) {
+	net := newTestNet(t, []int{2, 3, 1}, Tanh{}, 7)
+	ws := net.NewWorkspace()
+	g1 := net.NewGrads()
+	x := []float64{0.5, -0.5}
+	dOut := []float64{1}
+	net.Forward(ws, x)
+	net.Backward(ws, dOut, g1)
+	first := g1.W[0].At(0, 0)
+	net.Forward(ws, x)
+	net.Backward(ws, dOut, g1)
+	if math.Abs(g1.W[0].At(0, 0)-2*first) > 1e-12 {
+		t.Fatalf("Backward must accumulate: %v vs 2*%v", g1.W[0].At(0, 0), first)
+	}
+}
+
+func TestGradsZeroScaleClip(t *testing.T) {
+	net := newTestNet(t, []int{2, 2, 1}, ReLU{}, 9)
+	g := net.NewGrads()
+	g.W[0].Data[0] = 10
+	g.B[1][0] = -20
+	if g.MaxAbs() != 20 {
+		t.Fatalf("MaxAbs = %v", g.MaxAbs())
+	}
+	g.ClipTo(5)
+	if math.Abs(g.MaxAbs()-5) > 1e-12 {
+		t.Fatalf("after clip MaxAbs = %v", g.MaxAbs())
+	}
+	g.Scale(2)
+	if math.Abs(g.MaxAbs()-10) > 1e-12 {
+		t.Fatalf("after scale MaxAbs = %v", g.MaxAbs())
+	}
+	g.Zero()
+	if g.MaxAbs() != 0 {
+		t.Fatal("Zero must clear gradients")
+	}
+	g.ClipTo(0) // no-op, must not panic
+}
+
+func TestWorkspaceReuseNoAlias(t *testing.T) {
+	// The output slice is owned by the workspace; verify documented
+	// overwrite behavior so callers copy when needed.
+	net := newTestNet(t, []int{1, 2, 1}, ReLU{}, 11)
+	ws := net.NewWorkspace()
+	out1 := net.Forward(ws, []float64{1})
+	v1 := out1[0]
+	out2 := net.Forward(ws, []float64{-1000})
+	if &out1[0] != &out2[0] {
+		t.Fatal("expected workspace-owned output buffer")
+	}
+	if out1[0] == v1 && v1 != out2[0] {
+		t.Fatal("unexpected aliasing behavior")
+	}
+}

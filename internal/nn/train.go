@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Dataset is a supervised regression dataset: row i maps X[i] to Y[i].
+type Dataset struct {
+	X [][]float64
+	Y [][]float64
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Validate checks that the dataset is rectangular and consistent with the
+// given input/output dimensions.
+func (d *Dataset) Validate(inDim, outDim int) error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("nn: dataset has %d inputs but %d targets", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return errors.New("nn: empty dataset")
+	}
+	for i := range d.X {
+		if len(d.X[i]) != inDim {
+			return fmt.Errorf("nn: sample %d input width %d, want %d", i, len(d.X[i]), inDim)
+		}
+		if len(d.Y[i]) != outDim {
+			return fmt.Errorf("nn: sample %d target width %d, want %d", i, len(d.Y[i]), outDim)
+		}
+	}
+	return nil
+}
+
+// Split partitions the dataset into train and test halves with testFrac of
+// the samples (at least one, at most n-1) going to test, shuffled by rng.
+func (d *Dataset) Split(testFrac float64, rng *rand.Rand) (train, test *Dataset, err error) {
+	n := d.Len()
+	if n < 2 {
+		return nil, nil, errors.New("nn: need >= 2 samples to split")
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("nn: testFrac %v out of (0,1)", testFrac)
+	}
+	nTest := int(float64(n) * testFrac)
+	if nTest < 1 {
+		nTest = 1
+	}
+	if nTest > n-1 {
+		nTest = n - 1
+	}
+	perm := rng.Perm(n)
+	train = &Dataset{}
+	test = &Dataset{}
+	for i, p := range perm {
+		if i < nTest {
+			test.X = append(test.X, d.X[p])
+			test.Y = append(test.Y, d.Y[p])
+		} else {
+			train.X = append(train.X, d.X[p])
+			train.Y = append(train.Y, d.Y[p])
+		}
+	}
+	return train, test, nil
+}
+
+// TrainConfig bundles the hyper-parameters for supervised training. The
+// defaults mirror the paper's recipe (§5.5): SGD with momentum 0.9, learning
+// rate 1e-2 decayed by 0.1 every 25 epochs, batch size 128, Huber loss, 100
+// epochs.
+type TrainConfig struct {
+	Epochs        int
+	BatchSize     int
+	LR            float64
+	Momentum      float64
+	LRDecayEvery  int     // epochs between decays; 0 disables decay
+	LRDecayFactor float64 // multiplier applied at each decay
+	Loss          Loss
+	Optimizer     Optimizer // optional; overrides LR/Momentum if set
+	Seed          int64
+	GradClip      float64   // 0 disables clipping
+	Log           io.Writer // optional per-epoch progress log
+}
+
+// PaperTrainConfig returns the exact training hyper-parameters reported in
+// the paper (§5.5).
+func PaperTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:        100,
+		BatchSize:     128,
+		LR:            1e-2,
+		Momentum:      0.9,
+		LRDecayEvery:  25,
+		LRDecayFactor: 0.1,
+		Loss:          Huber{Delta: 1},
+		Seed:          1,
+	}
+}
+
+func (c *TrainConfig) fillDefaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128
+	}
+	if c.LR <= 0 {
+		c.LR = 1e-2
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		c.Momentum = 0.9
+	}
+	if c.LRDecayFactor <= 0 || c.LRDecayFactor > 1 {
+		c.LRDecayFactor = 0.1
+	}
+	if c.Loss == nil {
+		c.Loss = Huber{Delta: 1}
+	}
+}
+
+// History records per-epoch train and test losses, the data behind the
+// paper's Figure 7a.
+type History struct {
+	TrainLoss []float64
+	TestLoss  []float64
+}
+
+// FinalTrain returns the last recorded training loss.
+func (h *History) FinalTrain() float64 {
+	if len(h.TrainLoss) == 0 {
+		return 0
+	}
+	return h.TrainLoss[len(h.TrainLoss)-1]
+}
+
+// FinalTest returns the last recorded test loss.
+func (h *History) FinalTest() float64 {
+	if len(h.TestLoss) == 0 {
+		return 0
+	}
+	return h.TestLoss[len(h.TestLoss)-1]
+}
+
+// Train fits net on train with mini-batch gradient descent, evaluating loss
+// on test after each epoch. test may be nil, in which case only training
+// loss is recorded.
+func Train(net *MLP, train, test *Dataset, cfg TrainConfig) (*History, error) {
+	cfg.fillDefaults()
+	if err := train.Validate(net.InDim(), net.OutDim()); err != nil {
+		return nil, fmt.Errorf("nn: train set: %w", err)
+	}
+	if test != nil {
+		if err := test.Validate(net.InDim(), net.OutDim()); err != nil {
+			return nil, fmt.Errorf("nn: test set: %w", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := cfg.Optimizer
+	if opt == nil {
+		opt = NewSGD(cfg.LR, cfg.Momentum)
+	}
+	ws := net.NewWorkspace()
+	grads := net.NewGrads()
+	lossGrad := make([]float64, net.OutDim())
+	hist := &History{}
+
+	n := train.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRDecayEvery > 0 && epoch > 0 && epoch%cfg.LRDecayEvery == 0 {
+			opt.SetLR(opt.LR() * cfg.LRDecayFactor)
+		}
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+
+		epochLoss := 0.0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			grads.Zero()
+			batchLoss := 0.0
+			for _, s := range idx[start:end] {
+				out := net.Forward(ws, train.X[s])
+				batchLoss += cfg.Loss.Eval(out, train.Y[s], lossGrad)
+				net.Backward(ws, lossGrad, grads)
+			}
+			bs := float64(end - start)
+			grads.Scale(1 / bs)
+			if cfg.GradClip > 0 {
+				grads.ClipTo(cfg.GradClip)
+			}
+			opt.Step(net, grads)
+			epochLoss += batchLoss
+		}
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(n))
+		if test != nil {
+			hist.TestLoss = append(hist.TestLoss, Evaluate(net, test, cfg.Loss))
+		}
+		if cfg.Log != nil {
+			if test != nil {
+				fmt.Fprintf(cfg.Log, "epoch %3d  lr %.2e  train %.6f  test %.6f\n",
+					epoch, opt.LR(), hist.TrainLoss[epoch], hist.TestLoss[epoch])
+			} else {
+				fmt.Fprintf(cfg.Log, "epoch %3d  lr %.2e  train %.6f\n",
+					epoch, opt.LR(), hist.TrainLoss[epoch])
+			}
+		}
+	}
+	return hist, nil
+}
+
+// Evaluate returns the mean loss of net over ds under criterion loss.
+func Evaluate(net *MLP, ds *Dataset, loss Loss) float64 {
+	ws := net.NewWorkspace()
+	grad := make([]float64, net.OutDim())
+	total := 0.0
+	for i := range ds.X {
+		out := net.Forward(ws, ds.X[i])
+		total += loss.Eval(out, ds.Y[i], grad)
+	}
+	if ds.Len() == 0 {
+		return 0
+	}
+	return total / float64(ds.Len())
+}

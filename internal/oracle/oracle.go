@@ -1,0 +1,62 @@
+// Package oracle computes the paper's "Algorithmic Minimum": a theoretical,
+// possibly unachievable lower bound on EDP used to normalize every reported
+// result (§5.2, Appendix A). Minimum energy assumes each input word is read
+// once and each output word written once at every level of the inclusive
+// hierarchy; minimum delay assumes 100% PE utilization.
+package oracle
+
+import (
+	"fmt"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+)
+
+// Bound is the algorithmic-minimum cost decomposition for one problem on
+// one accelerator.
+type Bound struct {
+	// MinEnergyPJ is the energy when every tensor word is touched exactly
+	// once per hierarchy level plus the unavoidable datapath energy.
+	MinEnergyPJ float64
+	// MinCycles is MACs at one MAC per PE per cycle across all PEs.
+	MinCycles float64
+	// MinEDP is the product, in joule-seconds. Real mappings trade energy
+	// against delay and cannot generally reach both minima simultaneously
+	// (Appendix A), so this is a normalization anchor, not an achievable
+	// target.
+	MinEDP float64
+}
+
+// Compute returns the algorithmic minimum for the problem on the given
+// accelerator.
+func Compute(a arch.Spec, p loopnest.Problem) (Bound, error) {
+	if err := a.Validate(); err != nil {
+		return Bound{}, fmt.Errorf("oracle: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Bound{}, fmt.Errorf("oracle: %w", err)
+	}
+	b := Bound{}
+	b.MinEnergyPJ = p.TotalWords()*a.EnergyPerWordOnce() + p.MACs()*a.MACEnergyPJ
+	b.MinCycles = p.MACs() / float64(a.NumPEs)
+	b.MinEDP = b.MinEnergyPJ * 1e-12 * (b.MinCycles / a.ClockHz)
+	return b, nil
+}
+
+// NormalizeEDP expresses a raw EDP as a multiple of the algorithmic
+// minimum, the y-axis unit of the paper's Figures 5 and 6.
+func (b Bound) NormalizeEDP(edp float64) float64 {
+	if b.MinEDP <= 0 {
+		return 0
+	}
+	return edp / b.MinEDP
+}
+
+// NormalizeEnergy expresses a raw energy as a multiple of the minimum
+// energy, used for the §5.1.3 map-space characterization.
+func (b Bound) NormalizeEnergy(pj float64) float64 {
+	if b.MinEnergyPJ <= 0 {
+		return 0
+	}
+	return pj / b.MinEnergyPJ
+}

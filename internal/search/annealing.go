@@ -1,0 +1,96 @@
+package search
+
+import (
+	"math"
+
+	"mindmappings/internal/stats"
+)
+
+// SimulatedAnnealing is the SA baseline (paper Appendix A), modeled on the
+// simanneal library the paper used: a pilot phase auto-tunes the
+// temperature schedule to the observed cost-delta scale, then Metropolis
+// accepts neighbors under an exponentially decaying temperature.
+type SimulatedAnnealing struct {
+	// PilotMoves is the number of budgeted exploratory moves used to
+	// estimate the cost-delta scale (simanneal's auto-tuning). Defaults
+	// to 40.
+	PilotMoves int
+	// AcceptHigh and AcceptLow set the target initial and final uphill
+	// acceptance probabilities for the auto-tuned schedule. Defaults 0.98
+	// and 1e-4 (simanneal's defaults).
+	AcceptHigh float64
+	AcceptLow  float64
+}
+
+// Name implements Searcher.
+func (SimulatedAnnealing) Name() string { return "SA" }
+
+// Search implements Searcher.
+func (s SimulatedAnnealing) Search(ctx *Context, budget Budget) (Result, error) {
+	if err := ctx.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := budget.validate(); err != nil {
+		return Result{}, err
+	}
+	pilot := s.PilotMoves
+	if pilot <= 0 {
+		pilot = 40
+	}
+	acceptHigh := s.AcceptHigh
+	if acceptHigh <= 0 || acceptHigh >= 1 {
+		acceptHigh = 0.98
+	}
+	acceptLow := s.AcceptLow
+	if acceptLow <= 0 || acceptLow >= 1 {
+		acceptLow = 1e-4
+	}
+
+	rng := stats.NewRNG(ctx.Seed + 211)
+	t := newTracker(ctx, budget)
+
+	cur := ctx.Space.Random(rng)
+	curE, err := t.payEval(&cur)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Pilot phase: free exploration (all moves accepted) to estimate the
+	// typical uphill delta. These moves consume budget like any other.
+	var deltas stats.Running
+	for i := 0; i < pilot && !t.exhausted(); i++ {
+		next := ctx.Space.Perturb(rng, &cur)
+		nextE, err := t.payEval(&next)
+		if err != nil {
+			return Result{}, err
+		}
+		if d := math.Abs(nextE - curE); d > 0 {
+			deltas.Add(d)
+		}
+		cur, curE = next, nextE
+	}
+	meanDelta := deltas.Mean()
+	if meanDelta <= 0 {
+		meanDelta = math.Max(curE*0.1, 1)
+	}
+	// exp(-d/T) = p  =>  T = d / -ln(p).
+	tMax := meanDelta / -math.Log(acceptHigh)
+	tMin := meanDelta / -math.Log(acceptLow)
+	if tMin >= tMax {
+		tMin = tMax / 1e4
+	}
+
+	for !t.exhausted() {
+		temp := tMax * math.Pow(tMin/tMax, t.progress())
+		next := ctx.Space.Perturb(rng, &cur)
+		nextE, err := t.payEval(&next)
+		if err != nil {
+			return Result{}, err
+		}
+		delta := nextE - curE
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			cur, curE = next, nextE
+		}
+	}
+	return t.result(s.Name()), nil
+}

@@ -1,0 +1,85 @@
+package search
+
+import (
+	"sort"
+
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/stats"
+)
+
+// BeamSearch is the beam-search mapper used by Tiramisu and Adams et al.
+// (paper Table 2): keep the Width best mappings found so far, expand each
+// with Branch perturbed children per round, evaluate every child with the
+// reference cost model, and keep the best Width of parents+children. It is
+// an extra comparison point beyond the paper's four baselines.
+type BeamSearch struct {
+	// Width is the beam width. Defaults to 8.
+	Width int
+	// Branch is the number of children expanded per beam entry per round.
+	// Defaults to 4.
+	Branch int
+}
+
+// Name implements Searcher.
+func (BeamSearch) Name() string { return "Beam" }
+
+// Search implements Searcher.
+func (bs BeamSearch) Search(ctx *Context, budget Budget) (Result, error) {
+	if err := ctx.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := budget.validate(); err != nil {
+		return Result{}, err
+	}
+	width := bs.Width
+	if width <= 0 {
+		width = 8
+	}
+	branch := bs.Branch
+	if branch <= 0 {
+		branch = 4
+	}
+	if budget.MaxEvals > 0 && width > budget.MaxEvals/2 {
+		width = budget.MaxEvals / 2
+	}
+	if width < 1 {
+		width = 1
+	}
+
+	rng := stats.NewRNG(ctx.Seed + 601)
+	t := newTracker(ctx, budget)
+
+	type entry struct {
+		m   mapspace.Mapping
+		edp float64
+	}
+	var beam []entry
+	for i := 0; i < width && !t.exhausted(); i++ {
+		m := ctx.Space.Random(rng)
+		edp, err := t.payEval(&m)
+		if err != nil {
+			return Result{}, err
+		}
+		beam = append(beam, entry{m, edp})
+	}
+
+	for !t.exhausted() && len(beam) > 0 {
+		children := append([]entry(nil), beam...)
+		for _, parent := range beam {
+			for c := 0; c < branch && !t.exhausted(); c++ {
+				child := ctx.Space.Perturb(rng, &parent.m)
+				edp, err := t.payEval(&child)
+				if err != nil {
+					return Result{}, err
+				}
+				children = append(children, entry{child, edp})
+			}
+		}
+		sort.SliceStable(children, func(a, b int) bool { return children[a].edp < children[b].edp })
+		if len(children) > width {
+			children = children[:width]
+		}
+		beam = children
+	}
+	return t.result(bs.Name()), nil
+}

@@ -1,0 +1,124 @@
+package search
+
+import (
+	"testing"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/oracle"
+	statspkg "mindmappings/internal/stats"
+	"mindmappings/internal/timeloop"
+)
+
+// tinyContext builds a map space small enough for pruned search to cover
+// completely: 1D conv with W=17, R=2 (X=16, R=2).
+func tinyContext(t *testing.T, seed int64) *Context {
+	t.Helper()
+	p, err := loopnest.NewConv1DProblem("tiny", 17, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.Default(2)
+	space, err := mapspace.New(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := timeloop.New(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := oracle.Compute(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Context{Space: space, Model: model, Bound: bound, Seed: seed}
+}
+
+func TestPrunedExhaustiveCoversTinySpace(t *testing.T) {
+	ctx := tinyContext(t, 1)
+	// chains(16) x chains(2) x 2 orders = 35*4*2 = 280 points before
+	// pruning; budget beyond that means complete coverage.
+	res, err := PrunedExhaustive{}.Search(ctx, Budget{MaxEvals: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals >= 5000 {
+		t.Fatalf("tiny space should enumerate fully, used %d evals", res.Evals)
+	}
+	if res.Evals < 100 {
+		t.Fatalf("suspiciously few points enumerated: %d", res.Evals)
+	}
+	if err := ctx.Space.IsMember(&res.Best); err != nil {
+		t.Fatalf("best invalid: %v", err)
+	}
+}
+
+// On a fully enumerable space, no heuristic can beat pruned-exhaustive's
+// optimum — and decent heuristics should land within a small factor of it.
+func TestHeuristicsApproachExhaustiveOptimum(t *testing.T) {
+	exCtx := tinyContext(t, 1)
+	exhaustive, err := PrunedExhaustive{}.Search(exCtx, Budget{MaxEvals: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := exhaustive.BestEDP
+
+	for _, s := range []Searcher{SimulatedAnnealing{}, GeneticAlgorithm{}, BeamSearch{}} {
+		ctx := tinyContext(t, 3)
+		res, err := s.Search(ctx, Budget{MaxEvals: 400})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.BestEDP < opt-1e-9 {
+			t.Fatalf("%s (%v) beat the enumerated optimum (%v)? enumeration must be incomplete",
+				s.Name(), res.BestEDP, opt)
+		}
+		if res.BestEDP > 3*opt {
+			t.Errorf("%s: %v is more than 3x the achievable optimum %v", s.Name(), res.BestEDP, opt)
+		}
+	}
+}
+
+func TestPrunedExhaustiveBudgetCutoff(t *testing.T) {
+	// On a big space the budget must cut enumeration off cleanly.
+	ctx := conv1dContext(t, 5)
+	res, err := PrunedExhaustive{}.Search(ctx, Budget{MaxEvals: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 50 {
+		t.Fatalf("evals = %d, want exactly the 50 budget", res.Evals)
+	}
+}
+
+func TestPrunedExhaustiveValidatesBudget(t *testing.T) {
+	ctx := tinyContext(t, 1)
+	if _, err := (PrunedExhaustive{}).Search(ctx, Budget{}); err == nil {
+		t.Fatal("empty budget accepted")
+	}
+}
+
+func TestAllPermutations(t *testing.T) {
+	rng := statspkg.NewRNG(1)
+	perms := allPermutations(3, 24, rng)
+	if len(perms) != 6 {
+		t.Fatalf("3! = %d perms, want 6", len(perms))
+	}
+	seen := map[string]bool{}
+	for _, p := range perms {
+		key := ""
+		for _, v := range p {
+			key += string(rune('0' + v))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate permutation %v", p)
+		}
+		seen[key] = true
+	}
+	// Above the limit: sampled.
+	sampled := allPermutations(7, 10, rng)
+	if len(sampled) != 10 {
+		t.Fatalf("sampled %d perms, want 10", len(sampled))
+	}
+}

@@ -1,0 +1,208 @@
+package search
+
+import (
+	"errors"
+	"math"
+
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/stats"
+	"mindmappings/internal/surrogate"
+)
+
+// MindMappings is the paper's Phase-2 gradient-based search (§4.2,
+// Appendix A): projected gradient descent on the trained differentiable
+// surrogate, with periodic random injections accepted under a simulated-
+// annealing criterion to escape local minima.
+//
+// Per iteration: derive ∇f* at the current encoded mapping by
+// back-propagating through the frozen surrogate, step against the
+// gradient, and project the result onto the nearest valid mapping
+// (rounding plus nearest-neighbor validity repair). Every InjectEvery
+// iterations a random valid mapping may replace the current one, with
+// acceptance probability annealed over time (Appendix A: interval 10,
+// initial temperature 50, decayed by 0.75 every 50 injections).
+type MindMappings struct {
+	// Surrogate is the trained Phase-1 model. Required.
+	Surrogate *surrogate.Surrogate
+	// LR is the gradient-descent learning rate applied to the normalized
+	// log-EDP gradient. The paper uses 1 with no decay.
+	LR float64
+	// InjectEvery is the random-injection interval in iterations
+	// (paper: 10).
+	InjectEvery int
+	// InitTemp is the initial injection-acceptance temperature (paper: 50).
+	InitTemp float64
+	// TempDecay multiplies the temperature every DecayEvery injections
+	// (paper: 0.75 every 50).
+	TempDecay  float64
+	DecayEvery int
+	// StepNorm is the L2 length of each descent step measured in the
+	// surrogate's whitened input space. Steps are preconditioned by the
+	// per-coordinate input variance so heterogeneous encoding coordinates
+	// (log tile factors, order ranks, allocation fractions) move
+	// commensurately, then normalized to this length — the projected
+	// analog of the paper's fixed learning rate of 1. Defaults to 3
+	// (chosen by the same kind of grid search the paper used for its
+	// learning rate, Appendix A).
+	StepNorm float64
+	// NoInjection disables the §4.2 random-injection loop (ablation knob:
+	// pure projected gradient descent).
+	NoInjection bool
+	// NoPrecondition disables the variance preconditioning of descent
+	// steps (ablation knob: raw-gradient direction).
+	NoPrecondition bool
+}
+
+// Name implements Searcher.
+func (MindMappings) Name() string { return "MM" }
+
+func (m MindMappings) withDefaults() MindMappings {
+	if m.LR <= 0 {
+		m.LR = 1
+	}
+	if m.InjectEvery <= 0 {
+		m.InjectEvery = 10
+	}
+	if m.InitTemp <= 0 {
+		m.InitTemp = 50
+	}
+	if m.TempDecay <= 0 || m.TempDecay >= 1 {
+		m.TempDecay = 0.75
+	}
+	if m.DecayEvery <= 0 {
+		m.DecayEvery = 50
+	}
+	if m.StepNorm <= 0 {
+		m.StepNorm = 3
+	}
+	return m
+}
+
+// Search implements Searcher.
+func (m MindMappings) Search(ctx *Context, budget Budget) (Result, error) {
+	if err := ctx.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := budget.validate(); err != nil {
+		return Result{}, err
+	}
+	if m.Surrogate == nil {
+		return Result{}, errors.New("search: MindMappings requires a trained surrogate")
+	}
+	cfg := m.withDefaults()
+	sur := cfg.Surrogate
+	if sur.Net.InDim() != ctx.Space.VectorLen() {
+		return Result{}, errors.New("search: surrogate input width does not match this map space (was it trained for a different algorithm?)")
+	}
+
+	rng := stats.NewRNG(ctx.Seed + 503)
+	t := newTracker(ctx, budget)
+
+	// Step 1 (§4.2): random valid initial mapping m@0.
+	cur := ctx.Space.Random(rng)
+	temp := cfg.InitTemp
+	injections := 0
+
+	for iter := 1; !t.exhausted(); iter++ {
+		vec := ctx.Space.Encode(&cur)
+
+		// Steps 2-3: forward + backward through the surrogate for the
+		// predicted cost and its gradient with respect to the mapping.
+		eExp, dExp := objectiveExponents(ctx.Objective)
+		_, grad, err := sur.GradientScalar(vec, eExp, dExp)
+		if err != nil {
+			return Result{}, err
+		}
+
+		// Step 4: descend. The step is preconditioned by the squared
+		// per-coordinate input deviation (equivalent to taking the step in
+		// the surrogate's whitened input space) and normalized to a fixed
+		// length: the raw EDP gradient magnitude spans orders of magnitude
+		// across the space, but only its direction matters for descent.
+		step := make([]float64, len(grad))
+		norm := 0.0
+		for i, g := range grad {
+			step[i] = g
+			if !cfg.NoPrecondition {
+				s := sur.InNorm.Std[i]
+				step[i] *= s * s
+			}
+			norm += step[i] * step[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm > 1e-12 {
+			scale := cfg.LR * cfg.StepNorm / norm
+			for i := range vec {
+				vec[i] -= scale * step[i]
+			}
+		}
+
+		// Step 5: project onto the valid map space.
+		next, err := ctx.Space.Decode(vec)
+		if err != nil {
+			return Result{}, err
+		}
+		cur = next
+
+		// Budget accounting: one surrogate query per iteration; trajectory
+		// scored with the true cost model offline.
+		if _, err := t.scoreSurrogateStep(&cur); err != nil {
+			return Result{}, err
+		}
+
+		// Step 6: periodic random injection with annealed acceptance.
+		if !cfg.NoInjection && iter%cfg.InjectEvery == 0 && !t.exhausted() {
+			cand := ctx.Space.Random(rng)
+			accepted, err := acceptInjection(sur, ctx, &cand, &cur, temp, rng.Float64())
+			if err != nil {
+				return Result{}, err
+			}
+			if accepted {
+				cur = cand
+			}
+			injections++
+			if injections%cfg.DecayEvery == 0 {
+				temp *= cfg.TempDecay
+			}
+		}
+	}
+	return t.result(cfg.Name()), nil
+}
+
+// objectiveExponents maps an Objective onto energy/delay exponents for the
+// surrogate's scalar predictor.
+func objectiveExponents(o Objective) (eExp, dExp float64) {
+	switch o {
+	case ObjectiveED2P:
+		return 1, 2
+	case ObjectiveEnergy:
+		return 1, 0
+	case ObjectiveDelay:
+		return 0, 1
+	default:
+		return 1, 1
+	}
+}
+
+// acceptInjection implements the accept(m_rand, m@t, T) probability
+// function of §4.2: always accept a better (surrogate-predicted) mapping,
+// otherwise accept with probability exp(-(cost_rand - cost_cur)/T).
+func acceptInjection(sur *surrogate.Surrogate, ctx *Context, cand, cur *mapspace.Mapping, temp, u float64) (bool, error) {
+	eExp, dExp := objectiveExponents(ctx.Objective)
+	candCost, err := sur.PredictScalar(ctx.Space.Encode(cand), eExp, dExp)
+	if err != nil {
+		return false, err
+	}
+	curCost, err := sur.PredictScalar(ctx.Space.Encode(cur), eExp, dExp)
+	if err != nil {
+		return false, err
+	}
+	delta := candCost - curCost
+	if delta <= 0 {
+		return true, nil
+	}
+	if temp <= 0 {
+		return false, nil
+	}
+	return u < math.Exp(-delta/temp), nil
+}

@@ -1,0 +1,60 @@
+package search
+
+import (
+	"fmt"
+
+	"mindmappings/internal/oracle"
+	"mindmappings/internal/timeloop"
+)
+
+// Objective selects the optimization target (paper §2.3: "It is up to the
+// designer to formulate the cost function based on the design criteria").
+// All objectives are normalized against the corresponding combination of
+// the algorithmic-minimum components so values remain comparable across
+// problems.
+type Objective int
+
+const (
+	// ObjectiveEDP minimizes energy x delay, the paper's evaluation
+	// objective (§5.1.2).
+	ObjectiveEDP Objective = iota
+	// ObjectiveED2P minimizes energy x delay², weighting performance more
+	// heavily.
+	ObjectiveED2P
+	// ObjectiveEnergy minimizes energy alone.
+	ObjectiveEnergy
+	// ObjectiveDelay minimizes execution cycles alone.
+	ObjectiveDelay
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveEDP:
+		return "EDP"
+	case ObjectiveED2P:
+		return "ED2P"
+	case ObjectiveEnergy:
+		return "energy"
+	case ObjectiveDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// normalized converts a cost into the objective's normalized scalar
+// (>= ~1, relative to the algorithmic-minimum components).
+func (o Objective) normalized(c *timeloop.Cost, b oracle.Bound) float64 {
+	e := c.TotalEnergyPJ / b.MinEnergyPJ
+	d := c.Cycles / b.MinCycles
+	switch o {
+	case ObjectiveED2P:
+		return e * d * d
+	case ObjectiveEnergy:
+		return e
+	case ObjectiveDelay:
+		return d
+	default:
+		return e * d
+	}
+}

@@ -1,0 +1,120 @@
+package search
+
+import (
+	"testing"
+
+	"mindmappings/internal/oracle"
+	"mindmappings/internal/timeloop"
+)
+
+func TestObjectiveString(t *testing.T) {
+	cases := map[Objective]string{
+		ObjectiveEDP:    "EDP",
+		ObjectiveED2P:   "ED2P",
+		ObjectiveEnergy: "energy",
+		ObjectiveDelay:  "delay",
+		Objective(9):    "Objective(9)",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("%d: %q != %q", int(o), got, want)
+		}
+	}
+}
+
+func TestObjectiveNormalized(t *testing.T) {
+	c := &timeloop.Cost{TotalEnergyPJ: 200, Cycles: 30}
+	b := oracle.Bound{MinEnergyPJ: 100, MinCycles: 10, MinEDP: 1}
+	// e = 2, d = 3.
+	if got := ObjectiveEDP.normalized(c, b); got != 6 {
+		t.Fatalf("EDP = %v, want 6", got)
+	}
+	if got := ObjectiveED2P.normalized(c, b); got != 18 {
+		t.Fatalf("ED2P = %v, want 18", got)
+	}
+	if got := ObjectiveEnergy.normalized(c, b); got != 2 {
+		t.Fatalf("energy = %v, want 2", got)
+	}
+	if got := ObjectiveDelay.normalized(c, b); got != 3 {
+		t.Fatalf("delay = %v, want 3", got)
+	}
+}
+
+func TestObjectiveEDPMatchesNormalizeEDP(t *testing.T) {
+	// The objective framework's EDP must agree exactly with the oracle's
+	// NormalizeEDP so results stay comparable with the figures.
+	ctx := conv1dContext(t, 401)
+	m := ctx.Space.Minimal()
+	cost, err := ctx.Model.EvaluateRaw(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaObjective := ObjectiveEDP.normalized(&cost, ctx.Bound)
+	viaOracle := ctx.Bound.NormalizeEDP(cost.EDP)
+	if diff := viaObjective - viaOracle; diff > 1e-9*viaOracle || diff < -1e-9*viaOracle {
+		t.Fatalf("objective EDP %v != oracle EDP %v", viaObjective, viaOracle)
+	}
+}
+
+func TestObjectiveExponents(t *testing.T) {
+	for _, c := range []struct {
+		o          Objective
+		eExp, dExp float64
+	}{
+		{ObjectiveEDP, 1, 1},
+		{ObjectiveED2P, 1, 2},
+		{ObjectiveEnergy, 1, 0},
+		{ObjectiveDelay, 0, 1},
+	} {
+		e, d := objectiveExponents(c.o)
+		if e != c.eExp || d != c.dExp {
+			t.Errorf("%s: exponents %v/%v, want %v/%v", c.o, e, d, c.eExp, c.dExp)
+		}
+	}
+}
+
+// Searching under a delay objective must yield a faster mapping than
+// searching under an energy objective, and vice versa for energy — the
+// end-to-end check that every searcher honors the designer's criterion.
+func TestObjectiveAwareSearch(t *testing.T) {
+	sur := conv1dSurrogate(t)
+	evalBoth := func(o Objective, s Searcher) (energy, delay float64) {
+		ctx := conv1dContext(t, 403)
+		ctx.Objective = o
+		res, err := s.Search(ctx, Budget{MaxEvals: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := ctx.Model.EvaluateRaw(&res.Best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost.TotalEnergyPJ / ctx.Bound.MinEnergyPJ, cost.Cycles / ctx.Bound.MinCycles
+	}
+	for _, s := range []Searcher{SimulatedAnnealing{}, MindMappings{Surrogate: sur}} {
+		eE, eD := evalBoth(ObjectiveEnergy, s)
+		dE, dD := evalBoth(ObjectiveDelay, s)
+		if dD > eD {
+			t.Errorf("%s: delay-objective run is slower (%v cycles) than energy-objective run (%v)",
+				s.Name(), dD, eD)
+		}
+		if eE > dE {
+			t.Errorf("%s: energy-objective run uses more energy (%v) than delay-objective run (%v)",
+				s.Name(), eE, dE)
+		}
+	}
+}
+
+func TestObjectiveDelaySearchReachesHighParallelism(t *testing.T) {
+	// A delay-only search should discover that spatial parallelism is the
+	// dominant lever and end well above one PE.
+	ctx := conv1dContext(t, 405)
+	ctx.Objective = ObjectiveDelay
+	res, err := SimulatedAnnealing{}.Search(ctx, Budget{MaxEvals: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.SpatialPEs() < 8 {
+		t.Fatalf("delay-optimized mapping uses only %d PEs", res.Best.SpatialPEs())
+	}
+}

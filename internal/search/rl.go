@@ -1,0 +1,324 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/nn"
+	"mindmappings/internal/stats"
+)
+
+// RL is the reinforcement-learning baseline (paper Appendix A): DDPG with
+// an actor-critic pair of fully connected networks, a replay buffer, and
+// soft target updates, following the HAQ-derived setup the paper used. The
+// mapping is the MDP state (encoded vector), an action is a bounded
+// perturbation of that vector, and the reward is the negative log
+// normalized EDP of the projected result.
+type RL struct {
+	// Hidden is the width of the two hidden layers of actor and critic.
+	// The paper uses 300 ("approximated with two fully-connected DNNs with
+	// 300 neurons"); experiments on small budgets may shrink it.
+	Hidden int
+	// EpisodeLen is the number of steps before the environment resets to a
+	// fresh random mapping. Defaults to 10.
+	EpisodeLen int
+	// BatchSize is the replay mini-batch. Defaults to 32.
+	BatchSize int
+	// Warmup is the number of transitions collected before training
+	// starts. Defaults to 2x BatchSize.
+	Warmup int
+	// Gamma is the discount factor. Defaults to 0.9.
+	Gamma float64
+	// Tau is the soft target-update rate. Defaults to 0.01.
+	Tau float64
+	// ActorLR and CriticLR are Adam learning rates (defaults 1e-4, 1e-3).
+	ActorLR  float64
+	CriticLR float64
+	// NoiseStd is the initial exploration noise, decayed linearly to 0.05
+	// over the budget. Defaults to 0.4.
+	NoiseStd float64
+	// ActionScale converts the tanh-bounded action into encoded-vector
+	// units. Defaults to 1.5 (about 1.5 octaves of tile-factor change).
+	ActionScale float64
+	// BufferCap bounds the replay buffer. Defaults to 4096.
+	BufferCap int
+}
+
+// Name implements Searcher.
+func (RL) Name() string { return "RL" }
+
+type transition struct {
+	state  []float64
+	action []float64
+	reward float64
+	next   []float64
+}
+
+// ddpg bundles the learner state.
+type ddpg struct {
+	cfg          RL
+	rng          *rand.Rand
+	stateNorm    *stats.Normalizer
+	actor        *nn.MLP
+	critic       *nn.MLP
+	actorTarget  *nn.MLP
+	criticTarget *nn.MLP
+	actorOpt     nn.Optimizer
+	criticOpt    nn.Optimizer
+	actorWS      *nn.Workspace
+	criticWS     *nn.Workspace
+	targetAWS    *nn.Workspace
+	targetCWS    *nn.Workspace
+	actorGrads   *nn.Grads
+	criticGrads  *nn.Grads
+	buffer       []transition
+	bufferNext   int
+	stateDim     int
+	actionDim    int
+}
+
+func (r RL) withDefaults() RL {
+	if r.Hidden <= 0 {
+		r.Hidden = 300
+	}
+	if r.EpisodeLen <= 0 {
+		r.EpisodeLen = 10
+	}
+	if r.BatchSize <= 0 {
+		r.BatchSize = 32
+	}
+	if r.Warmup <= 0 {
+		r.Warmup = 2 * r.BatchSize
+	}
+	if r.Gamma <= 0 || r.Gamma >= 1 {
+		r.Gamma = 0.9
+	}
+	if r.Tau <= 0 || r.Tau > 1 {
+		r.Tau = 0.01
+	}
+	if r.ActorLR <= 0 {
+		r.ActorLR = 1e-4
+	}
+	if r.CriticLR <= 0 {
+		r.CriticLR = 1e-3
+	}
+	if r.NoiseStd <= 0 {
+		r.NoiseStd = 0.4
+	}
+	if r.ActionScale <= 0 {
+		r.ActionScale = 1.5
+	}
+	if r.BufferCap <= 0 {
+		r.BufferCap = 4096
+	}
+	return r
+}
+
+// Search implements Searcher.
+func (r RL) Search(ctx *Context, budget Budget) (Result, error) {
+	if err := ctx.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := budget.validate(); err != nil {
+		return Result{}, err
+	}
+	cfg := r.withDefaults()
+	rng := stats.NewRNG(ctx.Seed + 401)
+
+	dim := ctx.Space.VectorLen()
+	agent, err := newDDPG(cfg, dim, rng, ctx.Space)
+	if err != nil {
+		return Result{}, err
+	}
+
+	t := newTracker(ctx, budget)
+	for !t.exhausted() {
+		// Reset: fresh random mapping starts each episode.
+		cur := ctx.Space.Random(rng)
+		curEDP, err := t.payEval(&cur)
+		if err != nil {
+			return Result{}, err
+		}
+		for step := 0; step < cfg.EpisodeLen && !t.exhausted(); step++ {
+			state := agent.observe(ctx.Space.Encode(&cur))
+			action := agent.act(state, agent.noise(t.progress()))
+			next, err := agent.applyAction(ctx.Space, &cur, action)
+			if err != nil {
+				return Result{}, err
+			}
+			nextEDP, err := t.payEval(&next)
+			if err != nil {
+				return Result{}, err
+			}
+			reward := rewardFor(nextEDP, curEDP)
+			nextState := agent.observe(ctx.Space.Encode(&next))
+			agent.remember(transition{state, action, reward, nextState})
+			agent.train()
+			cur, curEDP = next, nextEDP
+		}
+	}
+	return t.result(cfg.Name()), nil
+}
+
+// rewardFor shapes the reward: improvement in log10 EDP plus a small
+// absolute-quality term so good absolute states are preferred.
+func rewardFor(nextEDP, curEDP float64) float64 {
+	improve := math.Log10(math.Max(curEDP, 1e-9)) - math.Log10(math.Max(nextEDP, 1e-9))
+	quality := -math.Log10(math.Max(nextEDP, 1e-9)) * 0.1
+	return improve + quality
+}
+
+func newDDPG(cfg RL, dim int, rng *rand.Rand, space *mapspace.Space) (*ddpg, error) {
+	d := &ddpg{cfg: cfg, rng: rng, stateDim: dim, actionDim: dim}
+	// Fit the state whitener on free samples (encoding costs nothing).
+	sample := make([][]float64, 0, 256)
+	for i := 0; i < 256; i++ {
+		m := space.Random(rng)
+		sample = append(sample, space.Encode(&m))
+	}
+	var err error
+	d.stateNorm, err = stats.FitNormalizer(sample)
+	if err != nil {
+		return nil, fmt.Errorf("search: rl state normalizer: %w", err)
+	}
+	d.actor, err = nn.NewMLP([]int{dim, cfg.Hidden, cfg.Hidden, dim}, nn.ReLU{}, rng)
+	if err != nil {
+		return nil, err
+	}
+	d.critic, err = nn.NewMLP([]int{2 * dim, cfg.Hidden, cfg.Hidden, 1}, nn.ReLU{}, rng)
+	if err != nil {
+		return nil, err
+	}
+	d.actorTarget = d.actor.Clone()
+	d.criticTarget = d.critic.Clone()
+	d.actorOpt = nn.NewAdam(cfg.ActorLR)
+	d.criticOpt = nn.NewAdam(cfg.CriticLR)
+	d.actorWS = d.actor.NewWorkspace()
+	d.criticWS = d.critic.NewWorkspace()
+	d.targetAWS = d.actorTarget.NewWorkspace()
+	d.targetCWS = d.criticTarget.NewWorkspace()
+	d.actorGrads = d.actor.NewGrads()
+	d.criticGrads = d.critic.NewGrads()
+	return d, nil
+}
+
+// observe whitens a raw encoded mapping vector into the agent's state.
+func (d *ddpg) observe(raw []float64) []float64 {
+	return d.stateNorm.Applied(raw)
+}
+
+// noise returns the exploration noise level for the given budget progress.
+func (d *ddpg) noise(progress float64) float64 {
+	lo := 0.05
+	return d.cfg.NoiseStd*(1-progress) + lo*progress
+}
+
+// act runs the deterministic policy plus exploration noise, returning a
+// tanh-bounded action.
+func (d *ddpg) act(state []float64, noise float64) []float64 {
+	out := d.actor.Forward(d.actorWS, state)
+	action := make([]float64, len(out))
+	for i, v := range out {
+		action[i] = math.Tanh(v + d.rng.NormFloat64()*noise)
+	}
+	return action
+}
+
+// applyAction moves the mapping by the scaled action in encoded space and
+// projects back onto the valid map space.
+func (d *ddpg) applyAction(space *mapspace.Space, cur *mapspace.Mapping, action []float64) (mapspace.Mapping, error) {
+	vec := space.Encode(cur)
+	for i := range vec {
+		vec[i] += d.cfg.ActionScale * action[i]
+	}
+	return space.Decode(vec)
+}
+
+func (d *ddpg) remember(tr transition) {
+	if len(d.buffer) < d.cfg.BufferCap {
+		d.buffer = append(d.buffer, tr)
+		return
+	}
+	d.buffer[d.bufferNext] = tr
+	d.bufferNext = (d.bufferNext + 1) % d.cfg.BufferCap
+}
+
+// train performs one DDPG update (critic TD step, actor policy-gradient
+// step, soft target updates) on a replay mini-batch.
+func (d *ddpg) train() {
+	if len(d.buffer) < d.cfg.Warmup {
+		return
+	}
+	batch := d.cfg.BatchSize
+	criticIn := make([]float64, 2*d.stateDim)
+	lossGrad := []float64{0}
+
+	// Critic update.
+	d.criticGrads.Zero()
+	for i := 0; i < batch; i++ {
+		tr := &d.buffer[d.rng.Intn(len(d.buffer))]
+		// Target action and value.
+		ta := d.actorTarget.Forward(d.targetAWS, tr.next)
+		copy(criticIn[:d.stateDim], tr.next)
+		for j, v := range ta {
+			criticIn[d.stateDim+j] = math.Tanh(v)
+		}
+		tq := d.criticTarget.Forward(d.targetCWS, criticIn)[0]
+		y := tr.reward + d.cfg.Gamma*tq
+
+		copy(criticIn[:d.stateDim], tr.state)
+		copy(criticIn[d.stateDim:], tr.action)
+		q := d.critic.Forward(d.criticWS, criticIn)[0]
+		// d(0.5*(q-y)^2)/dq = q - y.
+		lossGrad[0] = q - y
+		d.critic.Backward(d.criticWS, lossGrad, d.criticGrads)
+	}
+	d.criticGrads.Scale(1 / float64(batch))
+	d.criticGrads.ClipTo(1)
+	d.criticOpt.Step(d.critic, d.criticGrads)
+
+	// Actor update: ascend Q(s, tanh(actor(s))).
+	d.actorGrads.Zero()
+	dOutActor := make([]float64, d.actionDim)
+	for i := 0; i < batch; i++ {
+		tr := &d.buffer[d.rng.Intn(len(d.buffer))]
+		pre := d.actor.Forward(d.actorWS, tr.state)
+		act := make([]float64, d.actionDim)
+		copy(criticIn[:d.stateDim], tr.state)
+		for j, v := range pre {
+			act[j] = math.Tanh(v)
+			criticIn[d.stateDim+j] = act[j]
+		}
+		// The critic runs on its own workspace, so the actor's forward
+		// state is still intact for the backward pass below.
+		dQdIn := d.critic.InputGradient(d.criticWS, criticIn, []float64{1})
+		for j := 0; j < d.actionDim; j++ {
+			// Chain through tanh; negate to turn ascent into descent.
+			dOutActor[j] = -dQdIn[d.stateDim+j] * (1 - act[j]*act[j])
+		}
+		d.actor.Backward(d.actorWS, dOutActor, d.actorGrads)
+	}
+	d.actorGrads.Scale(1 / float64(batch))
+	d.actorGrads.ClipTo(1)
+	d.actorOpt.Step(d.actor, d.actorGrads)
+
+	softUpdate(d.actorTarget, d.actor, d.cfg.Tau)
+	softUpdate(d.criticTarget, d.critic, d.cfg.Tau)
+}
+
+// softUpdate blends source parameters into the target network:
+// target = tau*src + (1-tau)*target.
+func softUpdate(target, src *nn.MLP, tau float64) {
+	for i := range src.Layers {
+		tw, sw := target.Layers[i].W.Data, src.Layers[i].W.Data
+		for j := range sw {
+			tw[j] = tau*sw[j] + (1-tau)*tw[j]
+		}
+		tb, sb := target.Layers[i].B, src.Layers[i].B
+		for j := range sb {
+			tb[j] = tau*sb[j] + (1-tau)*tb[j]
+		}
+	}
+}

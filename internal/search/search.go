@@ -1,0 +1,235 @@
+// Package search implements mapping-space search: the Mind Mappings
+// gradient-based method (paper §4.2) and the black-box baselines it is
+// evaluated against (§5.2, Appendix A) — simulated annealing, a genetic
+// algorithm, DDPG reinforcement learning, and uniform random search.
+//
+// All methods run under a common budget (fixed number of cost-function
+// evaluations for iso-iteration studies, fixed wall-clock for iso-time
+// studies) and record best-so-far normalized-EDP trajectories, the raw data
+// behind the paper's Figures 5 and 6.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/oracle"
+	"mindmappings/internal/timeloop"
+)
+
+// Budget bounds a search run. At least one limit must be set; whichever is
+// hit first terminates the run.
+type Budget struct {
+	// MaxEvals caps cost-function evaluations. For the black-box methods an
+	// evaluation is one reference-cost-model query; for Mind Mappings it is
+	// one surrogate query (§5.2: "In case of Mind Mappings, the cost
+	// function is the trained surrogate").
+	MaxEvals int
+	// MaxTime caps wall-clock time.
+	MaxTime time.Duration
+	// Patience, when positive, declares convergence after this many
+	// consecutive evaluations without improving the best-so-far value and
+	// stops the run early (the paper runs Mind Mappings "until
+	// convergence", §5.4.2). It composes with the hard limits above; at
+	// least one hard limit must still be set.
+	Patience int
+}
+
+func (b Budget) validate() error {
+	if b.MaxEvals <= 0 && b.MaxTime <= 0 {
+		return errors.New("search: budget needs MaxEvals or MaxTime")
+	}
+	if b.MaxEvals < 0 || b.MaxTime < 0 || b.Patience < 0 {
+		return fmt.Errorf("search: negative budget %+v", b)
+	}
+	return nil
+}
+
+// Sample is one best-so-far trajectory point.
+type Sample struct {
+	// Eval is the 1-based evaluation index at which this point was taken.
+	Eval int
+	// Elapsed is wall-clock time since the search started.
+	Elapsed time.Duration
+	// BestEDP is the lowest true normalized EDP seen so far.
+	BestEDP float64
+}
+
+// Result summarizes one search run.
+type Result struct {
+	Method     string
+	Best       mapspace.Mapping
+	BestEDP    float64 // normalized to the algorithmic minimum
+	Trajectory []Sample
+	Evals      int
+	Elapsed    time.Duration
+}
+
+// BestAt returns the best-so-far EDP after the first n evaluations (or the
+// final best if n exceeds the trajectory), used to compare methods at a
+// fixed iteration count.
+func (r *Result) BestAt(n int) float64 {
+	best := math.Inf(1)
+	for _, s := range r.Trajectory {
+		if s.Eval > n {
+			break
+		}
+		best = s.BestEDP
+	}
+	if math.IsInf(best, 1) {
+		return r.BestEDP
+	}
+	return best
+}
+
+// BestAtTime returns the best-so-far EDP at the given elapsed time.
+func (r *Result) BestAtTime(d time.Duration) float64 {
+	best := math.Inf(1)
+	for _, s := range r.Trajectory {
+		if s.Elapsed > d {
+			break
+		}
+		best = s.BestEDP
+	}
+	if math.IsInf(best, 1) {
+		return r.BestEDP
+	}
+	return best
+}
+
+// Context carries everything a searcher needs for one problem: the map
+// space, the reference cost model (paid queries), the normalization bound,
+// and a seed for reproducibility.
+type Context struct {
+	Space *mapspace.Space
+	Model *timeloop.Model
+	Bound oracle.Bound
+	Seed  int64
+	// Objective selects the designer cost function (§2.3); the zero value
+	// is EDP, the paper's evaluation objective. Every searcher optimizes
+	// it; trajectory values are normalized objective values.
+	Objective Objective
+}
+
+func (c *Context) validate() error {
+	if c.Space == nil || c.Model == nil {
+		return errors.New("search: context needs a map space and a cost model")
+	}
+	if c.Bound.MinEDP <= 0 {
+		return errors.New("search: context bound is not positive")
+	}
+	if c.Space.Prob.Name != c.Model.Prob.Name {
+		return fmt.Errorf("search: space problem %q != model problem %q",
+			c.Space.Prob.Name, c.Model.Prob.Name)
+	}
+	return nil
+}
+
+// Searcher is a mapping-space search method.
+type Searcher interface {
+	Name() string
+	Search(ctx *Context, budget Budget) (Result, error)
+}
+
+// tracker enforces the budget and records the best-so-far trajectory. It is
+// shared by all searchers so that budget accounting is identical across
+// methods.
+type tracker struct {
+	ctx       *Context
+	budget    Budget
+	start     time.Time
+	evals     int
+	best      float64
+	bestM     mapspace.Mapping
+	traj      []Sample
+	sinceBest int
+}
+
+func newTracker(ctx *Context, budget Budget) *tracker {
+	return &tracker{ctx: ctx, budget: budget, start: time.Now(), best: math.Inf(1)}
+}
+
+// exhausted reports whether the budget has run out or the run has
+// converged (Patience evaluations without improvement).
+func (t *tracker) exhausted() bool {
+	if t.budget.MaxEvals > 0 && t.evals >= t.budget.MaxEvals {
+		return true
+	}
+	if t.budget.MaxTime > 0 && time.Since(t.start) >= t.budget.MaxTime {
+		return true
+	}
+	if t.budget.Patience > 0 && t.sinceBest >= t.budget.Patience {
+		return true
+	}
+	return false
+}
+
+// progress returns the fraction of the budget consumed, for annealing
+// schedules.
+func (t *tracker) progress() float64 {
+	p := 0.0
+	if t.budget.MaxEvals > 0 {
+		p = float64(t.evals) / float64(t.budget.MaxEvals)
+	}
+	if t.budget.MaxTime > 0 {
+		if tp := float64(time.Since(t.start)) / float64(t.budget.MaxTime); tp > p {
+			p = tp
+		}
+	}
+	return math.Min(p, 1)
+}
+
+// record notes a candidate with a known true normalized EDP.
+func (t *tracker) record(m *mapspace.Mapping, edp float64) {
+	if edp < t.best {
+		t.best = edp
+		t.bestM = m.Clone()
+		t.sinceBest = 0
+	} else {
+		t.sinceBest++
+	}
+	t.traj = append(t.traj, Sample{Eval: t.evals, Elapsed: time.Since(t.start), BestEDP: t.best})
+}
+
+// payEval runs a paid reference-cost-model query on m, records it, and
+// returns the true normalized EDP.
+func (t *tracker) payEval(m *mapspace.Mapping) (float64, error) {
+	cost, err := t.ctx.Model.Evaluate(m)
+	if err != nil {
+		return 0, err
+	}
+	t.evals++
+	val := t.ctx.Objective.normalized(&cost, t.ctx.Bound)
+	t.record(m, val)
+	return val, nil
+}
+
+// scoreSurrogateStep accounts one Mind Mappings surrogate iteration: it
+// charges one evaluation against the budget and records the candidate's
+// true EDP (obtained through the free scoring path — in the paper's
+// methodology trajectory quality is measured offline, not paid for).
+func (t *tracker) scoreSurrogateStep(m *mapspace.Mapping) (float64, error) {
+	cost, err := t.ctx.Model.EvaluateRaw(m)
+	if err != nil {
+		return 0, err
+	}
+	t.evals++
+	val := t.ctx.Objective.normalized(&cost, t.ctx.Bound)
+	t.record(m, val)
+	return val, nil
+}
+
+// result finalizes the run.
+func (t *tracker) result(name string) Result {
+	return Result{
+		Method:     name,
+		Best:       t.bestM,
+		BestEDP:    t.best,
+		Trajectory: t.traj,
+		Evals:      t.evals,
+		Elapsed:    time.Since(t.start),
+	}
+}

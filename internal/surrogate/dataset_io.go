@@ -1,0 +1,78 @@
+package surrogate
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+)
+
+// savedDataset is the on-disk representation of a generated training set,
+// so the expensive cost-model sampling pass (cmd/datagen) can be decoupled
+// from training runs.
+type savedDataset struct {
+	Magic    string
+	Version  int
+	AlgoName string
+	Arch     arch.Spec
+	Mode     OutputMode
+	X        [][]float64
+	Y        [][]float64
+}
+
+const (
+	datasetMagic   = "mindmappings-dataset"
+	datasetVersion = 1
+)
+
+// Save serializes the raw dataset to w.
+func (d *RawDataset) Save(w io.Writer) error {
+	if d.Algo == nil {
+		return fmt.Errorf("surrogate: dataset has no algorithm")
+	}
+	blob := savedDataset{
+		Magic:    datasetMagic,
+		Version:  datasetVersion,
+		AlgoName: d.Algo.Name,
+		Arch:     d.Arch,
+		Mode:     d.Mode,
+		X:        d.X,
+		Y:        d.Y,
+	}
+	if err := gob.NewEncoder(w).Encode(&blob); err != nil {
+		return fmt.Errorf("surrogate: dataset save: %w", err)
+	}
+	return nil
+}
+
+// LoadDataset deserializes a dataset written by Save, resolving the
+// algorithm by name and validating row shapes.
+func LoadDataset(r io.Reader) (*RawDataset, error) {
+	var blob savedDataset
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("surrogate: dataset load: %w", err)
+	}
+	if blob.Magic != datasetMagic {
+		return nil, fmt.Errorf("surrogate: dataset load: bad magic %q", blob.Magic)
+	}
+	if blob.Version != datasetVersion {
+		return nil, fmt.Errorf("surrogate: dataset load: unsupported version %d", blob.Version)
+	}
+	algo, err := loopnest.AlgorithmByName(blob.AlgoName)
+	if err != nil {
+		return nil, fmt.Errorf("surrogate: dataset load: %w", err)
+	}
+	if len(blob.X) != len(blob.Y) || len(blob.X) == 0 {
+		return nil, fmt.Errorf("surrogate: dataset load: %d inputs vs %d targets", len(blob.X), len(blob.Y))
+	}
+	wantX := len(blob.X[0])
+	wantY := len(blob.Y[0])
+	for i := range blob.X {
+		if len(blob.X[i]) != wantX || len(blob.Y[i]) != wantY {
+			return nil, fmt.Errorf("surrogate: dataset load: ragged row %d", i)
+		}
+	}
+	return &RawDataset{Algo: algo, Arch: blob.Arch, X: blob.X, Y: blob.Y, Mode: blob.Mode}, nil
+}

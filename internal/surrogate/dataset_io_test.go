@@ -1,0 +1,126 @@
+package surrogate
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+)
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	ds, _, _ := cnnFixture(t)
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ds.Len() {
+		t.Fatalf("lengths %d vs %d", loaded.Len(), ds.Len())
+	}
+	if loaded.Algo.Name != "cnn-layer" {
+		t.Fatalf("algorithm %q", loaded.Algo.Name)
+	}
+	if loaded.Mode != ds.Mode {
+		t.Fatal("mode lost")
+	}
+	for i := 0; i < 20; i++ {
+		for j := range ds.X[i] {
+			if loaded.X[i][j] != ds.X[i][j] {
+				t.Fatal("inputs corrupted")
+			}
+		}
+		for j := range ds.Y[i] {
+			if loaded.Y[i][j] != ds.Y[i][j] {
+				t.Fatal("targets corrupted")
+			}
+		}
+	}
+	// A loaded dataset must be trainable.
+	cfg := TinyConfig()
+	cfg.Samples = loaded.Len()
+	cfg.Train.Epochs = 1
+	if _, _, err := Train(loaded, cfg); err != nil {
+		t.Fatalf("loaded dataset not trainable: %v", err)
+	}
+}
+
+func TestLoadDatasetRejectsGarbage(t *testing.T) {
+	if _, err := LoadDataset(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func encodeDS(t *testing.T, blob savedDataset) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&blob); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestLoadDatasetValidation(t *testing.T) {
+	good := savedDataset{
+		Magic: datasetMagic, Version: datasetVersion, AlgoName: "conv1d",
+		X: [][]float64{{1, 2}}, Y: [][]float64{{1}},
+	}
+	cases := map[string]func(d *savedDataset){
+		"bad magic":    func(d *savedDataset) { d.Magic = "nope" },
+		"bad version":  func(d *savedDataset) { d.Version = 99 },
+		"bad algo":     func(d *savedDataset) { d.AlgoName = "gemm" },
+		"empty":        func(d *savedDataset) { d.X, d.Y = nil, nil },
+		"len mismatch": func(d *savedDataset) { d.Y = append(d.Y, []float64{2}) },
+		"ragged X":     func(d *savedDataset) { d.X = [][]float64{{1, 2}, {1}}; d.Y = [][]float64{{1}, {1}} },
+	}
+	for name, corrupt := range cases {
+		blob := good
+		blob.X = append([][]float64(nil), good.X...)
+		blob.Y = append([][]float64(nil), good.Y...)
+		corrupt(&blob)
+		if _, err := LoadDataset(encodeDS(t, blob)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := LoadDataset(encodeDS(t, good)); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+}
+
+func TestSaveDatasetRequiresAlgo(t *testing.T) {
+	ds := &RawDataset{X: [][]float64{{1}}, Y: [][]float64{{1}}}
+	if err := ds.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("dataset without algorithm accepted")
+	}
+}
+
+func TestGenerateTailBiasCoversLowCosts(t *testing.T) {
+	// Tail-enriched sampling must shift the EDP distribution of the
+	// dataset toward the low-cost region relative to pure uniform.
+	base := TinyConfig()
+	base.Samples = 1500
+	base.Problems = 4
+	uniform := base
+	uniform.TailBias = 0
+	biased := base
+	biased.TailBias = 0.7
+
+	meanEDP := func(cfg Config) float64 {
+		ds, err := Generate(fixtureAlgoConv1D(), fixtureArch2(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, y := range ds.Y {
+			total += trueEDPFromTarget(y, ds.Mode, len(fixtureAlgoConv1D().Tensors))
+		}
+		return total / float64(ds.Len())
+	}
+	u := meanEDP(uniform)
+	b := meanEDP(biased)
+	if b >= u {
+		t.Fatalf("tail-biased mean EDP %v not below uniform %v", b, u)
+	}
+}

@@ -1,0 +1,371 @@
+package surrogate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/nn"
+	"mindmappings/internal/stats"
+)
+
+// Surrogate is a trained differentiable approximation f* of the accelerator
+// cost function for one (algorithm, accelerator) pair, reusable across all
+// problems of the algorithm (§4.1: "the surrogate is trained once, offline
+// per target algorithm").
+type Surrogate struct {
+	AlgoName   string
+	Arch       arch.Spec
+	Net        *nn.MLP
+	InNorm     *stats.Normalizer
+	OutNorm    *stats.Normalizer
+	Mode       OutputMode
+	LogOutputs bool
+	NumTensors int
+
+	ws *nn.Workspace
+}
+
+// Train fits a surrogate on the raw dataset per the configured recipe and
+// returns it with the per-epoch loss history (the Figure-7a data).
+func Train(ds *RawDataset, cfg Config) (*Surrogate, *nn.History, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if ds.Len() < 10 {
+		return nil, nil, fmt.Errorf("surrogate: dataset of %d samples is too small", ds.Len())
+	}
+	if ds.Mode != cfg.Mode {
+		return nil, nil, fmt.Errorf("surrogate: dataset mode %d != config mode %d", ds.Mode, cfg.Mode)
+	}
+
+	// Whitening (§4.1.2/§4.1.3): inputs and outputs each normalized to mean
+	// 0, std 1 over the training set. Outputs optionally log-compressed
+	// first.
+	targets := make([][]float64, ds.Len())
+	for i, y := range ds.Y {
+		row := append([]float64(nil), y...)
+		if cfg.LogOutputs {
+			for j, v := range row {
+				row[j] = log1pSafe(v)
+			}
+		}
+		targets[i] = row
+	}
+	inNorm, err := stats.FitNormalizer(ds.X)
+	if err != nil {
+		return nil, nil, fmt.Errorf("surrogate: input normalizer: %w", err)
+	}
+	outNorm, err := stats.FitNormalizer(targets)
+	if err != nil {
+		return nil, nil, fmt.Errorf("surrogate: output normalizer: %w", err)
+	}
+
+	full := &nn.Dataset{}
+	for i := range ds.X {
+		full.X = append(full.X, inNorm.Applied(ds.X[i]))
+		full.Y = append(full.Y, outNorm.Applied(targets[i]))
+	}
+	rng := stats.NewRNG(cfg.Seed + 1)
+	trainSet, testSet, err := full.Split(cfg.TestFrac, rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("surrogate: split: %w", err)
+	}
+
+	sizes := append([]int{len(ds.X[0])}, cfg.HiddenSizes...)
+	sizes = append(sizes, len(targets[0]))
+	net, err := nn.NewMLP(sizes, nn.ReLU{}, stats.NewRNG(cfg.Seed+2))
+	if err != nil {
+		return nil, nil, fmt.Errorf("surrogate: building MLP: %w", err)
+	}
+	trainCfg := cfg.Train
+	trainCfg.Seed = cfg.Seed + 3
+	hist, err := nn.Train(net, trainSet, testSet, trainCfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("surrogate: training: %w", err)
+	}
+
+	s := &Surrogate{
+		AlgoName:   ds.Algo.Name,
+		Arch:       ds.Arch,
+		Net:        net,
+		InNorm:     inNorm,
+		OutNorm:    outNorm,
+		Mode:       cfg.Mode,
+		LogOutputs: cfg.LogOutputs,
+		NumTensors: numTensorsFor(ds.Algo, cfg.Mode, len(ds.Y[0])),
+		ws:         net.NewWorkspace(),
+	}
+	return s, hist, nil
+}
+
+func numTensorsFor(algo *loopnest.Algorithm, mode OutputMode, outLen int) int {
+	if algo != nil {
+		return len(algo.Tensors)
+	}
+	if mode == OutputMetaStats {
+		return (outLen - 3) / int(arch.NumLevels)
+	}
+	return 0
+}
+
+func log1pSafe(v float64) float64 {
+	if v < 0 {
+		// Utilization and normalized costs are non-negative by
+		// construction; guard against numeric noise.
+		v = 0
+	}
+	return math.Log1p(v)
+}
+
+// expm1Safe inverts log1pSafe.
+func expm1Safe(v float64) float64 { return math.Expm1(v) }
+
+// PredictEDP returns the predicted normalized EDP (EDP relative to the
+// algorithmic minimum) for a raw encoded mapping vector. For the meta-stats
+// representation it is the product of the predicted normalized total energy
+// and normalized cycles.
+func (s *Surrogate) PredictEDP(rawVec []float64) (float64, error) {
+	edp, _, err := s.edpAndOutputs(rawVec)
+	return edp, err
+}
+
+// PredictScalar predicts the designer objective energy^eExp x delay^dExp in
+// lower-bound-normalized units (paper §2.3: the cost function is up to the
+// designer). (1,1) is EDP, (1,2) ED²P, (1,0) energy, (0,1) delay. Only the
+// meta-statistics output representation supports objectives other than EDP.
+func (s *Surrogate) PredictScalar(rawVec []float64, eExp, dExp float64) (float64, error) {
+	if eExp == 1 && dExp == 1 {
+		return s.PredictEDP(rawVec)
+	}
+	if s.Mode != OutputMetaStats {
+		return 0, errors.New("surrogate: non-EDP objectives need the meta-statistics representation")
+	}
+	e, d, _, _, err := s.energyDelay(rawVec)
+	if err != nil {
+		return 0, err
+	}
+	return math.Pow(clampPos(e), eExp) * math.Pow(clampPos(d), dExp), nil
+}
+
+// clampPos floors a predicted normalized quantity at a small positive
+// value so fractional powers and divisions stay finite; predictions below
+// the lower bound are surrogate noise anyway.
+func clampPos(v float64) float64 {
+	if v < 1e-6 {
+		return 1e-6
+	}
+	return v
+}
+
+// energyDelay runs the forward pass and returns the denormalized
+// (lower-bound-unit) predicted total energy and cycles, plus the raw
+// outputs and the z-space indices needed for gradients.
+func (s *Surrogate) energyDelay(rawVec []float64) (e, d float64, out []float64, idx [2]int, err error) {
+	if len(rawVec) != s.Net.InDim() {
+		return 0, 0, nil, idx, fmt.Errorf("surrogate: input length %d, want %d", len(rawVec), s.Net.InDim())
+	}
+	x := s.InNorm.Applied(rawVec)
+	out = s.Net.Forward(s.ws, x)
+	totalIdx, _, cyclesIdx := metaIndices(s.NumTensors)
+	idx = [2]int{totalIdx, cyclesIdx}
+	e = s.OutNorm.InvertOne(totalIdx, out[totalIdx])
+	d = s.OutNorm.InvertOne(cyclesIdx, out[cyclesIdx])
+	if s.LogOutputs {
+		e = expm1Safe(e)
+		d = expm1Safe(d)
+	}
+	return e, d, out, idx, nil
+}
+
+// edpAndOutputs runs the forward pass and derives the scalar EDP along with
+// the raw network outputs (z-space).
+func (s *Surrogate) edpAndOutputs(rawVec []float64) (float64, []float64, error) {
+	if len(rawVec) != s.Net.InDim() {
+		return 0, nil, fmt.Errorf("surrogate: input length %d, want %d", len(rawVec), s.Net.InDim())
+	}
+	x := s.InNorm.Applied(rawVec)
+	out := s.Net.Forward(s.ws, x)
+	switch s.Mode {
+	case OutputDirectEDP:
+		edp := s.OutNorm.InvertOne(0, out[0])
+		if s.LogOutputs {
+			edp = expm1Safe(edp)
+		}
+		return edp, out, nil
+	case OutputMetaStats:
+		totalIdx, _, cyclesIdx := metaIndices(s.NumTensors)
+		e := s.OutNorm.InvertOne(totalIdx, out[totalIdx])
+		c := s.OutNorm.InvertOne(cyclesIdx, out[cyclesIdx])
+		if s.LogOutputs {
+			e = expm1Safe(e)
+			c = expm1Safe(c)
+		}
+		return e * c, out, nil
+	}
+	return 0, nil, fmt.Errorf("surrogate: unknown output mode %d", s.Mode)
+}
+
+// PredictMetaStats returns the denormalized predicted cost vector in
+// lower-bound units (only available in meta-stats mode).
+func (s *Surrogate) PredictMetaStats(rawVec []float64) ([]float64, error) {
+	if s.Mode != OutputMetaStats {
+		return nil, errors.New("surrogate: meta stats unavailable in direct-EDP mode")
+	}
+	if len(rawVec) != s.Net.InDim() {
+		return nil, fmt.Errorf("surrogate: input length %d, want %d", len(rawVec), s.Net.InDim())
+	}
+	x := s.InNorm.Applied(rawVec)
+	out := s.Net.Forward(s.ws, x)
+	meta := make([]float64, len(out))
+	for i, z := range out {
+		v := s.OutNorm.InvertOne(i, z)
+		if s.LogOutputs {
+			v = expm1Safe(v)
+		}
+		meta[i] = v
+	}
+	return meta, nil
+}
+
+// GradientScalar returns the predicted objective energy^eExp x delay^dExp
+// and its gradient with respect to the raw encoded mapping vector. Only
+// meta-statistics surrogates support objectives other than (1,1).
+func (s *Surrogate) GradientScalar(rawVec []float64, eExp, dExp float64) (float64, []float64, error) {
+	if eExp == 1 && dExp == 1 {
+		return s.GradientEDP(rawVec)
+	}
+	if s.Mode != OutputMetaStats {
+		return 0, nil, errors.New("surrogate: non-EDP objectives need the meta-statistics representation")
+	}
+	e, d, out, idx, err := s.energyDelay(rawVec)
+	if err != nil {
+		return 0, nil, err
+	}
+	eC, dC := clampPos(e), clampPos(d)
+	val := math.Pow(eC, eExp) * math.Pow(dC, dExp)
+	// dV/de = eExp * e^(eExp-1) * d^dExp, chained through the log/whitening
+	// transforms exactly as in GradientEDP.
+	dOut := make([]float64, s.Net.OutDim())
+	dVdE := eExp * math.Pow(eC, eExp-1) * math.Pow(dC, dExp)
+	dVdD := dExp * math.Pow(eC, eExp) * math.Pow(dC, dExp-1)
+	dEdz := s.OutNorm.Std[idx[0]]
+	dDdz := s.OutNorm.Std[idx[1]]
+	if s.LogOutputs {
+		dEdz *= e + 1
+		dDdz *= d + 1
+	}
+	dOut[idx[0]] = dVdE * dEdz
+	dOut[idx[1]] = dVdD * dDdz
+	_ = out
+	x := s.InNorm.Applied(rawVec)
+	gradWhite := s.Net.InputGradient(s.ws, x, dOut)
+	grad := make([]float64, len(gradWhite))
+	for i, g := range gradWhite {
+		grad[i] = g / s.InNorm.Std[i]
+	}
+	return val, grad, nil
+}
+
+// GradientEDP returns the predicted normalized EDP and its gradient with
+// respect to the raw encoded mapping vector — the ∇f* of §4.2 that drives
+// the gradient search. The problem-id prefix entries of the gradient are
+// meaningful but the searcher holds them fixed (the paper freezes p_target
+// during Phase 2).
+func (s *Surrogate) GradientEDP(rawVec []float64) (float64, []float64, error) {
+	edp, out, err := s.edpAndOutputs(rawVec)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Build dEDP/d(network outputs in z-space).
+	dOut := make([]float64, s.Net.OutDim())
+	switch s.Mode {
+	case OutputDirectEDP:
+		// edp = g(z0) with g = expm1(invert) or invert.
+		d := s.OutNorm.Std[0]
+		if s.LogOutputs {
+			d *= edp + 1 // d expm1(u)/du = exp(u) = value+1
+		}
+		dOut[0] = d
+	case OutputMetaStats:
+		totalIdx, _, cyclesIdx := metaIndices(s.NumTensors)
+		e := s.OutNorm.InvertOne(totalIdx, out[totalIdx])
+		c := s.OutNorm.InvertOne(cyclesIdx, out[cyclesIdx])
+		de := s.OutNorm.Std[totalIdx]
+		dc := s.OutNorm.Std[cyclesIdx]
+		if s.LogOutputs {
+			eLin, cLin := expm1Safe(e), expm1Safe(c)
+			// edp = expm1(e)*expm1(c); d/dz_e = std_e*exp(e)*expm1(c).
+			dOut[totalIdx] = de * (eLin + 1) * cLin
+			dOut[cyclesIdx] = dc * (cLin + 1) * eLin
+		} else {
+			dOut[totalIdx] = de * c
+			dOut[cyclesIdx] = dc * e
+		}
+	}
+	// Backprop to the whitened input, then chain through the whitening.
+	x := s.InNorm.Applied(rawVec)
+	gradWhite := s.Net.InputGradient(s.ws, x, dOut)
+	grad := make([]float64, len(gradWhite))
+	for i, g := range gradWhite {
+		grad[i] = g / s.InNorm.Std[i]
+	}
+	return edp, grad, nil
+}
+
+// EvaluateQuality computes the mean absolute error of predicted vs. true
+// normalized EDP over a raw dataset slice, plus the Pearson correlation of
+// their logs — the acceptance metric integration tests and the Figure-7
+// experiments use.
+func (s *Surrogate) EvaluateQuality(ds *RawDataset, maxSamples int) (mae, corr float64, err error) {
+	n := ds.Len()
+	if maxSamples > 0 && n > maxSamples {
+		n = maxSamples
+	}
+	if n == 0 {
+		return 0, 0, errors.New("surrogate: empty dataset")
+	}
+	var pred, truth []float64
+	for i := 0; i < n; i++ {
+		p, err := s.PredictEDP(ds.X[i])
+		if err != nil {
+			return 0, 0, err
+		}
+		t := trueEDPFromTarget(ds.Y[i], ds.Mode, s.NumTensors)
+		pred = append(pred, math.Log1p(math.Max(0, p)))
+		truth = append(truth, math.Log1p(math.Max(0, t)))
+		mae += math.Abs(p - t)
+	}
+	mae /= float64(n)
+	corr = pearson(pred, truth)
+	return mae, corr, nil
+}
+
+// trueEDPFromTarget recovers normalized EDP from a stored target vector.
+func trueEDPFromTarget(y []float64, mode OutputMode, nt int) float64 {
+	if mode == OutputDirectEDP {
+		return y[0]
+	}
+	totalIdx, _, cyclesIdx := metaIndices(nt)
+	return y[totalIdx] * y[cyclesIdx]
+}
+
+func pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ma, mb := stats.Mean(a), stats.Mean(b)
+	var num, da, db float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}

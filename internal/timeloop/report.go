@@ -1,0 +1,38 @@
+package timeloop
+
+import (
+	"fmt"
+	"io"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+)
+
+// Render writes a human-readable cost report: a per-level, per-tensor table
+// of word traffic and access energy, followed by the delay breakdown —
+// the information an architect reads off a Timeloop report.
+func (c *Cost) Render(w io.Writer, algo *loopnest.Algorithm) {
+	fmt.Fprintf(w, "%-6s", "level")
+	for _, t := range algo.Tensors {
+		fmt.Fprintf(w, " %12s", t.Name)
+	}
+	fmt.Fprintf(w, " %14s\n", "energy (pJ)")
+	for l := arch.L1; l < arch.NumLevels; l++ {
+		fmt.Fprintf(w, "%-6s", l)
+		levelEnergy := 0.0
+		for t := range algo.Tensors {
+			fmt.Fprintf(w, " %12.4g", c.Accesses[l][t])
+			levelEnergy += c.EnergyPJ[l][t]
+		}
+		fmt.Fprintf(w, " %14.4g\n", levelEnergy)
+	}
+	fmt.Fprintf(w, "%-6s", "MACs")
+	for range algo.Tensors {
+		fmt.Fprintf(w, " %12s", "")
+	}
+	fmt.Fprintf(w, " %14.4g\n", c.MACEnergyPJ)
+	fmt.Fprintf(w, "total energy %.4g pJ\n", c.TotalEnergyPJ)
+	fmt.Fprintf(w, "cycles       %.4g (compute-bound at %.4g; utilization %.1f%%)\n",
+		c.Cycles, c.ComputeCycles, 100*c.Utilization)
+	fmt.Fprintf(w, "EDP          %.4g J*s\n", c.EDP)
+}

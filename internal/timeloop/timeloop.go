@@ -1,0 +1,312 @@
+// Package timeloop is a from-scratch analytical cost model for flexible
+// tensor accelerators in the style of Timeloop (Parashar et al., ISPASS
+// 2019), which the paper uses as its reference cost function f (§5.1.2:
+// "We model the programmable hardware accelerator using Timeloop, which
+// uses an analytical cost model to provide a high-fidelity cost estimation
+// for hardware accelerators that implement affine loopnests").
+//
+// Given an accelerator specification, a problem, and a mapping, the model
+// derives per-level per-tensor data movement from a loop-order-aware reuse
+// analysis, converts it to energy with per-level access costs, bounds delay
+// by compute and per-level bandwidth, and reports the energy-delay product
+// (EDP) the search methods minimize. See DESIGN.md §3 for the analysis
+// rules and their relation to Timeloop's.
+package timeloop
+
+import (
+	"fmt"
+	"time"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/mapspace"
+)
+
+// Model evaluates mapping costs for one (accelerator, problem) pair.
+type Model struct {
+	Arch arch.Spec
+	Prob loopnest.Problem
+
+	// QueryLatency, when positive, stalls every Evaluate call by the given
+	// duration to emulate the query cost of the paper's reference cost
+	// model (Timeloop queries take milliseconds; this pure-Go analytical
+	// model takes microseconds). Iso-time experiments set this so the
+	// relative per-step costs of surrogate-driven and cost-model-driven
+	// search match the paper's setting; iso-iteration experiments leave it
+	// zero. See DESIGN.md §4.
+	QueryLatency time.Duration
+
+	macs     float64
+	fullSize []float64 // per-tensor full footprints
+	evals    int64
+}
+
+// New constructs a cost model, validating the architecture and problem.
+func New(a arch.Spec, p loopnest.Problem) (*Model, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("timeloop: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("timeloop: %w", err)
+	}
+	if want := len(p.Algo.Tensors) - 1; a.OperandsPerMAC != want {
+		return nil, fmt.Errorf("timeloop: architecture consumes %d operands/MAC but algorithm %s has %d input tensors",
+			a.OperandsPerMAC, p.Algo.Name, want)
+	}
+	m := &Model{Arch: a, Prob: p, macs: p.MACs()}
+	for t := range p.Algo.Tensors {
+		m.fullSize = append(m.fullSize, float64(p.Algo.Tensors[t].Footprint(p.Shape)))
+	}
+	return m, nil
+}
+
+// Evals returns the number of Evaluate calls performed, used by the
+// experiment harness to enforce iso-iteration budgets.
+func (m *Model) Evals() int64 { return m.evals }
+
+// ResetEvals clears the evaluation counter.
+func (m *Model) ResetEvals() { m.evals = 0 }
+
+// Cost is the detailed output of one cost-model query. Energies are in
+// picojoules, delay in accelerator cycles. The paper's §4.1.3 output
+// representation ("a vector containing the energy spent accessing each
+// level of the memory hierarchy by each data type, compute utilization,
+// total cycles, and total energy") is exposed via MetaStats.
+type Cost struct {
+	// Accesses[level][tensor] counts words moved at each level (reads plus
+	// writes attributable to the tensor).
+	Accesses [arch.NumLevels][]float64
+	// EnergyPJ[level][tensor] is the corresponding access energy.
+	EnergyPJ [arch.NumLevels][]float64
+	// MACEnergyPJ is the datapath energy.
+	MACEnergyPJ float64
+	// TotalEnergyPJ is all access energy plus datapath energy.
+	TotalEnergyPJ float64
+	// ComputeCycles is MACs divided by utilized PEs.
+	ComputeCycles float64
+	// Cycles is the bottleneck delay across compute and memory levels.
+	Cycles float64
+	// Utilization is achieved MACs/cycle over peak MACs/cycle.
+	Utilization float64
+	// EDP is the energy-delay product in joule-seconds, the optimization
+	// objective (§5.1.2).
+	EDP float64
+}
+
+// loop is one temporal loop with its dimension and trip count.
+type loop struct {
+	dim   int
+	count int
+}
+
+// temporalLoops returns the loop nest above the given on-chip level,
+// outermost first: for the L1 boundary the DRAM-level loops followed by the
+// L2-level loops; for the L2 boundary the DRAM-level loops only.
+func temporalLoops(mp *mapspace.Mapping, level arch.Level) []loop {
+	var out []loop
+	appendLevel := func(l arch.Level) {
+		for _, dim := range mp.Order[l] {
+			out = append(out, loop{dim: dim, count: mp.Tile[l][dim]})
+		}
+	}
+	appendLevel(arch.DRAM)
+	if level == arch.L1 {
+		appendLevel(arch.L2)
+	}
+	return out
+}
+
+// reuseQ returns the tile-refetch multiplier for a tensor under the given
+// outer loop nest: the product of trip counts of every loop at or outside
+// the innermost tensor-relevant loop. Loops inside that point form the
+// maximal trailing block over which the resident tile is stationary
+// (classic stationary-tile reuse; loop order therefore changes data
+// movement, as in Timeloop). Trip-count-1 loops are degenerate and ignored.
+func reuseQ(tensor *loopnest.Tensor, loops []loop) float64 {
+	cut := -1
+	for i := len(loops) - 1; i >= 0; i-- {
+		if loops[i].count > 1 && tensor.Relevant(loops[i].dim) {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		return 1
+	}
+	q := 1.0
+	for i := 0; i <= cut; i++ {
+		q *= float64(loops[i].count)
+	}
+	return q
+}
+
+// multicastSplit returns (total spatial PEs, PEs along tensor-relevant
+// dims). PEs along irrelevant dims share the tensor's data via NoC
+// multicast (inputs) or contribute to a NoC reduction (outputs).
+func multicastSplit(tensor *loopnest.Tensor, spatial []int) (total, relevant float64) {
+	total, relevant = 1, 1
+	for d, s := range spatial {
+		total *= float64(s)
+		if tensor.Relevant(d) {
+			relevant *= float64(s)
+		}
+	}
+	return total, relevant
+}
+
+// allocEnergyScale models SRAM access energy growing with the allocated
+// array size: a tensor given the whole buffer pays 25% more per access
+// than one given half of it. This keeps the buffer-allocation attribute
+// cost-relevant beyond validity, mirroring Timeloop's capacity-dependent
+// access energies.
+func allocEnergyScale(frac float64) float64 {
+	return 0.75 + 0.5*frac
+}
+
+// Evaluate computes the cost of a mapping as a paid reference-cost-model
+// query: it counts toward Evals and pays QueryLatency. The mapping must be
+// structurally complete; callers are expected to pass members of the map
+// space (use mapspace.Space.IsMember to check), and structural mismatches
+// return an error rather than silently mis-costing.
+func (m *Model) Evaluate(mp *mapspace.Mapping) (Cost, error) {
+	if m.QueryLatency > 0 {
+		time.Sleep(m.QueryLatency)
+	}
+	m.evals++
+	return m.EvaluateRaw(mp)
+}
+
+// EvaluateRaw computes the cost of a mapping without paying the emulated
+// query latency and without counting toward the evaluation budget. The
+// experiment harness uses it to score search trajectories offline — e.g.
+// recording the true EDP of Mind Mappings' intermediate solutions, which in
+// the paper's methodology are found via the surrogate and never charged as
+// reference-cost-model queries (§5.2).
+func (m *Model) EvaluateRaw(mp *mapspace.Mapping) (Cost, error) {
+	nd := m.Prob.Algo.NumDims()
+	if len(mp.Spatial) != nd || len(mp.Tile[arch.L1]) != nd ||
+		len(mp.Tile[arch.L2]) != nd || len(mp.Tile[arch.DRAM]) != nd {
+		return Cost{}, fmt.Errorf("timeloop: mapping has wrong arity for %d dims", nd)
+	}
+	for l := arch.L1; l < arch.NumLevels; l++ {
+		if len(mp.Order[l]) != nd {
+			return Cost{}, fmt.Errorf("timeloop: level %s order has wrong arity", l)
+		}
+	}
+	nt := len(m.Prob.Algo.Tensors)
+	for level := arch.L1; level < arch.OnChipLevels; level++ {
+		if len(mp.Alloc[level]) != nt {
+			return Cost{}, fmt.Errorf("timeloop: level %s allocation has wrong arity", level)
+		}
+	}
+
+	var c Cost
+	for l := range c.Accesses {
+		c.Accesses[l] = make([]float64, nt)
+		c.EnergyPJ[l] = make([]float64, nt)
+	}
+
+	tileL1 := mp.CumulativeTile(arch.L1)
+	tileL2 := mp.CumulativeTile(arch.L2)
+	loopsL1 := temporalLoops(mp, arch.L1)
+	loopsL2 := temporalLoops(mp, arch.L2)
+
+	for t := range m.Prob.Algo.Tensors {
+		tensor := &m.Prob.Algo.Tensors[t]
+		fpL1 := float64(tensor.Footprint(tileL1))
+		fpL2 := float64(tensor.Footprint(tileL2))
+		q1 := reuseQ(tensor, loopsL1)
+		q2 := reuseQ(tensor, loopsL2)
+		totalPEs, relPEs := multicastSplit(tensor, mp.Spatial)
+
+		if !tensor.Output {
+			perPEFills := fpL1 * q1
+			l2Fills := fpL2 * q2
+			// L1: compute-side reads (one per MAC) plus fill writes across
+			// all active PEs.
+			c.Accesses[arch.L1][t] = m.macs + perPEFills*totalPEs
+			// L2: reads serving L1 fills (multicast collapses copies along
+			// irrelevant spatial dims) plus writes of DRAM fills.
+			c.Accesses[arch.L2][t] = perPEFills*relPEs + l2Fills
+			// DRAM: reads only.
+			c.Accesses[arch.DRAM][t] = l2Fills
+			continue
+		}
+
+		// Output tensor: accumulation at L1, partial-sum traffic upward.
+		spillPerPE := fpL1 * q1            // words each PE pushes up per residency change
+		arriveL2 := spillPerPE * relPEs    // after NoC reduction along irrelevant dims
+		freshL2 := fpL2 * q2               // distinct-element writes per L2 residency
+		rmwL2 := maxf(0, arriveL2-freshL2) // read-modify-write reads at L2
+		toDRAM := freshL2
+		rmwDRAM := maxf(0, toDRAM-m.fullSize[t])
+
+		// L1: accumulate read+write per MAC plus spill reads.
+		c.Accesses[arch.L1][t] = 2*m.macs + spillPerPE*totalPEs
+		// L2: arriving partial writes, RMW reads, and reads when draining
+		// to DRAM.
+		c.Accesses[arch.L2][t] = arriveL2 + rmwL2 + toDRAM
+		// DRAM: final/partial writes plus RMW reads.
+		c.Accesses[arch.DRAM][t] = toDRAM + rmwDRAM
+	}
+
+	// Energy.
+	total := 0.0
+	for l := arch.L1; l < arch.NumLevels; l++ {
+		for t := 0; t < nt; t++ {
+			scale := 1.0
+			if l < arch.OnChipLevels {
+				scale = allocEnergyScale(mp.Alloc[l][t])
+			}
+			e := c.Accesses[l][t] * m.Arch.EnergyPerAccess[l] * scale
+			c.EnergyPJ[l][t] = e
+			total += e
+		}
+	}
+	c.MACEnergyPJ = m.macs * m.Arch.MACEnergyPJ
+	c.TotalEnergyPJ = total + c.MACEnergyPJ
+
+	// Delay: bottleneck of compute and per-level bandwidth.
+	spatialPEs := float64(mp.SpatialPEs())
+	c.ComputeCycles = m.macs / spatialPEs
+	c.Cycles = c.ComputeCycles
+	for l := arch.L1; l < arch.NumLevels; l++ {
+		traffic := 0.0
+		for t := 0; t < nt; t++ {
+			traffic += c.Accesses[l][t]
+		}
+		if cycles := traffic / m.Arch.BandwidthWords[l]; cycles > c.Cycles {
+			c.Cycles = cycles
+		}
+	}
+	c.Utilization = m.macs / c.Cycles / float64(m.Arch.NumPEs)
+
+	c.EDP = c.TotalEnergyPJ * 1e-12 * (c.Cycles / m.Arch.ClockHz)
+	return c, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MetaStats flattens the cost into the surrogate's rich output
+// representation (§4.1.3): per-level per-tensor access energies, followed
+// by total energy, utilization, and cycles. For CNN-Layer that is
+// 3x3+3 = 12 values; for MTTKRP 3x4+3 = 15, matching §5.5.
+func (c *Cost) MetaStats() []float64 {
+	var out []float64
+	for l := arch.L1; l < arch.NumLevels; l++ {
+		out = append(out, c.EnergyPJ[l]...)
+	}
+	out = append(out, c.TotalEnergyPJ, c.Utilization, c.Cycles)
+	return out
+}
+
+// MetaStatsLen returns the meta-statistics vector length for an algorithm
+// with nt tensors.
+func MetaStatsLen(nt int) int {
+	return int(arch.NumLevels)*nt + 3
+}
