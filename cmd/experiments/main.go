@@ -22,8 +22,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -31,15 +33,42 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment to run (t1, 3, space, 5, 6, 7a, 7b, 7c, ablate, step, components, tail, generality, summary, all)")
-	fast := flag.Bool("fast", false, "reduced problem set and budgets")
-	repeats := flag.Int("repeats", 0, "override runs averaged per method/problem (paper: 100)")
-	evals := flag.Int("evals", 0, "override iso-iteration budget (paper: ~1000)")
-	isoTime := flag.Duration("time", 0, "override iso-time budget")
-	latency := flag.Duration("latency", 0, "override emulated reference-model query latency")
-	seed := flag.Int64("seed", 0, "override random seed")
-	quiet := flag.Bool("quiet", false, "suppress progress logging")
-	flag.Parse()
+	opts, fig, err := parseFlags(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		// The FlagSet already reported the problem to stderr.
+		os.Exit(2)
+	}
+	if err := run(experiments.New(opts), fig, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// parseFlags resolves the command line into harness options plus the
+// selected figure. log receives progress output unless -quiet is set (and
+// flag-parsing diagnostics always).
+func parseFlags(args []string, log io.Writer) (experiments.Options, string, error) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(log)
+	fig := fs.String("fig", "all", "which experiment to run (t1, 3, space, 5, 6, 7a, 7b, 7c, ablate, step, components, tail, generality, summary, all)")
+	fast := fs.Bool("fast", false, "reduced problem set and budgets")
+	repeats := fs.Int("repeats", 0, "override runs averaged per method/problem (paper: 100)")
+	evals := fs.Int("evals", 0, "override iso-iteration budget (paper: ~1000)")
+	isoTime := fs.Duration("time", 0, "override iso-time budget")
+	latency := fs.Duration("latency", 0, "override emulated reference-model query latency")
+	seed := fs.Int64("seed", 0, "override random seed")
+	quiet := fs.Bool("quiet", false, "suppress progress logging")
+	if err := fs.Parse(args); err != nil {
+		return experiments.Options{}, "", err
+	}
+	if fs.NArg() > 0 {
+		err := fmt.Errorf("unexpected arguments %v", fs.Args())
+		fmt.Fprintln(log, "experiments:", err)
+		return experiments.Options{}, "", err
+	}
 
 	opts := experiments.Defaults(*fast)
 	if *repeats > 0 {
@@ -58,17 +87,12 @@ func main() {
 		opts.Seed = *seed
 	}
 	if !*quiet {
-		opts.Log = os.Stderr
+		opts.Log = log
 	}
-
-	if err := run(experiments.New(opts), *fig); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	return opts, *fig, nil
 }
 
-func run(h *experiments.Harness, fig string) error {
-	w := os.Stdout
+func run(h *experiments.Harness, fig string, w io.Writer) error {
 	runOne := func(name string) error {
 		start := time.Now()
 		var err error

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"mindmappings/internal/experiments"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	opts, fig, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig != "all" {
+		t.Fatalf("fig %q", fig)
+	}
+	want := experiments.Defaults(false)
+	if opts.Repeats != want.Repeats || opts.IsoIterations != want.IsoIterations || opts.Fast {
+		t.Fatalf("defaults not preserved: %+v", opts)
+	}
+	if opts.Log == nil {
+		t.Fatal("progress logging should default on")
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	opts, fig, err := parseFlags([]string{
+		"-fig", "5", "-fast", "-repeats", "7", "-evals", "123",
+		"-time", "2s", "-latency", "3ms", "-seed", "42", "-quiet",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig != "5" || !opts.Fast || opts.Repeats != 7 || opts.IsoIterations != 123 {
+		t.Fatalf("overrides lost: fig=%q opts=%+v", fig, opts)
+	}
+	if opts.IsoTime != 2*time.Second || opts.QueryLatency != 3*time.Millisecond || opts.Seed != 42 {
+		t.Fatalf("duration/seed overrides lost: %+v", opts)
+	}
+	if opts.Log != nil {
+		t.Fatal("-quiet should disable progress logging")
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	if _, _, err := parseFlags([]string{"-evals", "many"}, io.Discard); err == nil {
+		t.Fatal("accepted a non-numeric -evals")
+	}
+	if _, _, err := parseFlags([]string{"stray"}, io.Discard); err == nil {
+		t.Fatal("accepted positional arguments")
+	}
+}
+
+func TestParseFlagsHelp(t *testing.T) {
+	var out bytes.Buffer
+	_, _, err := parseFlags([]string{"-h"}, &out)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(out.String(), "-fig") {
+		t.Fatalf("usage text missing:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	opts := experiments.Defaults(true)
+	opts.Log = nil
+	if err := run(experiments.New(opts), "fig42", io.Discard); err == nil {
+		t.Fatal("unknown figure did not error")
+	}
+}
+
+// TestRunTable1EndToEnd drives one real (cheap) experiment through the
+// same path main uses.
+func TestRunTable1EndToEnd(t *testing.T) {
+	opts, fig, err := parseFlags([]string{"-fig", "t1", "-fast", "-quiet"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(experiments.New(opts), fig, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "ResNet_Conv_4") || !strings.Contains(got, "[t1 done in") {
+		t.Fatalf("unexpected t1 output:\n%s", got)
+	}
+}

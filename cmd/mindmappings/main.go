@@ -8,6 +8,7 @@
 //	mindmappings search  -algo cnn-layer -surrogate cnn.surrogate -problem ResNet_Conv_4 -evals 1000
 //	mindmappings compare -algo mttkrp    -surrogate mtt.surrogate -problem MTTKRP_0 -evals 1000
 //	mindmappings surface -problem ResNet_Conv_4 -out surface.dat
+//	mindmappings serve   -addr :8080 -models ./models
 package main
 
 import (
@@ -40,6 +41,8 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "surface":
 		err = cmdSurface(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -61,6 +64,7 @@ commands:
   search    run the Phase-2 gradient search for one problem
   compare   run Mind Mappings against SA/GA/RL/random on one problem
   surface   dump the Figure-3 style cost surface for a CNN problem
+  serve     run the concurrent mapping-search HTTP service
 
 run "mindmappings <command> -h" for per-command flags
 `)
@@ -183,21 +187,6 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-// parseObjective maps a CLI objective name onto the search objective.
-func parseObjective(name string) (search.Objective, error) {
-	switch strings.ToLower(name) {
-	case "edp", "":
-		return search.ObjectiveEDP, nil
-	case "ed2p":
-		return search.ObjectiveED2P, nil
-	case "energy":
-		return search.ObjectiveEnergy, nil
-	case "delay":
-		return search.ObjectiveDelay, nil
-	}
-	return 0, fmt.Errorf("unknown objective %q (want edp, ed2p, energy, delay)", name)
-}
-
 func loadMapperWithSurrogate(algoName, path string) (*core.Mapper, error) {
 	mp, err := newMapper(algoName)
 	if err != nil {
@@ -227,7 +216,7 @@ func cmdSearch(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	obj, err := parseObjective(*objective)
+	obj, err := search.ParseObjective(*objective)
 	if err != nil {
 		return err
 	}

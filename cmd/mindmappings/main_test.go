@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mindmappings/internal/loopnest"
+	"mindmappings/internal/search"
 )
 
 func TestSurrogateConfigNames(t *testing.T) {
@@ -106,7 +107,7 @@ func TestParseObjective(t *testing.T) {
 	for name, want := range map[string]string{
 		"edp": "EDP", "ed2p": "ED2P", "energy": "energy", "delay": "delay", "EDP": "EDP",
 	} {
-		o, err := parseObjective(name)
+		o, err := search.ParseObjective(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -114,7 +115,7 @@ func TestParseObjective(t *testing.T) {
 			t.Fatalf("%s resolved to %s", name, o)
 		}
 	}
-	if _, err := parseObjective("latency"); err == nil {
+	if _, err := search.ParseObjective("latency"); err == nil {
 		t.Fatal("unknown objective accepted")
 	}
 }

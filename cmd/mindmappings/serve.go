@@ -1,0 +1,69 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mindmappings/internal/service"
+)
+
+// cmdServe runs the long-lived mapping-search service: an HTTP JSON API
+// backed by a worker pool, a shared surrogate registry, and a shared
+// cost-model evaluation cache. See internal/service for the API surface.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	modelDir := fs.String("models", ".", "directory of trained surrogate files served by /v1/models")
+	workers := fs.Int("workers", 0, "search worker pool size (default: runtime.NumCPU())")
+	queueCap := fs.Int("queue", 64, "pending-job queue capacity")
+	cacheCap := fs.Int("cache", service.DefaultEvalCacheCapacity, "eval-cache capacity in entries")
+	regCap := fs.Int("maxmodels", service.DefaultRegistryCapacity, "max surrogates resident in memory (LRU beyond this)")
+	shutdownGrace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fi, err := os.Stat(*modelDir); err != nil || !fi.IsDir() {
+		return fmt.Errorf("serve: -models %q is not a directory", *modelDir)
+	}
+
+	registry := service.NewModelRegistry(*modelDir, *regCap)
+	cache := service.NewEvalCache(*cacheCap)
+	jobs := service.NewJobManager(registry, cache, *workers, *queueCap)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(jobs, registry, cache).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "mindmappings serve: listening on %s (models: %s, workers: %d)\n",
+			*addr, *modelDir, jobs.Workers())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "mindmappings serve: shutting down")
+	grace, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	httpErr := srv.Shutdown(grace)
+	jobErr := jobs.Shutdown(grace)
+	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
+		return httpErr
+	}
+	return jobErr
+}

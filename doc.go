@@ -16,4 +16,12 @@
 // bench_test.go regenerate every table and figure of the paper's evaluation;
 // see DESIGN.md for the per-experiment index and EXPERIMENTS.md for measured
 // results.
+//
+// Beyond the one-shot CLI, internal/service turns the library into a
+// long-running concurrent mapping-search server (`mindmappings serve`): an
+// HTTP JSON API backed by a worker pool, a registry that loads trained
+// surrogates once and shares them across jobs, and an LRU cache that
+// memoizes reference-cost-model evaluations across jobs working on the
+// same problem. See README.md for a quickstart and an example curl
+// session.
 package mindmappings

@@ -1,0 +1,3 @@
+module mindmappings
+
+go 1.24

@@ -1,0 +1,158 @@
+package search
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"mindmappings/internal/stats"
+	"mindmappings/internal/timeloop"
+)
+
+// mapCache is a minimal EvalCache for tests.
+type mapCache struct {
+	mu     sync.Mutex
+	m      map[string]timeloop.Cost
+	hits   int
+	misses int
+}
+
+func newMapCache() *mapCache { return &mapCache{m: map[string]timeloop.Cost{}} }
+
+func (c *mapCache) Get(key string) (timeloop.Cost, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cost, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return cost, ok
+}
+
+func (c *mapCache) Put(key string, cost timeloop.Cost) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = cost
+}
+
+func TestCancellationStopsInFlightSearch(t *testing.T) {
+	ctx := conv1dContext(t, 1)
+	// Slow the model down so the run would take ~an hour without the
+	// cancel, then cancel shortly after it starts.
+	ctx.Model.QueryLatency = 10 * time.Millisecond
+	cctx, cancel := context.WithCancel(context.Background())
+	ctx.Ctx = cctx
+
+	done := make(chan Result, 1)
+	go func() {
+		res, err := RandomSearch{}.Search(ctx, Budget{MaxEvals: 500_000})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res.Evals <= 0 {
+			t.Fatalf("expected partial progress before cancel, got %d evals", res.Evals)
+		}
+		if res.Evals >= 500_000 {
+			t.Fatalf("run was not cut short: %d evals", res.Evals)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("search did not stop after cancellation")
+	}
+}
+
+func TestPreCanceledContextRunsNoEvals(t *testing.T) {
+	ctx := conv1dContext(t, 1)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx.Ctx = cctx
+	res, err := RandomSearch{}.Search(ctx, Budget{MaxEvals: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 0 {
+		t.Fatalf("pre-canceled run paid %d evals", res.Evals)
+	}
+}
+
+func TestEvalCacheMemoizesAcrossRuns(t *testing.T) {
+	cache := newMapCache()
+	run := func(seed int64) Result {
+		ctx := conv1dContext(t, seed)
+		ctx.Cache = cache
+		res, err := RandomSearch{}.Search(ctx, Budget{MaxEvals: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run(7)
+	if cache.hits != 0 && len(cache.m) == 50 {
+		t.Fatalf("unexpected hits on a cold cache: %d", cache.hits)
+	}
+	second := run(7)
+	if cache.hits < 50 {
+		t.Fatalf("identical rerun should hit the cache 50 times, got %d", cache.hits)
+	}
+	if first.BestEDP != second.BestEDP || first.Evals != second.Evals {
+		t.Fatalf("cached rerun diverged: %v vs %v evals, %v vs %v EDP",
+			first.Evals, second.Evals, first.BestEDP, second.BestEDP)
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	run := func(seed int64) Result {
+		ctx := conv1dContext(t, seed)
+		res, err := RandomSearch{}.Search(ctx, Budget{MaxEvals: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(3), run(3)
+	if a.BestEDP != b.BestEDP {
+		t.Fatalf("same seed diverged: %v vs %v", a.BestEDP, b.BestEDP)
+	}
+	if len(a.Trajectory) != len(b.Trajectory) {
+		t.Fatalf("same seed trajectory lengths differ: %d vs %d", len(a.Trajectory), len(b.Trajectory))
+	}
+	for i := range a.Trajectory {
+		if a.Trajectory[i].BestEDP != b.Trajectory[i].BestEDP {
+			t.Fatalf("same seed trajectory diverged at %d", i)
+		}
+	}
+	c := run(4)
+	if c.BestEDP == a.BestEDP && len(c.Trajectory) == len(a.Trajectory) &&
+		c.Trajectory[0].BestEDP == a.Trajectory[0].BestEDP {
+		t.Fatalf("different seeds produced an identical run")
+	}
+}
+
+func TestCacheKeyDistinguishesMappings(t *testing.T) {
+	ctx := conv1dContext(t, 1)
+	rng := stats.NewRNG(1)
+	a := ctx.Space.Random(rng)
+	b := ctx.Space.Random(rng)
+	ka, kb := CacheKey(ctx.Space, &a), CacheKey(ctx.Space, &b)
+	if ka != CacheKey(ctx.Space, &a) {
+		t.Fatal("cache key is not deterministic")
+	}
+	if ka == kb && ctx.Space.Encode(&a)[ctx.Space.PIDLen()] != ctx.Space.Encode(&b)[ctx.Space.PIDLen()] {
+		t.Fatal("distinct mappings share a cache key")
+	}
+	// Same mapping on a different accelerator must key differently: costs
+	// depend on the arch, so cross-arch sharing would corrupt results.
+	other := *ctx.Space
+	other.Arch.NumPEs *= 2
+	if CacheKey(&other, &a) == ka {
+		t.Fatal("different archs share a cache key")
+	}
+}

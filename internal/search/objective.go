@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"strings"
 
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/timeloop"
@@ -26,6 +27,23 @@ const (
 	// ObjectiveDelay minimizes execution cycles alone.
 	ObjectiveDelay
 )
+
+// ParseObjective maps a user-facing objective name ("edp", "ed2p",
+// "energy", "delay"; case-insensitive, empty means EDP) onto an Objective.
+// The CLI and the serve API share this parsing.
+func ParseObjective(name string) (Objective, error) {
+	switch strings.ToLower(name) {
+	case "edp", "":
+		return ObjectiveEDP, nil
+	case "ed2p":
+		return ObjectiveED2P, nil
+	case "energy":
+		return ObjectiveEnergy, nil
+	case "delay":
+		return ObjectiveDelay, nil
+	}
+	return 0, fmt.Errorf("search: unknown objective %q (want edp, ed2p, energy, delay)", name)
+}
 
 // String implements fmt.Stringer.
 func (o Objective) String() string {

@@ -10,6 +10,8 @@
 package search
 
 import (
+	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -112,6 +114,46 @@ type Context struct {
 	// is EDP, the paper's evaluation objective. Every searcher optimizes
 	// it; trajectory values are normalized objective values.
 	Objective Objective
+	// Ctx, when non-nil, lets callers cancel an in-flight search: every
+	// searcher treats cancellation like budget exhaustion, stopping at the
+	// next evaluation boundary and returning the best-so-far result with a
+	// nil error. Long-running callers (the serve job manager, client
+	// disconnects) rely on this for prompt teardown; nil means run to the
+	// budget.
+	Ctx context.Context
+	// Cache, when non-nil, memoizes reference-cost-model evaluations keyed
+	// by the mapping's canonical encoding (see CacheKey). Hits skip the
+	// cost-model compute and its emulated QueryLatency but still count
+	// toward the evaluation budget, so budget accounting is unchanged.
+	Cache EvalCache
+}
+
+// EvalCache memoizes cost-model evaluations across search runs sharing a
+// problem. Implementations must be safe for concurrent use; the cached Cost
+// values are shared and must be treated as immutable.
+type EvalCache interface {
+	Get(key string) (timeloop.Cost, bool)
+	Put(key string, c timeloop.Cost)
+}
+
+// CacheKey returns the canonical cache key for a mapping of a space: the
+// accelerator spec and algorithm name plus the raw bits of the encoded
+// mapping vector, whose problem-id prefix distinguishes problems of
+// different shapes. The arch fingerprint matters because evaluation costs
+// depend on the accelerator: two searches over the same problem on
+// different archs must not share cache entries.
+func CacheKey(s *mapspace.Space, m *mapspace.Mapping) string {
+	vec := s.Encode(m)
+	buf := make([]byte, 8*len(vec))
+	for i, v := range vec {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return fmt.Sprintf("%v|%s|%s", s.Arch, s.Prob.Algo.Name, buf)
+}
+
+// canceled reports whether the caller has canceled the run.
+func (c *Context) canceled() bool {
+	return c.Ctx != nil && c.Ctx.Err() != nil
 }
 
 func (c *Context) validate() error {
@@ -152,9 +194,14 @@ func newTracker(ctx *Context, budget Budget) *tracker {
 	return &tracker{ctx: ctx, budget: budget, start: time.Now(), best: math.Inf(1)}
 }
 
-// exhausted reports whether the budget has run out or the run has
-// converged (Patience evaluations without improvement).
+// exhausted reports whether the budget has run out, the run has converged
+// (Patience evaluations without improvement), or the caller canceled the
+// run. Every searcher checks it around each paid evaluation, so
+// cancellation stops an in-flight search within one evaluation.
 func (t *tracker) exhausted() bool {
+	if t.ctx.canceled() {
+		return true
+	}
 	if t.budget.MaxEvals > 0 && t.evals >= t.budget.MaxEvals {
 		return true
 	}
@@ -194,10 +241,39 @@ func (t *tracker) record(m *mapspace.Mapping, edp float64) {
 	t.traj = append(t.traj, Sample{Eval: t.evals, Elapsed: time.Since(t.start), BestEDP: t.best})
 }
 
+// evaluate runs one cost-model query through the context's eval cache (when
+// configured). paid queries go through Model.Evaluate (counting toward the
+// model's counter and paying QueryLatency); free scoring queries use
+// EvaluateRaw. Cache hits skip the model entirely.
+func (t *tracker) evaluate(m *mapspace.Mapping, paid bool) (timeloop.Cost, error) {
+	if t.ctx.Cache == nil {
+		if paid {
+			return t.ctx.Model.Evaluate(m)
+		}
+		return t.ctx.Model.EvaluateRaw(m)
+	}
+	key := CacheKey(t.ctx.Space, m)
+	if cost, ok := t.ctx.Cache.Get(key); ok {
+		return cost, nil
+	}
+	var cost timeloop.Cost
+	var err error
+	if paid {
+		cost, err = t.ctx.Model.Evaluate(m)
+	} else {
+		cost, err = t.ctx.Model.EvaluateRaw(m)
+	}
+	if err != nil {
+		return cost, err
+	}
+	t.ctx.Cache.Put(key, cost)
+	return cost, nil
+}
+
 // payEval runs a paid reference-cost-model query on m, records it, and
 // returns the true normalized EDP.
 func (t *tracker) payEval(m *mapspace.Mapping) (float64, error) {
-	cost, err := t.ctx.Model.Evaluate(m)
+	cost, err := t.evaluate(m, true)
 	if err != nil {
 		return 0, err
 	}
@@ -212,7 +288,7 @@ func (t *tracker) payEval(m *mapspace.Mapping) (float64, error) {
 // true EDP (obtained through the free scoring path — in the paper's
 // methodology trajectory quality is measured offline, not paid for).
 func (t *tracker) scoreSurrogateStep(m *mapspace.Mapping) (float64, error) {
-	cost, err := t.ctx.Model.EvaluateRaw(m)
+	cost, err := t.evaluate(m, false)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"mindmappings/internal/timeloop"
+)
+
+// EvalCache is a bounded LRU memoization of reference-cost-model
+// evaluations, shared by every job the service runs. Keys are canonical
+// mapping encodings (search.CacheKey), so two jobs searching the same
+// problem — a common pattern when many clients tune the same layer — reuse
+// each other's cost-model work instead of recomputing it. It implements
+// search.EvalCache and is safe for concurrent use.
+type EvalCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	cost timeloop.Cost
+}
+
+// DefaultEvalCacheCapacity bounds the cache when the caller passes a
+// non-positive capacity. At ~1KB per cached Cost this keeps the cache
+// around 64MB worst case.
+const DefaultEvalCacheCapacity = 1 << 16
+
+// NewEvalCache returns an empty cache holding at most capacity entries
+// (DefaultEvalCacheCapacity if capacity <= 0).
+func NewEvalCache(capacity int) *EvalCache {
+	if capacity <= 0 {
+		capacity = DefaultEvalCacheCapacity
+	}
+	return &EvalCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached cost for key, marking the entry most recently
+// used. The returned Cost is shared: callers must not mutate it.
+func (c *EvalCache) Get(key string) (timeloop.Cost, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return timeloop.Cost{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).cost, true
+}
+
+// Put stores a cost under key, evicting the least recently used entry when
+// the cache is full.
+func (c *EvalCache) Put(key string, cost timeloop.Cost) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).cost = cost
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, cost: cost})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness, surfaced
+// by GET /v1/metrics.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// Stats snapshots the hit/miss counters and occupancy.
+func (c *EvalCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.capacity}
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"mindmappings/internal/timeloop"
+)
+
+func TestEvalCacheHitMissCounters(t *testing.T) {
+	c := NewEvalCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", timeloop.Cost{EDP: 1})
+	cost, ok := c.Get("a")
+	if !ok || cost.EDP != 1 {
+		t.Fatalf("get a: %v %v", cost, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Capacity != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEvalCacheLRUEviction(t *testing.T) {
+	c := NewEvalCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), timeloop.Cost{EDP: float64(i)})
+	}
+	// Touch k0 so k1 is the LRU entry, then overflow.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", timeloop.Cost{EDP: 3})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 survived eviction despite being LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if st := c.Stats(); st.Entries != 3 {
+		t.Fatalf("entries %d", st.Entries)
+	}
+}
+
+func TestEvalCacheUpdateExisting(t *testing.T) {
+	c := NewEvalCache(2)
+	c.Put("a", timeloop.Cost{EDP: 1})
+	c.Put("a", timeloop.Cost{EDP: 2})
+	if cost, _ := c.Get("a"); cost.EDP != 2 {
+		t.Fatalf("update lost: %v", cost.EDP)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("duplicate entries: %d", st.Entries)
+	}
+}
+
+func TestEvalCacheConcurrent(t *testing.T) {
+	c := NewEvalCache(128)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%200)
+				if cost, ok := c.Get(k); ok && cost.EDP < 0 {
+					t.Error("corrupt entry")
+					return
+				}
+				c.Put(k, timeloop.Cost{EDP: float64(i)})
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if st := c.Stats(); st.Entries > 128 {
+		t.Fatalf("capacity exceeded: %d", st.Entries)
+	}
+}

@@ -1,0 +1,670 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/oracle"
+	"mindmappings/internal/search"
+	"mindmappings/internal/timeloop"
+)
+
+// JobStatus is the lifecycle state of a search job.
+type JobStatus string
+
+const (
+	JobQueued    JobStatus = "queued"
+	JobRunning   JobStatus = "running"
+	JobDone      JobStatus = "done"
+	JobFailed    JobStatus = "failed"
+	JobCancelled JobStatus = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// SearchRequest is the body of POST /v1/search: which problem to map, with
+// which method, under what budget.
+type SearchRequest struct {
+	// Algo is the target algorithm: cnn-layer, mttkrp, or conv1d.
+	Algo string `json:"algo"`
+	// Problem names a Table-1 problem; Shape gives an explicit problem
+	// shape in the algorithm's constructor order instead (exactly one of
+	// the two is required).
+	Problem string `json:"problem,omitempty"`
+	Shape   []int  `json:"shape,omitempty"`
+	// Searcher selects the method: mm (default, requires Model), sa, ga,
+	// rl, or random.
+	Searcher string `json:"searcher,omitempty"`
+	// Model names a surrogate file in the server's model directory;
+	// required for the mm searcher, ignored otherwise.
+	Model string `json:"model,omitempty"`
+	// Evals caps cost-function evaluations; Time is a wall-clock budget as
+	// a Go duration string ("30s"). At least one must be set.
+	Evals int    `json:"evals,omitempty"`
+	Time  string `json:"time,omitempty"`
+	// Patience stops the run after this many evaluations without
+	// improvement (0 = run to the budget).
+	Patience int `json:"patience,omitempty"`
+	// Objective is edp (default), ed2p, energy, or delay.
+	Objective string `json:"objective,omitempty"`
+	// Seed makes the run reproducible; jobs with equal requests and seeds
+	// produce identical results.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// TrajectoryPoint is one best-so-far sample of a job's search trajectory.
+type TrajectoryPoint struct {
+	Eval      int     `json:"eval"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	BestEDP   float64 `json:"best_edp"`
+}
+
+// JobResult is the outcome of a finished (or cancelled-with-progress) job.
+type JobResult struct {
+	Method     string            `json:"method"`
+	BestEDP    float64           `json:"best_edp"`
+	Evals      int               `json:"evals"`
+	ElapsedMS  float64           `json:"elapsed_ms"`
+	Mapping    string            `json:"mapping,omitempty"`
+	LoopNest   string            `json:"loop_nest,omitempty"`
+	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
+}
+
+// Job is the service-side record of one search request. Snapshots returned
+// by the manager are copies; only the manager mutates the live record.
+type Job struct {
+	ID       string        `json:"id"`
+	Status   JobStatus     `json:"status"`
+	Request  SearchRequest `json:"request"`
+	Error    string        `json:"error,omitempty"`
+	Created  time.Time     `json:"created"`
+	Started  time.Time     `json:"started,omitzero"`
+	Finished time.Time     `json:"finished,omitzero"`
+	Result   *JobResult    `json:"result,omitempty"`
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// JobManager owns the bounded job queue and the worker pool that drains
+// it. All jobs share one ModelRegistry (surrogates loaded once) and one
+// EvalCache (memoized cost-model queries).
+type JobManager struct {
+	registry *ModelRegistry
+	cache    *EvalCache
+
+	queue   chan *Job
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string // submission order, for listing
+	workers   int
+	retention int // max terminal jobs kept for GET /v1/jobs before eviction
+
+	// lifecycle counters, guarded by mu
+	submitted uint64
+	completed uint64
+	failed    uint64
+	cancelled uint64
+}
+
+// NewJobManager starts workers goroutines (runtime.NumCPU() when workers
+// <= 0) draining a queue of at most queueCap pending jobs (64 when <= 0).
+// Call Shutdown to stop the pool.
+func NewJobManager(registry *ModelRegistry, cache *EvalCache, workers, queueCap int) *JobManager {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	jm := &JobManager{
+		registry:  registry,
+		cache:     cache,
+		queue:     make(chan *Job, queueCap),
+		baseCtx:   ctx,
+		stop:      cancel,
+		jobs:      make(map[string]*Job),
+		workers:   workers,
+		retention: DefaultJobRetention,
+	}
+	jm.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go jm.worker()
+	}
+	return jm
+}
+
+// ErrQueueFull is returned by Submit when the pending queue is at
+// capacity; HTTP maps it to 503 so clients can back off and retry.
+var ErrQueueFull = errors.New("service: job queue is full")
+
+var errShuttingDown = errors.New("service: shutting down")
+
+// Validate checks a request without running it.
+func (req *SearchRequest) Validate() error {
+	if _, err := loopnest.AlgorithmByName(req.Algo); err != nil {
+		return err
+	}
+	if (req.Problem == "") == (len(req.Shape) == 0) {
+		return errors.New("service: exactly one of problem or shape is required")
+	}
+	if _, err := search.ParseObjective(req.Objective); err != nil {
+		return err
+	}
+	if _, err := req.budget(); err != nil {
+		return err
+	}
+	name := strings.ToLower(req.Searcher)
+	switch name {
+	case "", "mm":
+		if req.Model == "" {
+			return errors.New("service: the mm searcher needs a model (or pick sa/ga/rl/random)")
+		}
+		if err := validName(req.Model); err != nil {
+			return err
+		}
+	case "sa", "ga", "rl", "random":
+	default:
+		return fmt.Errorf("service: unknown searcher %q (want mm, sa, ga, rl, random)", req.Searcher)
+	}
+	return nil
+}
+
+// budget converts the request's limits into a search.Budget.
+func (req *SearchRequest) budget() (search.Budget, error) {
+	b := search.Budget{MaxEvals: req.Evals, Patience: req.Patience}
+	if req.Time != "" {
+		d, err := time.ParseDuration(req.Time)
+		if err != nil {
+			return b, fmt.Errorf("service: bad time budget: %w", err)
+		}
+		b.MaxTime = d
+	}
+	if b.MaxEvals <= 0 && b.MaxTime <= 0 {
+		return b, errors.New("service: a budget needs evals or time")
+	}
+	if b.MaxEvals < 0 || b.MaxTime < 0 || b.Patience < 0 {
+		return b, fmt.Errorf("service: negative budget")
+	}
+	return b, nil
+}
+
+// resolveProblem finds the requested problem by Table-1 name or explicit
+// shape, mirroring the CLI's resolution rules.
+func (req *SearchRequest) resolveProblem() (loopnest.Problem, error) {
+	if req.Problem != "" {
+		all, err := loopnest.Table1Problems()
+		if err != nil {
+			return loopnest.Problem{}, err
+		}
+		for _, p := range all {
+			if p.Name == req.Problem && p.Algo.Name == req.Algo {
+				return p, nil
+			}
+		}
+		return loopnest.Problem{}, fmt.Errorf("service: problem %q not found for %s", req.Problem, req.Algo)
+	}
+	dims := req.Shape
+	switch req.Algo {
+	case "cnn-layer":
+		if len(dims) != 7 {
+			return loopnest.Problem{}, errors.New("service: cnn-layer shape needs N,K,C,H,W,R,S")
+		}
+		return loopnest.NewCNNProblem("custom", dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6])
+	case "mttkrp":
+		if len(dims) != 4 {
+			return loopnest.Problem{}, errors.New("service: mttkrp shape needs I,J,K,L")
+		}
+		return loopnest.NewMTTKRPProblem("custom", dims[0], dims[1], dims[2], dims[3])
+	case "conv1d":
+		if len(dims) != 2 {
+			return loopnest.Problem{}, errors.New("service: conv1d shape needs W,R")
+		}
+		return loopnest.NewConv1DProblem("custom", dims[0], dims[1])
+	}
+	return loopnest.Problem{}, fmt.Errorf("service: unknown algorithm %q", req.Algo)
+}
+
+// newJobID returns a random 128-bit hex job id.
+func newJobID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit validates and enqueues a job, returning a snapshot of it. The
+// call never blocks: a full queue returns ErrQueueFull.
+func (jm *JobManager) Submit(req SearchRequest) (Job, error) {
+	if err := req.Validate(); err != nil {
+		return Job{}, err
+	}
+	jctx, cancel := context.WithCancel(jm.baseCtx)
+	job := &Job{
+		ID:      newJobID(),
+		Status:  JobQueued,
+		Request: req,
+		Created: time.Now(),
+		ctx:     jctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	// Enqueue and register atomically: the non-blocking send cannot stall
+	// under the lock, and a worker popping the job immediately still finds
+	// it registered because runJob takes the same lock first. The shutdown
+	// check lives in the same critical section as Shutdown's finalize loop,
+	// so a job can never be registered after that loop has run.
+	jm.mu.Lock()
+	if jm.baseCtx.Err() != nil {
+		jm.mu.Unlock()
+		cancel()
+		return Job{}, errShuttingDown
+	}
+	select {
+	case jm.queue <- job:
+		jm.jobs[job.ID] = job
+		jm.order = append(jm.order, job.ID)
+		jm.submitted++
+		snap := copyJob(job)
+		jm.mu.Unlock()
+		return snap, nil
+	default:
+		jm.mu.Unlock()
+		cancel()
+		return Job{}, ErrQueueFull
+	}
+}
+
+// Get returns a snapshot of the job with the given id.
+func (jm *JobManager) Get(id string) (Job, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	job, ok := jm.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return copyJob(job), true
+}
+
+// List returns snapshots of all jobs in submission order.
+func (jm *JobManager) List() []Job {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	out := make([]Job, 0, len(jm.order))
+	for _, id := range jm.order {
+		if job, ok := jm.jobs[id]; ok {
+			out = append(out, copyJob(job))
+		}
+	}
+	return out
+}
+
+// Cancel stops a queued or running job. Queued jobs are finalized
+// immediately; running jobs have their context cancelled and finalize when
+// the searcher observes it (within one evaluation). It returns the
+// post-cancel snapshot, or ok=false for an unknown id. Cancelling a
+// terminal job is a no-op.
+//
+// A cancelled-while-queued job keeps occupying its queue slot until a
+// worker pops and discards it, so under a saturated queue the effective
+// capacity excludes cancelled-but-undrained entries; the discard is cheap,
+// so slots recycle as soon as a worker frees up.
+func (jm *JobManager) Cancel(id string) (Job, bool) {
+	jm.mu.Lock()
+	job, ok := jm.jobs[id]
+	if !ok {
+		jm.mu.Unlock()
+		return Job{}, false
+	}
+	if job.Status == JobQueued {
+		jm.finishLocked(job, JobCancelled, nil, nil)
+		snap := copyJob(job)
+		jm.mu.Unlock()
+		return snap, true
+	}
+	cancel := job.cancel
+	jm.mu.Unlock()
+	cancel() // the worker observes this and finalizes the job
+	return jm.Get(id)
+}
+
+// Wait blocks until the job reaches a terminal status or ctx expires.
+func (jm *JobManager) Wait(ctx context.Context, id string) (Job, error) {
+	jm.mu.Lock()
+	job, ok := jm.jobs[id]
+	jm.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-job.done:
+		return jm.snapshot(id), nil
+	case <-ctx.Done():
+		return jm.snapshot(id), ctx.Err()
+	}
+}
+
+// snapshot returns a copy of the job under the manager lock.
+func (jm *JobManager) snapshot(id string) Job {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if job, ok := jm.jobs[id]; ok {
+		return copyJob(job)
+	}
+	return Job{}
+}
+
+func copyJob(j *Job) Job {
+	c := *j
+	c.cancel = nil
+	c.done = nil
+	if j.Result != nil {
+		r := *j.Result
+		r.Trajectory = append([]TrajectoryPoint(nil), j.Result.Trajectory...)
+		c.Result = &r
+	}
+	return c
+}
+
+// worker drains the queue until shutdown.
+func (jm *JobManager) worker() {
+	defer jm.wg.Done()
+	for {
+		select {
+		case <-jm.baseCtx.Done():
+			return
+		case job := <-jm.queue:
+			jm.runJob(job)
+		}
+	}
+}
+
+// runJob executes one job end to end and finalizes its record.
+func (jm *JobManager) runJob(job *Job) {
+	jm.mu.Lock()
+	ctx := job.ctx
+	if job.Status.Terminal() { // cancelled while queued
+		jm.mu.Unlock()
+		return
+	}
+	if ctx.Err() != nil { // shutdown began while queued
+		jm.finishLocked(job, JobCancelled, nil, nil)
+		jm.mu.Unlock()
+		return
+	}
+	job.Status = JobRunning
+	job.Started = time.Now()
+	jm.mu.Unlock()
+
+	res, space, err := jm.execute(ctx, &job.Request)
+
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	switch {
+	case err != nil && ctx.Err() != nil:
+		// Treat errors after cancellation as cancellation.
+		jm.finishLocked(job, JobCancelled, nil, nil)
+	case err != nil:
+		jm.finishLocked(job, JobFailed, nil, err)
+	case ctx.Err() != nil:
+		jm.finishLocked(job, JobCancelled, buildResult(res, space), nil)
+	default:
+		jm.finishLocked(job, JobDone, buildResult(res, space), nil)
+	}
+}
+
+// DefaultJobRetention is how many finished jobs the manager keeps
+// queryable before evicting the oldest; without a bound a long-running
+// server would accumulate every result (and its trajectory) forever.
+const DefaultJobRetention = 1024
+
+// SetJobRetention overrides the terminal-job retention bound (minimum 1).
+func (jm *JobManager) SetJobRetention(n int) {
+	if n < 1 {
+		n = 1
+	}
+	jm.mu.Lock()
+	jm.retention = n
+	jm.evictTerminalLocked()
+	jm.mu.Unlock()
+}
+
+// finishLocked moves a job to a terminal state. Callers hold jm.mu.
+func (jm *JobManager) finishLocked(job *Job, status JobStatus, result *JobResult, err error) {
+	if job.Status.Terminal() {
+		return
+	}
+	job.Status = status
+	job.Finished = time.Now()
+	job.Result = result
+	if err != nil {
+		job.Error = err.Error()
+	}
+	switch status {
+	case JobDone:
+		jm.completed++
+	case JobFailed:
+		jm.failed++
+	case JobCancelled:
+		jm.cancelled++
+	}
+	job.cancel() // release the context
+	close(job.done)
+	jm.evictTerminalLocked()
+}
+
+// evictTerminalLocked drops the oldest terminal jobs beyond the retention
+// bound. Queued and running jobs are never evicted. Callers hold jm.mu.
+func (jm *JobManager) evictTerminalLocked() {
+	terminal := 0
+	for _, job := range jm.jobs {
+		if job.Status.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= jm.retention {
+		return
+	}
+	kept := jm.order[:0]
+	for _, id := range jm.order {
+		job, ok := jm.jobs[id]
+		if !ok {
+			continue
+		}
+		if terminal > jm.retention && job.Status.Terminal() {
+			delete(jm.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	jm.order = kept
+}
+
+// execute runs the search described by req under ctx.
+func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.Result, *mapspace.Space, error) {
+	algo, err := loopnest.AlgorithmByName(req.Algo)
+	if err != nil {
+		return nil, nil, err
+	}
+	prob, err := req.resolveProblem()
+	if err != nil {
+		return nil, nil, err
+	}
+	a := arch.Default(len(algo.Tensors) - 1)
+	space, err := mapspace.New(a, prob)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := timeloop.New(a, prob)
+	if err != nil {
+		return nil, nil, err
+	}
+	bound, err := oracle.Compute(a, prob)
+	if err != nil {
+		return nil, nil, err
+	}
+	obj, err := search.ParseObjective(req.Objective)
+	if err != nil {
+		return nil, nil, err
+	}
+	budget, err := req.budget()
+	if err != nil {
+		return nil, nil, err
+	}
+	searcher, err := jm.searcher(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	sctx := &search.Context{
+		Space:     space,
+		Model:     model,
+		Bound:     bound,
+		Seed:      req.Seed,
+		Objective: obj,
+		Ctx:       ctx,
+		Cache:     jm.cache,
+	}
+	res, err := searcher.Search(sctx, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &res, space, nil
+}
+
+// searcher builds the requested search method, pulling the shared
+// surrogate from the registry for mm.
+func (jm *JobManager) searcher(req *SearchRequest) (search.Searcher, error) {
+	switch strings.ToLower(req.Searcher) {
+	case "", "mm":
+		sur, err := jm.registry.Get(req.Model)
+		if err != nil {
+			return nil, err
+		}
+		if sur.AlgoName != req.Algo {
+			return nil, fmt.Errorf("service: model %q was trained for %s, request targets %s",
+				req.Model, sur.AlgoName, req.Algo)
+		}
+		return search.MindMappings{Surrogate: sur}, nil
+	case "sa":
+		return search.SimulatedAnnealing{}, nil
+	case "ga":
+		return search.GeneticAlgorithm{}, nil
+	case "rl":
+		return search.RL{Hidden: 64}, nil
+	case "random":
+		return search.RandomSearch{}, nil
+	}
+	return nil, fmt.Errorf("service: unknown searcher %q", req.Searcher)
+}
+
+// buildResult converts a search result into its wire form. A run that
+// never completed an evaluation (budget of ~0, or cancelled immediately)
+// has no result: its best-so-far is +Inf, which JSON cannot carry.
+func buildResult(res *search.Result, space *mapspace.Space) *JobResult {
+	if res == nil || res.Evals == 0 || math.IsInf(res.BestEDP, 0) {
+		return nil
+	}
+	out := &JobResult{
+		Method:    res.Method,
+		BestEDP:   res.BestEDP,
+		Evals:     res.Evals,
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1e3,
+	}
+	if res.Evals > 0 && len(res.Best.Spatial) > 0 {
+		out.Mapping = res.Best.String()
+		out.LoopNest = space.RenderLoopNest(&res.Best)
+	}
+	for _, s := range res.Trajectory {
+		out.Trajectory = append(out.Trajectory, TrajectoryPoint{
+			Eval:      s.Eval,
+			ElapsedMS: float64(s.Elapsed.Microseconds()) / 1e3,
+			BestEDP:   s.BestEDP,
+		})
+	}
+	return out
+}
+
+// JobStats summarizes job lifecycle counts for /v1/metrics.
+type JobStats struct {
+	Submitted uint64 `json:"submitted"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+}
+
+// Stats snapshots lifecycle counters and live queue state.
+func (jm *JobManager) Stats() JobStats {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	st := JobStats{
+		Submitted: jm.submitted,
+		Done:      jm.completed,
+		Failed:    jm.failed,
+		Cancelled: jm.cancelled,
+	}
+	for _, job := range jm.jobs {
+		switch job.Status {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Workers returns the worker-pool size.
+func (jm *JobManager) Workers() int { return jm.workers }
+
+// QueueCap returns the pending-queue capacity.
+func (jm *JobManager) QueueCap() int { return cap(jm.queue) }
+
+// Shutdown cancels every job (queued and running) and waits for the
+// worker pool to drain, or for ctx to expire. New submissions fail once
+// shutdown has begun.
+func (jm *JobManager) Shutdown(ctx context.Context) error {
+	jm.stop() // cancels baseCtx, and transitively every job context
+	drained := make(chan struct{})
+	go func() {
+		jm.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Finalize jobs the workers never picked up.
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	for _, job := range jm.jobs {
+		if !job.Status.Terminal() {
+			jm.finishLocked(job, JobCancelled, nil, nil)
+		}
+	}
+	return nil
+}

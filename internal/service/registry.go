@@ -1,0 +1,219 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mindmappings/internal/surrogate"
+)
+
+// ModelRegistry loads trained Phase-1 surrogates from a directory once and
+// shares them across all concurrent search jobs. Loads happen lazily on
+// first use behind an RWMutex (reads — the overwhelmingly common case once
+// a model is warm — take only the read lock), and a small LRU bound evicts
+// cold models so a server pointed at a large model zoo does not hold every
+// network in memory.
+//
+// Surrogate prediction is concurrency-safe (see surrogate.Surrogate), so
+// one loaded model can serve any number of jobs simultaneously.
+type ModelRegistry struct {
+	dir      string
+	capacity int
+
+	mu      sync.RWMutex
+	loaded  map[string]*regEntry
+	useSeq  atomic.Uint64 // monotonic use clock for LRU ordering
+	loads   uint64        // disk loads performed, guarded by mu (write path only)
+	evicted uint64
+
+	loadMu  sync.Mutex // guards loading; never held during disk I/O
+	loading map[string]*loadCall
+}
+
+// loadCall deduplicates concurrent cold loads of one model (singleflight):
+// the leader reads the disk with no registry lock held, so warm Gets,
+// List, and Stats never stall behind a slow load.
+type loadCall struct {
+	done chan struct{}
+	sur  *surrogate.Surrogate
+	err  error
+}
+
+type regEntry struct {
+	sur  *surrogate.Surrogate
+	used atomic.Uint64 // useSeq at last Get; atomic so hits stay on the read lock
+}
+
+// DefaultRegistryCapacity bounds the number of simultaneously loaded
+// surrogates when the caller passes a non-positive capacity.
+const DefaultRegistryCapacity = 8
+
+// NewModelRegistry returns a registry serving surrogate files from dir.
+func NewModelRegistry(dir string, capacity int) *ModelRegistry {
+	if capacity <= 0 {
+		capacity = DefaultRegistryCapacity
+	}
+	return &ModelRegistry{
+		dir:      dir,
+		capacity: capacity,
+		loaded:   make(map[string]*regEntry),
+		loading:  make(map[string]*loadCall),
+	}
+}
+
+// validName rejects names that could escape the registry directory.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("service: empty model name")
+	}
+	if strings.ContainsAny(name, `/\`) || name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("service: invalid model name %q", name)
+	}
+	return nil
+}
+
+// Get returns the surrogate stored under name (a file name inside the
+// registry directory), loading it from disk on first use.
+func (r *ModelRegistry) Get(name string) (*surrogate.Surrogate, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	if sur, ok := r.lookup(name); ok {
+		return sur, nil
+	}
+
+	// Cold path. Join an in-flight load of the same model, or become the
+	// leader for it; the leader reads the disk with no registry lock held.
+	r.loadMu.Lock()
+	if sur, ok := r.lookup(name); ok { // loaded while waiting for loadMu
+		r.loadMu.Unlock()
+		return sur, nil
+	}
+	if c, ok := r.loading[name]; ok {
+		r.loadMu.Unlock()
+		<-c.done
+		return c.sur, c.err
+	}
+	c := &loadCall{done: make(chan struct{})}
+	r.loading[name] = c
+	r.loadMu.Unlock()
+
+	c.sur, c.err = r.loadFromDisk(name)
+	if c.err == nil {
+		r.insert(name, c.sur)
+	}
+	r.loadMu.Lock()
+	delete(r.loading, name)
+	r.loadMu.Unlock()
+	close(c.done)
+	return c.sur, c.err
+}
+
+// lookup returns a warm model under the read lock, bumping its LRU clock.
+func (r *ModelRegistry) lookup(name string) (*surrogate.Surrogate, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.loaded[name]; ok {
+		e.used.Store(r.useSeq.Add(1))
+		return e.sur, true
+	}
+	return nil, false
+}
+
+// loadFromDisk deserializes one surrogate file. No locks are held.
+func (r *ModelRegistry) loadFromDisk(name string) (*surrogate.Surrogate, error) {
+	f, err := os.Open(filepath.Join(r.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("service: model %q: %w", name, err)
+	}
+	defer f.Close()
+	sur, err := surrogate.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("service: model %q: %w", name, err)
+	}
+	return sur, nil
+}
+
+// insert registers a freshly loaded model and evicts beyond capacity.
+func (r *ModelRegistry) insert(name string, sur *surrogate.Surrogate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.loads++
+	e := &regEntry{sur: sur}
+	e.used.Store(r.useSeq.Add(1))
+	r.loaded[name] = e
+	for len(r.loaded) > r.capacity {
+		oldestName, oldest := "", uint64(0)
+		first := true
+		for n, en := range r.loaded {
+			if n == name {
+				continue // never evict the model just requested
+			}
+			if u := en.used.Load(); first || u < oldest {
+				oldestName, oldest, first = n, u, false
+			}
+		}
+		if oldestName == "" {
+			break
+		}
+		delete(r.loaded, oldestName)
+		r.evicted++
+	}
+}
+
+// ModelInfo describes one surrogate file the registry can serve.
+type ModelInfo struct {
+	Name   string `json:"name"`
+	Algo   string `json:"algo,omitempty"`
+	SizeB  int64  `json:"size_bytes"`
+	Loaded bool   `json:"loaded"`
+}
+
+// List scans the registry directory and reports every regular file along
+// with whether it is currently loaded. Algo is only known for loaded
+// models (listing does not force a load).
+func (r *ModelRegistry) List() ([]ModelInfo, error) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: listing models: %w", err)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []ModelInfo
+	for _, de := range entries {
+		if de.IsDir() || strings.HasPrefix(de.Name(), ".") {
+			continue
+		}
+		info := ModelInfo{Name: de.Name()}
+		if fi, err := de.Info(); err == nil {
+			info.SizeB = fi.Size()
+		}
+		if e, ok := r.loaded[de.Name()]; ok {
+			info.Loaded = true
+			info.Algo = e.sur.AlgoName
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// RegistryStats is a point-in-time registry snapshot for /v1/metrics.
+type RegistryStats struct {
+	Loaded   int    `json:"loaded"`
+	Capacity int    `json:"capacity"`
+	Loads    uint64 `json:"disk_loads"`
+	Evicted  uint64 `json:"evicted"`
+}
+
+// Stats snapshots load/eviction counters.
+func (r *ModelRegistry) Stats() RegistryStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return RegistryStats{Loaded: len(r.loaded), Capacity: r.capacity, Loads: r.loads, Evicted: r.evicted}
+}

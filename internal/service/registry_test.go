@@ -1,0 +1,118 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRegistryLoadsOnceAndShares(t *testing.T) {
+	dir := modelDir(t, "conv1d.surrogate")
+	r := NewModelRegistry(dir, 4)
+	a, err := r.Get("conv1d.surrogate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Get("conv1d.surrogate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Get returned a different surrogate instance")
+	}
+	if st := r.Stats(); st.Loads != 1 || st.Loaded != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRegistryConcurrentGetLoadsOnce(t *testing.T) {
+	dir := modelDir(t, "m.surrogate")
+	r := NewModelRegistry(dir, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Get("m.surrogate"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Loads != 1 {
+		t.Fatalf("concurrent Gets loaded %d times", st.Loads)
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	dir := modelDir(t, "a.surrogate", "b.surrogate", "c.surrogate")
+	r := NewModelRegistry(dir, 2)
+	for _, name := range []string{"a.surrogate", "b.surrogate"} {
+		if _, err := r.Get(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b is LRU, then load c to force an eviction.
+	if _, err := r.Get("a.surrogate"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("c.surrogate"); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Loaded != 2 || st.Evicted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// b was evicted; fetching it again is a fresh disk load.
+	if _, err := r.Get("b.surrogate"); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Loads != 4 {
+		t.Fatalf("loads %d, want 4 (a, b, c, b-again)", st.Loads)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewModelRegistry(t.TempDir(), 2)
+	for _, name := range []string{"", "../etc/passwd", "a/b", `a\b`, ".hidden"} {
+		if _, err := r.Get(name); err == nil {
+			t.Errorf("accepted %q", name)
+		}
+	}
+}
+
+func TestRegistryGetMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	r := NewModelRegistry(dir, 2)
+	if _, err := r.Get("missing.surrogate"); err == nil {
+		t.Fatal("loaded a missing file")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.surrogate"), []byte("not a surrogate"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("junk.surrogate"); err == nil {
+		t.Fatal("loaded garbage")
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	dir := modelDir(t, "a.surrogate", "b.surrogate")
+	r := NewModelRegistry(dir, 4)
+	if _, err := r.Get("a.surrogate"); err != nil {
+		t.Fatal(err)
+	}
+	models, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("listed %d models", len(models))
+	}
+	if models[0].Name != "a.surrogate" || !models[0].Loaded || models[0].Algo != "conv1d" {
+		t.Fatalf("a: %+v", models[0])
+	}
+	if models[1].Name != "b.surrogate" || models[1].Loaded {
+		t.Fatalf("b: %+v", models[1])
+	}
+}

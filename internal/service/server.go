@@ -1,0 +1,152 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Server assembles the HTTP JSON API over a JobManager, ModelRegistry, and
+// EvalCache. Build one with NewServer and mount Handler on an
+// http.Server.
+//
+// Endpoints:
+//
+//	POST   /v1/search     enqueue a search job (202 + job snapshot)
+//	GET    /v1/jobs       list all jobs
+//	GET    /v1/jobs/{id}  job status, result, best-EDP trajectory
+//	DELETE /v1/jobs/{id}  cancel a queued or in-flight job
+//	GET    /v1/models     surrogate files the registry can serve
+//	GET    /v1/metrics    job, cache, and registry counters
+//	GET    /healthz       liveness probe
+type Server struct {
+	jobs     *JobManager
+	registry *ModelRegistry
+	cache    *EvalCache
+	started  time.Time
+}
+
+// NewServer wires the service components into an HTTP front end.
+func NewServer(jobs *JobManager, registry *ModelRegistry, cache *EvalCache) *Server {
+	return &Server{jobs: jobs, registry: registry, cache: cache, started: time.Now()}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON renders v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	job, err := s.jobs.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, errShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	models, err := s.registry.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if models == nil {
+		models = []ModelInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": models})
+}
+
+// Metrics is the GET /v1/metrics body.
+type Metrics struct {
+	Uptime    string        `json:"uptime"`
+	Workers   int           `json:"workers"`
+	QueueCap  int           `json:"queue_capacity"`
+	Jobs      JobStats      `json:"jobs"`
+	EvalCache CacheStats    `json:"eval_cache"`
+	Registry  RegistryStats `json:"registry"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Metrics{
+		Uptime:    time.Since(s.started).Round(time.Millisecond).String(),
+		Workers:   s.jobs.Workers(),
+		QueueCap:  s.jobs.QueueCap(),
+		Jobs:      s.jobs.Stats(),
+		EvalCache: s.cache.Stats(),
+		Registry:  s.registry.Stats(),
+	})
+}

@@ -1,0 +1,20 @@
+// Package service turns the Mind Mappings library into a long-running,
+// concurrent mapping-search server — the production shape of the paper's
+// Appendix-B "optimization service for compilers and frameworks": many
+// clients submit Phase-2 search queries against shared, trained Phase-1
+// surrogates, and throughput comes from three forms of sharing that a
+// one-shot CLI run cannot exploit:
+//
+//   - a ModelRegistry loads each trained surrogate from disk once and
+//     shares it (surrogate prediction is concurrency-safe) across every
+//     job, with LRU eviction bounding resident models;
+//   - an EvalCache memoizes reference-cost-model evaluations keyed by the
+//     mapping's canonical encoding, so concurrent or repeated jobs on the
+//     same problem reuse each other's cost-model work;
+//   - a JobManager runs jobs from a bounded queue on a worker pool sized
+//     to runtime.NumCPU(), with per-job context cancellation threaded all
+//     the way into the search loops.
+//
+// The HTTP JSON API (see Server) is served by the `mindmappings serve`
+// subcommand.
+package service

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/surrogate"
+)
+
+// Training is the expensive part of this package's tests, so one tiny
+// conv1d surrogate is trained once and shared; tests that need it on disk
+// write the serialized bytes into their own temp dirs.
+var (
+	surOnce  sync.Once
+	surBytes []byte
+	surErr   error
+)
+
+func surrogateBytes(t testing.TB) []byte {
+	t.Helper()
+	surOnce.Do(func() {
+		cfg := surrogate.TinyConfig()
+		cfg.HiddenSizes = []int{32, 32}
+		cfg.Samples = 2000
+		cfg.Problems = 6
+		cfg.Train.Epochs = 12
+		ds, err := surrogate.Generate(loopnest.Conv1D(), arch.Default(2), cfg)
+		if err != nil {
+			surErr = err
+			return
+		}
+		sur, _, err := surrogate.Train(ds, cfg)
+		if err != nil {
+			surErr = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := sur.Save(&buf); err != nil {
+			surErr = err
+			return
+		}
+		surBytes = buf.Bytes()
+	})
+	if surErr != nil {
+		t.Fatal(surErr)
+	}
+	return surBytes
+}
+
+// modelDir returns a temp directory holding the shared test surrogate
+// under the given file names.
+func modelDir(t testing.TB, names ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	blob := surrogateBytes(t)
+	for _, name := range names {
+		if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func validRequest() SearchRequest {
+	return SearchRequest{
+		Algo:     "conv1d",
+		Shape:    []int{1024, 5},
+		Searcher: "random",
+		Evals:    50,
+		Seed:     1,
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*SearchRequest)
+		ok     bool
+	}{
+		{"valid", func(r *SearchRequest) {}, true},
+		{"bad algo", func(r *SearchRequest) { r.Algo = "transformer" }, false},
+		{"no problem or shape", func(r *SearchRequest) { r.Shape = nil }, false},
+		{"both problem and shape", func(r *SearchRequest) { r.Problem = "X" }, false},
+		{"no budget", func(r *SearchRequest) { r.Evals = 0 }, false},
+		{"bad time", func(r *SearchRequest) { r.Time = "fortnight" }, false},
+		{"time only", func(r *SearchRequest) { r.Evals = 0; r.Time = "5ms" }, true},
+		{"bad objective", func(r *SearchRequest) { r.Objective = "carbon" }, false},
+		{"bad searcher", func(r *SearchRequest) { r.Searcher = "gradient-boost" }, false},
+		{"mm needs model", func(r *SearchRequest) { r.Searcher = "mm" }, false},
+		{"negative evals", func(r *SearchRequest) { r.Evals = -3 }, false},
+	}
+	for _, tc := range cases {
+		req := validRequest()
+		tc.mutate(&req)
+		err := req.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+}
+
+func TestResolveProblemTable1AndShapes(t *testing.T) {
+	req := SearchRequest{Algo: "cnn-layer", Problem: "ResNet_Conv_4"}
+	p, err := req.resolveProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "ResNet_Conv_4" {
+		t.Fatalf("resolved %q", p.Name)
+	}
+	req = SearchRequest{Algo: "mttkrp", Shape: []int{64, 64, 64, 64}}
+	if _, err := req.resolveProblem(); err != nil {
+		t.Fatal(err)
+	}
+	req = SearchRequest{Algo: "mttkrp", Shape: []int{64}}
+	if _, err := req.resolveProblem(); err == nil {
+		t.Fatal("accepted short shape")
+	}
+	req = SearchRequest{Algo: "cnn-layer", Problem: "MTTKRP_0"}
+	if _, err := req.resolveProblem(); err == nil {
+		t.Fatal("resolved a problem of another algorithm")
+	}
+}

@@ -101,6 +101,5 @@ func Load(r io.Reader) (*Surrogate, error) {
 		Mode:       blob.Mode,
 		LogOutputs: blob.LogOutputs,
 		NumTensors: blob.NumTensors,
-		ws:         net.NewWorkspace(),
 	}, nil
 }

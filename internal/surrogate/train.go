@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"mindmappings/internal/arch"
 	"mindmappings/internal/loopnest"
@@ -15,6 +16,11 @@ import (
 // cost function for one (algorithm, accelerator) pair, reusable across all
 // problems of the algorithm (§4.1: "the surrogate is trained once, offline
 // per target algorithm").
+//
+// All prediction and gradient methods are safe for concurrent use: the
+// network weights are frozen after training and per-call scratch buffers
+// come from an internal pool, so one loaded surrogate can serve many search
+// jobs at once.
 type Surrogate struct {
 	AlgoName   string
 	Arch       arch.Spec
@@ -25,8 +31,20 @@ type Surrogate struct {
 	LogOutputs bool
 	NumTensors int
 
-	ws *nn.Workspace
+	wsPool sync.Pool // of *nn.Workspace for s.Net
 }
+
+// getWS takes a scratch workspace from the pool, allocating on first use.
+func (s *Surrogate) getWS() *nn.Workspace {
+	if ws, ok := s.wsPool.Get().(*nn.Workspace); ok {
+		return ws
+	}
+	return s.Net.NewWorkspace()
+}
+
+// putWS returns a workspace to the pool. Callers must copy out any
+// workspace-owned slices (Forward/InputGradient results) first.
+func (s *Surrogate) putWS(ws *nn.Workspace) { s.wsPool.Put(ws) }
 
 // Train fits a surrogate on the raw dataset per the configured recipe and
 // returns it with the per-epoch loss history (the Figure-7a data).
@@ -96,7 +114,6 @@ func Train(ds *RawDataset, cfg Config) (*Surrogate, *nn.History, error) {
 		Mode:       cfg.Mode,
 		LogOutputs: cfg.LogOutputs,
 		NumTensors: numTensorsFor(ds.Algo, cfg.Mode, len(ds.Y[0])),
-		ws:         net.NewWorkspace(),
 	}
 	return s, hist, nil
 }
@@ -168,7 +185,9 @@ func (s *Surrogate) energyDelay(rawVec []float64) (e, d float64, out []float64, 
 		return 0, 0, nil, idx, fmt.Errorf("surrogate: input length %d, want %d", len(rawVec), s.Net.InDim())
 	}
 	x := s.InNorm.Applied(rawVec)
-	out = s.Net.Forward(s.ws, x)
+	ws := s.getWS()
+	out = append([]float64(nil), s.Net.Forward(ws, x)...)
+	s.putWS(ws)
 	totalIdx, _, cyclesIdx := metaIndices(s.NumTensors)
 	idx = [2]int{totalIdx, cyclesIdx}
 	e = s.OutNorm.InvertOne(totalIdx, out[totalIdx])
@@ -187,7 +206,9 @@ func (s *Surrogate) edpAndOutputs(rawVec []float64) (float64, []float64, error) 
 		return 0, nil, fmt.Errorf("surrogate: input length %d, want %d", len(rawVec), s.Net.InDim())
 	}
 	x := s.InNorm.Applied(rawVec)
-	out := s.Net.Forward(s.ws, x)
+	ws := s.getWS()
+	out := append([]float64(nil), s.Net.Forward(ws, x)...)
+	s.putWS(ws)
 	switch s.Mode {
 	case OutputDirectEDP:
 		edp := s.OutNorm.InvertOne(0, out[0])
@@ -218,7 +239,9 @@ func (s *Surrogate) PredictMetaStats(rawVec []float64) ([]float64, error) {
 		return nil, fmt.Errorf("surrogate: input length %d, want %d", len(rawVec), s.Net.InDim())
 	}
 	x := s.InNorm.Applied(rawVec)
-	out := s.Net.Forward(s.ws, x)
+	ws := s.getWS()
+	out := s.Net.Forward(ws, x)
+	defer s.putWS(ws)
 	meta := make([]float64, len(out))
 	for i, z := range out {
 		v := s.OutNorm.InvertOne(i, z)
@@ -261,11 +284,13 @@ func (s *Surrogate) GradientScalar(rawVec []float64, eExp, dExp float64) (float6
 	dOut[idx[1]] = dVdD * dDdz
 	_ = out
 	x := s.InNorm.Applied(rawVec)
-	gradWhite := s.Net.InputGradient(s.ws, x, dOut)
+	ws := s.getWS()
+	gradWhite := s.Net.InputGradient(ws, x, dOut)
 	grad := make([]float64, len(gradWhite))
 	for i, g := range gradWhite {
 		grad[i] = g / s.InNorm.Std[i]
 	}
+	s.putWS(ws)
 	return val, grad, nil
 }
 
@@ -307,11 +332,13 @@ func (s *Surrogate) GradientEDP(rawVec []float64) (float64, []float64, error) {
 	}
 	// Backprop to the whitened input, then chain through the whitening.
 	x := s.InNorm.Applied(rawVec)
-	gradWhite := s.Net.InputGradient(s.ws, x, dOut)
+	ws := s.getWS()
+	gradWhite := s.Net.InputGradient(ws, x, dOut)
 	grad := make([]float64, len(gradWhite))
 	for i, g := range gradWhite {
 		grad[i] = g / s.InNorm.Std[i]
 	}
+	s.putWS(ws)
 	return edp, grad, nil
 }
 
