@@ -213,6 +213,8 @@ func cmdSearch(args []string) error {
 	maxTime := fs.Duration("time", 0, "wall-clock budget (overrides -evals when set)")
 	objective := fs.String("objective", "edp", "optimization objective: edp, ed2p, energy, delay")
 	seed := fs.Int64("seed", 1, "random seed")
+	chains := fs.Int("chains", 1, "lockstep gradient-descent chains sharing the budget (batched surrogate queries)")
+	parallel := fs.Int("parallel", 0, "workers for batched cost-model scoring (0 = sequential; results are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -233,11 +235,12 @@ func cmdSearch(args []string) error {
 		return err
 	}
 	pc.Objective = obj
+	pc.Parallelism = *parallel
 	budget := search.Budget{MaxEvals: *evals}
 	if *maxTime > 0 {
 		budget = search.Budget{MaxTime: *maxTime}
 	}
-	res, err := mp.FindMapping(pc, budget, *seed)
+	res, err := mp.FindMappingChains(pc, budget, *seed, *chains)
 	if err != nil {
 		return err
 	}

@@ -24,4 +24,15 @@
 // memoizes reference-cost-model evaluations across jobs working on the
 // same problem. See README.md for a quickstart and an example curl
 // session.
+//
+// The evaluation hot path is batched and allocation-free: surrogate
+// queries run through batch GEMM kernels (surrogate.PredictBatch /
+// GradientBatch over mat.MulNT / mat.MulNN) that are bit-identical to the
+// scalar path, the reference cost model evaluates into a reusable
+// workspace with zero steady-state heap allocations
+// (timeloop.EvaluateInto), searchers evaluate candidate populations and
+// neighborhoods as batches, and search.Context.Parallelism fans
+// cost-model scoring across a bounded worker pool without changing
+// results. BENCH_search.json records the measured speedups; the README's
+// Performance section documents the knobs and the benchmark commands.
 package mindmappings

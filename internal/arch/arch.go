@@ -6,8 +6,10 @@
 package arch
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Level identifies a storage level of the accelerator hierarchy, innermost
@@ -103,6 +105,39 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("arch: %d operands per MAC", s.OperandsPerMAC)
 	}
 	return nil
+}
+
+// AppendFingerprint appends a canonical binary encoding of every Spec
+// field to dst and returns the extended slice. Two specs differing in any
+// field produce different fingerprints, and equal specs always produce
+// identical bytes, so the fingerprint is a stable cache-key component
+// (search.CacheKey uses it to keep evaluations of the same mapping on
+// different accelerators apart) without fmt-style reflection or its
+// allocations.
+func (s *Spec) AppendFingerprint(dst []byte) []byte {
+	appendInt := func(v int) {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	appendFloat := func(v float64) {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	// Length-prefix the name so ("ab", 1PE) can never collide with a
+	// hypothetical name ending in the first bytes of the next field.
+	appendInt(len(s.Name))
+	dst = append(dst, s.Name...)
+	appendInt(s.NumPEs)
+	appendInt(s.L1BytesPerPE)
+	appendInt(s.L2Bytes)
+	appendInt(s.Banks)
+	appendInt(s.WordBytes)
+	for l := L1; l < NumLevels; l++ {
+		appendFloat(s.EnergyPerAccess[l])
+		appendFloat(s.BandwidthWords[l])
+	}
+	appendFloat(s.MACEnergyPJ)
+	appendFloat(s.ClockHz)
+	appendInt(s.OperandsPerMAC)
+	return dst
 }
 
 // LevelBytes returns the capacity of an on-chip level (L1 is per-PE).

@@ -86,3 +86,44 @@ func TestLevelString(t *testing.T) {
 		t.Fatal("unknown level must still render")
 	}
 }
+
+func TestAppendFingerprint(t *testing.T) {
+	base := Default(2)
+	same := Default(2)
+	a := base.AppendFingerprint(nil)
+	if b := same.AppendFingerprint(nil); string(a) != string(b) {
+		t.Fatal("equal specs must produce identical fingerprints")
+	}
+	variants := []Spec{Edge(2)} // Default(3) equals the OperandsPerMAC mutation below
+	mutate := []func(*Spec){
+		func(s *Spec) { s.Name = "other" },
+		func(s *Spec) { s.NumPEs++ },
+		func(s *Spec) { s.L1BytesPerPE++ },
+		func(s *Spec) { s.L2Bytes++ },
+		func(s *Spec) { s.Banks++ },
+		func(s *Spec) { s.WordBytes++ },
+		func(s *Spec) { s.EnergyPerAccess[L2] += 0.5 },
+		func(s *Spec) { s.BandwidthWords[DRAM] += 1 },
+		func(s *Spec) { s.MACEnergyPJ += 0.1 },
+		func(s *Spec) { s.ClockHz *= 2 },
+		func(s *Spec) { s.OperandsPerMAC++ },
+	}
+	for _, f := range mutate {
+		v := Default(2)
+		f(&v)
+		variants = append(variants, v)
+	}
+	seen := map[string]bool{string(a): true}
+	for i, v := range variants {
+		fp := string(v.AppendFingerprint(nil))
+		if seen[fp] {
+			t.Fatalf("variant %d collides with an earlier fingerprint", i)
+		}
+		seen[fp] = true
+	}
+	// Appending must extend, not replace.
+	prefixed := base.AppendFingerprint([]byte("xx"))
+	if string(prefixed[:2]) != "xx" || string(prefixed[2:]) != string(a) {
+		t.Fatal("AppendFingerprint must append to dst")
+	}
+}

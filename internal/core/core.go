@@ -104,6 +104,10 @@ type ProblemContext struct {
 	// Objective selects the designer cost function for searches run
 	// through this context (paper §2.3). The zero value is EDP.
 	Objective search.Objective
+	// Parallelism fans batched cost-model evaluations across up to this
+	// many workers during searches run through this context. Search
+	// results are bit-identical for any value; only wall-clock changes.
+	Parallelism int
 }
 
 // NewProblemContext builds the per-problem machinery for any problem of
@@ -158,11 +162,12 @@ func (pc *ProblemContext) Evaluate(m *mapspace.Mapping) (timeloop.Cost, float64,
 // searchContext adapts the ProblemContext for the search package.
 func (pc *ProblemContext) searchContext(seed int64) *search.Context {
 	return &search.Context{
-		Space:     pc.Space,
-		Model:     pc.Model,
-		Bound:     pc.Bound,
-		Seed:      seed,
-		Objective: pc.Objective,
+		Space:       pc.Space,
+		Model:       pc.Model,
+		Bound:       pc.Bound,
+		Seed:        seed,
+		Objective:   pc.Objective,
+		Parallelism: pc.Parallelism,
 	}
 }
 
@@ -170,10 +175,17 @@ func (pc *ProblemContext) searchContext(seed int64) *search.Context {
 // surrogate — for the given problem and budget, returning the search
 // result (best mapping, normalized EDP, best-so-far trajectory).
 func (mp *Mapper) FindMapping(pc *ProblemContext, budget search.Budget, seed int64) (search.Result, error) {
+	return mp.FindMappingChains(pc, budget, seed, 1)
+}
+
+// FindMappingChains is FindMapping with chains lockstep gradient-descent
+// chains sharing the budget (see search.MindMappings.Chains); 1 is the
+// paper's single-chain search.
+func (mp *Mapper) FindMappingChains(pc *ProblemContext, budget search.Budget, seed int64, chains int) (search.Result, error) {
 	if mp.sur == nil {
 		return search.Result{}, errors.New("core: train or load a surrogate before searching (Phase 1 precedes Phase 2)")
 	}
-	mm := search.MindMappings{Surrogate: mp.sur}
+	mm := search.MindMappings{Surrogate: mp.sur, Chains: chains}
 	return mm.Search(pc.searchContext(seed), budget)
 }
 

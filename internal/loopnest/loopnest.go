@@ -138,11 +138,17 @@ func (p *Problem) String() string {
 // parameterization of the problem"). Log-space keeps the magnitudes of very
 // different dimensions comparable before whitening.
 func (p *Problem) PID() []float64 {
-	pid := make([]float64, len(p.Shape))
-	for d, s := range p.Shape {
-		pid[d] = math.Log2(float64(s))
+	return p.AppendPID(make([]float64, 0, len(p.Shape)))
+}
+
+// AppendPID appends the problem-identifier vector to dst and returns the
+// extended slice — the allocation-free form encode hot paths use, and the
+// single definition of the pid encoding.
+func (p *Problem) AppendPID(dst []float64) []float64 {
+	for _, s := range p.Shape {
+		dst = append(dst, math.Log2(float64(s)))
 	}
-	return pid
+	return dst
 }
 
 // AlgorithmByName returns the built-in algorithm registered under name

@@ -35,9 +35,18 @@ func (s *Space) PIDLen() int { return s.NumDims() }
 // rank positions, allocations as raw fractions; the problem id (log2 of
 // each dimension size) is the prefix.
 func (s *Space) Encode(m *Mapping) []float64 {
+	return s.EncodeInto(nil, m)
+}
+
+// EncodeInto is Encode writing into dst (grown when too short, reused
+// otherwise), so encode-heavy hot paths — cache-key construction, batched
+// surrogate scoring — stay allocation-free.
+func (s *Space) EncodeInto(dst []float64, m *Mapping) []float64 {
 	d := s.NumDims()
-	vec := make([]float64, 0, s.VectorLen())
-	vec = append(vec, s.Prob.PID()...)
+	if cap(dst) < s.VectorLen() {
+		dst = make([]float64, 0, s.VectorLen())
+	}
+	vec := s.Prob.AppendPID(dst[:0]) // problem-id prefix
 	for l := arch.L1; l < arch.NumLevels; l++ {
 		for dim := 0; dim < d; dim++ {
 			vec = append(vec, math.Log2(float64(m.Tile[l][dim])))
@@ -51,11 +60,14 @@ func (s *Space) Encode(m *Mapping) []float64 {
 		denom = 1
 	}
 	for l := arch.L1; l < arch.NumLevels; l++ {
-		pos := make([]float64, d)
+		pos := vec[len(vec) : len(vec)+d]
+		vec = vec[:len(vec)+d]
+		for i := range pos {
+			pos[i] = 0
+		}
 		for p, dim := range m.Order[l] {
 			pos[dim] = float64(p) / denom
 		}
-		vec = append(vec, pos...)
 	}
 	for level := arch.L1; level < arch.OnChipLevels; level++ {
 		vec = append(vec, m.Alloc[level]...)

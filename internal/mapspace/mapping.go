@@ -86,8 +86,18 @@ func (m *Mapping) SpatialPEs() int {
 // spatial and L2 factors (the shared buffer holds the tiles of all PEs);
 // at DRAM the full problem shape.
 func (m *Mapping) CumulativeTile(level arch.Level) []int {
+	return m.CumulativeTileInto(nil, level)
+}
+
+// CumulativeTileInto is CumulativeTile writing into dst (grown when too
+// short, reused otherwise), so evaluation hot paths can stay
+// allocation-free.
+func (m *Mapping) CumulativeTileInto(dst []int, level arch.Level) []int {
 	d := len(m.Spatial)
-	out := make([]int, d)
+	if cap(dst) < d {
+		dst = make([]int, d)
+	}
+	dst = dst[:d]
 	for i := 0; i < d; i++ {
 		t := m.Tile[arch.L1][i]
 		if level >= arch.L2 {
@@ -96,9 +106,9 @@ func (m *Mapping) CumulativeTile(level arch.Level) []int {
 		if level >= arch.DRAM {
 			t *= m.Tile[arch.DRAM][i]
 		}
-		out[i] = t
+		dst[i] = t
 	}
-	return out
+	return dst
 }
 
 // String renders the mapping compactly for logs and error messages.

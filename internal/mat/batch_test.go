@@ -1,0 +1,112 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randDense(rng *rand.Rand, rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestMulNTMatchesMatVecBitwise is the bit-identity contract the batched
+// surrogate path relies on: every row of a MulNT product must equal the
+// corresponding MatVec result exactly, including rows handled by the
+// 4-row-blocked fast path and the tail loop.
+func TestMulNTMatchesMatVecBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, batch := range []int{1, 2, 3, 4, 5, 7, 8, 16, 17} {
+		a := randDense(rng, batch, 13)
+		b := randDense(rng, 9, 13)
+		dst := NewDense(batch, 9)
+		MulNT(dst, a, b)
+		want := make([]float64, 9)
+		for r := 0; r < batch; r++ {
+			MatVec(want, b, a.Row(r))
+			for j, w := range want {
+				if got := dst.At(r, j); got != w {
+					t.Fatalf("batch=%d: MulNT[%d][%d]=%v, MatVec=%v", batch, r, j, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestMulNNMatchesMatTVecBitwise pins the backward-path analog: each MulNN
+// row must equal MatTVec on that row exactly, including the zero-skip.
+func TestMulNNMatchesMatTVecBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, batch := range []int{1, 2, 4, 5, 8, 11} {
+		a := randDense(rng, batch, 9)
+		// Inject zeros to exercise the skip path.
+		for i := range a.Data {
+			if rng.Intn(3) == 0 {
+				a.Data[i] = 0
+			}
+		}
+		b := randDense(rng, 9, 13)
+		dst := NewDense(batch, 13)
+		MulNN(dst, a, b)
+		want := make([]float64, 13)
+		for r := 0; r < batch; r++ {
+			MatTVec(want, b, a.Row(r))
+			for j, w := range want {
+				if got := dst.At(r, j); got != w {
+					t.Fatalf("batch=%d: MulNN[%d][%d]=%v, MatTVec=%v", batch, r, j, got, w)
+				}
+			}
+		}
+	}
+}
+
+func TestMulNNOverwritesPriorContents(t *testing.T) {
+	a := NewDense(2, 2)
+	b := NewDense(2, 2)
+	dst := NewDense(2, 2)
+	for i := range dst.Data {
+		dst.Data[i] = 99
+	}
+	MulNN(dst, a, b) // all-zero operands must produce an all-zero product
+	for i, v := range dst.Data {
+		if v != 0 {
+			t.Fatalf("dst[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestAddToRows(t *testing.T) {
+	m := NewDense(3, 2)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	AddToRows(m, []float64{10, 20})
+	want := []float64{10, 21, 12, 23, 14, 25}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("AddToRows[%d] = %v, want %v", i, m.Data[i], v)
+		}
+	}
+}
+
+func TestBatchKernelShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { MulNT(NewDense(2, 2), NewDense(2, 3), NewDense(2, 4)) },
+		func() { MulNT(NewDense(3, 2), NewDense(2, 3), NewDense(2, 3)) },
+		func() { MulNN(NewDense(2, 3), NewDense(2, 4), NewDense(3, 3)) },
+		func() { AddToRows(NewDense(2, 3), []float64{1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected shape panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"fmt"
+
+	"mindmappings/internal/mat"
+)
+
+// Batch buffers live on the same Workspace as the scalar scratch so one
+// pooled Workspace serves both paths. They are grown lazily to the largest
+// batch seen and reused thereafter, so steady-state batched inference
+// allocates nothing.
+//
+// The batched kernels (mat.MulNT / mat.MulNN) accumulate in exactly the
+// same order as the scalar MatVec / MatTVec they replace, so ForwardBatch
+// and InputGradientBatch are bit-identical to running Forward /
+// InputGradient row by row — the property the search layer's
+// batch-vs-scalar determinism tests pin.
+
+// ensureBatch grows ws's batch buffers to hold at least b rows for net n.
+func (ws *Workspace) ensureBatch(n *MLP, b int) {
+	if ws.batchCap >= b {
+		return
+	}
+	maxW := 0
+	for _, s := range n.Sizes {
+		if s > maxW {
+			maxW = s
+		}
+	}
+	ws.actsB = ws.actsB[:0]
+	ws.preB = ws.preB[:0]
+	ws.deltaB = ws.deltaB[:0]
+	ws.actsB = append(ws.actsB, mat.NewDense(b, n.Sizes[0]))
+	for _, l := range n.Layers {
+		ws.preB = append(ws.preB, mat.NewDense(b, l.Out()))
+		ws.actsB = append(ws.actsB, mat.NewDense(b, l.Out()))
+		ws.deltaB = append(ws.deltaB, mat.NewDense(b, l.Out()))
+	}
+	ws.derivB = mat.NewDense(b, maxW)
+	ws.inGradB = mat.NewDense(b, n.Sizes[0])
+	ws.batchCap = b
+}
+
+// view returns the leading b-row window of a batch buffer as a value
+// matrix sharing the buffer's storage (rows are contiguous, so no copy).
+func view(m *mat.Dense, b int) mat.Dense {
+	return mat.Dense{Rows: b, Cols: m.Cols, Data: m.Data[:b*m.Cols]}
+}
+
+// ForwardBatch runs the network on a batch of input rows (x is batch x
+// InDim) and returns the batch x OutDim output matrix. The returned matrix
+// shares storage with ws and is overwritten by the next batched call on
+// the same workspace; copy rows that must persist. Row i of the result is
+// bit-identical to Forward on row i.
+func (n *MLP) ForwardBatch(ws *Workspace, x *mat.Dense) mat.Dense {
+	if x.Cols != n.InDim() {
+		panic(fmt.Sprintf("nn: ForwardBatch input width %d, want %d", x.Cols, n.InDim()))
+	}
+	b := x.Rows
+	ws.ensureBatch(n, b)
+	ws.lastBatch = b
+	a0 := view(ws.actsB[0], b)
+	copy(a0.Data, x.Data[:b*x.Cols])
+	last := len(n.Layers) - 1
+	for i, l := range n.Layers {
+		pre := view(ws.preB[i], b)
+		act := view(ws.actsB[i+1], b)
+		in := view(ws.actsB[i], b)
+		mat.MulNT(&pre, &in, l.W)
+		mat.AddToRows(&pre, l.B)
+		if i == last {
+			copy(act.Data, pre.Data) // linear output head
+		} else {
+			n.Hidden.Forward(act.Data, pre.Data)
+		}
+	}
+	return view(ws.actsB[len(ws.actsB)-1], b)
+}
+
+// InputGradientBatch computes d(scalar_i)/d(input row i) for a batch of
+// inputs, where dOut row i is the gradient of scalar_i with respect to the
+// network output for input row i (batch x OutDim). It runs ForwardBatch
+// followed by a batched backward pass that skips parameter-gradient
+// accumulation, returning the batch x InDim gradient matrix (owned by ws,
+// overwritten by the next batched call). Row i is bit-identical to
+// InputGradient on row i.
+func (n *MLP) InputGradientBatch(ws *Workspace, x, dOut *mat.Dense) mat.Dense {
+	if dOut.Cols != n.OutDim() {
+		panic(fmt.Sprintf("nn: InputGradientBatch dOut width %d, want %d", dOut.Cols, n.OutDim()))
+	}
+	if dOut.Rows != x.Rows {
+		panic(fmt.Sprintf("nn: InputGradientBatch %d inputs vs %d dOut rows", x.Rows, dOut.Rows))
+	}
+	n.ForwardBatch(ws, x)
+	return n.BackwardInputBatch(ws, dOut)
+}
+
+// BackwardInputBatch backpropagates dOut (batch x OutDim) through the
+// forward pass most recently run by ForwardBatch on ws, skipping
+// parameter-gradient accumulation, and returns the batch x InDim input
+// gradients (owned by ws). Callers that already ran ForwardBatch to read
+// the outputs use this to avoid a redundant forward pass; dOut.Rows must
+// match that forward batch.
+func (n *MLP) BackwardInputBatch(ws *Workspace, dOut *mat.Dense) mat.Dense {
+	if dOut.Cols != n.OutDim() {
+		panic(fmt.Sprintf("nn: BackwardInputBatch dOut width %d, want %d", dOut.Cols, n.OutDim()))
+	}
+	if dOut.Rows != ws.lastBatch {
+		panic(fmt.Sprintf("nn: BackwardInputBatch %d dOut rows, forward batch was %d", dOut.Rows, ws.lastBatch))
+	}
+	b := dOut.Rows
+	last := len(n.Layers) - 1
+	dLast := view(ws.deltaB[last], b)
+	copy(dLast.Data, dOut.Data[:b*dOut.Cols]) // output layer is linear
+	for i := last; i >= 0; i-- {
+		l := n.Layers[i]
+		delta := view(ws.deltaB[i], b)
+		var down mat.Dense
+		if i > 0 {
+			down = view(ws.deltaB[i-1], b)
+		} else {
+			down = view(ws.inGradB, b)
+		}
+		mat.MulNN(&down, &delta, l.W)
+		if i > 0 {
+			// Multiply by the activation derivative of layer i-1,
+			// element-wise over the contiguous b-row window — the same
+			// per-element operations as the scalar Backward.
+			w := l.In()
+			derivBuf := ws.derivB.Data[:b*w]
+			n.Hidden.Deriv(derivBuf, ws.preB[i-1].Data[:b*w], ws.actsB[i].Data[:b*w])
+			for j := range down.Data {
+				down.Data[j] *= derivBuf[j]
+			}
+		}
+	}
+	return view(ws.inGradB, b)
+}

@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mindmappings/internal/mat"
+)
+
+func batchTestNet(t *testing.T, hidden Activation) *MLP {
+	t.Helper()
+	net, err := NewMLP([]int{7, 11, 9, 3}, hidden, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func randBatch(rng *rand.Rand, rows, cols int) *mat.Dense {
+	x := mat.NewDense(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestForwardBatchBitIdentical pins the core contract: ForwardBatch row i
+// equals a scalar Forward on row i bit-for-bit, across batch sizes that
+// exercise both the blocked kernel and its tail, and across activations.
+func TestForwardBatchBitIdentical(t *testing.T) {
+	for _, act := range []Activation{ReLU{}, Tanh{}, LeakyReLU{Slope: 0.01}} {
+		net := batchTestNet(t, act)
+		rng := rand.New(rand.NewSource(7))
+		wsB := net.NewWorkspace()
+		wsS := net.NewWorkspace()
+		for _, batch := range []int{1, 2, 4, 5, 8, 13} {
+			x := randBatch(rng, batch, net.InDim())
+			out := net.ForwardBatch(wsB, x)
+			for r := 0; r < batch; r++ {
+				want := net.Forward(wsS, x.Row(r))
+				for j, w := range want {
+					if got := out.At(r, j); got != w {
+						t.Fatalf("%s batch=%d row=%d out[%d]: batch %v != scalar %v",
+							act.Name(), batch, r, j, got, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInputGradientBatchBitIdentical does the same for the backward pass.
+func TestInputGradientBatchBitIdentical(t *testing.T) {
+	for _, act := range []Activation{ReLU{}, Tanh{}} {
+		net := batchTestNet(t, act)
+		rng := rand.New(rand.NewSource(8))
+		wsB := net.NewWorkspace()
+		wsS := net.NewWorkspace()
+		for _, batch := range []int{1, 3, 4, 6, 9} {
+			x := randBatch(rng, batch, net.InDim())
+			dOut := randBatch(rng, batch, net.OutDim())
+			grads := net.InputGradientBatch(wsB, x, dOut)
+			for r := 0; r < batch; r++ {
+				want := net.InputGradient(wsS, x.Row(r), dOut.Row(r))
+				for j, w := range want {
+					if got := grads.At(r, j); got != w {
+						t.Fatalf("%s batch=%d row=%d grad[%d]: batch %v != scalar %v",
+							act.Name(), batch, r, j, got, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchWorkspaceReuse checks that a workspace grown once serves
+// smaller and equal batches without reallocating, and that scalar and
+// batched use of the same workspace do not corrupt each other.
+func TestBatchWorkspaceReuse(t *testing.T) {
+	net := batchTestNet(t, ReLU{})
+	rng := rand.New(rand.NewSource(9))
+	ws := net.NewWorkspace()
+	big := randBatch(rng, 16, net.InDim())
+	net.ForwardBatch(ws, big)
+	if ws.batchCap != 16 {
+		t.Fatalf("batchCap = %d, want 16", ws.batchCap)
+	}
+	small := randBatch(rng, 3, net.InDim())
+	out := net.ForwardBatch(ws, small)
+	if ws.batchCap != 16 {
+		t.Fatalf("batchCap regrew to %d", ws.batchCap)
+	}
+	if out.Rows != 3 || out.Cols != net.OutDim() {
+		t.Fatalf("small-batch view is %dx%d", out.Rows, out.Cols)
+	}
+	// Interleave a scalar call and confirm a fresh batch result is intact.
+	net.Forward(ws, small.Row(0))
+	out = net.ForwardBatch(ws, small)
+	check := net.Forward(net.NewWorkspace(), small.Row(1))
+	for j, w := range check {
+		if out.At(1, j) != w {
+			t.Fatalf("post-interleave row 1 out[%d] = %v, want %v", j, out.At(1, j), w)
+		}
+	}
+}
+
+// TestForwardBatchShapePanics pins input validation.
+func TestForwardBatchShapePanics(t *testing.T) {
+	net := batchTestNet(t, ReLU{})
+	ws := net.NewWorkspace()
+	cases := []func(){
+		func() { net.ForwardBatch(ws, mat.NewDense(2, net.InDim()+1)) },
+		func() { net.InputGradientBatch(ws, mat.NewDense(2, net.InDim()), mat.NewDense(2, net.OutDim()+1)) },
+		func() { net.InputGradientBatch(ws, mat.NewDense(2, net.InDim()), mat.NewDense(3, net.OutDim())) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestForwardBatchSteadyStateAllocFree: after the first (growing) call, a
+// batched forward+backward on a warm workspace performs zero heap
+// allocations.
+func TestForwardBatchSteadyStateAllocFree(t *testing.T) {
+	net := batchTestNet(t, ReLU{})
+	rng := rand.New(rand.NewSource(10))
+	ws := net.NewWorkspace()
+	x := randBatch(rng, 8, net.InDim())
+	dOut := randBatch(rng, 8, net.OutDim())
+	net.InputGradientBatch(ws, x, dOut) // warm up / grow
+	allocs := testing.AllocsPerRun(50, func() {
+		net.InputGradientBatch(ws, x, dOut)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state InputGradientBatch allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -102,6 +102,16 @@ type Workspace struct {
 	acts  [][]float64 // acts[0] = input copy; acts[i+1] = output of layer i
 	delta [][]float64 // backprop error per layer output
 	deriv []float64   // activation derivative scratch
+
+	// Batched counterparts (see batch.go), grown lazily by ensureBatch to
+	// the largest batch seen on this workspace.
+	batchCap  int
+	lastBatch int // rows of the most recent ForwardBatch
+	preB      []*mat.Dense
+	actsB     []*mat.Dense
+	deltaB    []*mat.Dense
+	derivB    *mat.Dense
+	inGradB   *mat.Dense
 }
 
 // NewWorkspace allocates scratch buffers for net.

@@ -3,6 +3,7 @@ package search
 import (
 	"math"
 
+	"mindmappings/internal/mapspace"
 	"mindmappings/internal/stats"
 )
 
@@ -57,17 +58,27 @@ func (s SimulatedAnnealing) Search(ctx *Context, budget Budget) (Result, error) 
 
 	// Pilot phase: free exploration (all moves accepted) to estimate the
 	// typical uphill delta. These moves consume budget like any other.
+	// Because every pilot move is accepted, the chain depends only on the
+	// rng — so it can be generated up front and evaluated as one batch
+	// (the Metropolis loop below has a true serial dependency and cannot).
 	var deltas stats.Running
-	for i := 0; i < pilot && !t.exhausted(); i++ {
-		next := ctx.Space.Perturb(rng, &cur)
-		nextE, err := t.payEval(&next)
+	if !t.exhausted() {
+		chain := make([]mapspace.Mapping, 0, pilot)
+		prev := &cur
+		for i := 0; i < t.remainingEvals(pilot); i++ {
+			chain = append(chain, ctx.Space.Perturb(rng, prev))
+			prev = &chain[len(chain)-1]
+		}
+		vals, err := t.payEvalBatch(chain, nil)
 		if err != nil {
 			return Result{}, err
 		}
-		if d := math.Abs(nextE - curE); d > 0 {
-			deltas.Add(d)
+		for i, nextE := range vals {
+			if d := math.Abs(nextE - curE); d > 0 {
+				deltas.Add(d)
+			}
+			cur, curE = chain[i], nextE
 		}
-		cur, curE = next, nextE
 	}
 	meanDelta := deltas.Mean()
 	if meanDelta <= 0 {

@@ -1,0 +1,152 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mindmappings/internal/mapspace"
+)
+
+// Batched evaluation: searchers that can name a whole neighborhood or
+// population up front (GA offspring cohorts, SA pilot chains, beam
+// expansions, random chunks, multi-chain gradient scoring) hand it to the
+// tracker as one batch instead of one candidate at a time. Sequentially
+// that amortizes per-candidate overhead; with Context.Parallelism > 1 the
+// cost-model queries additionally fan out across a bounded worker pool.
+//
+// The contract in both modes is exact equivalence with the scalar loop:
+// candidates are recorded in slice order, the budget is re-checked before
+// every record just as a scalar searcher re-checks it before every
+// payEval, and a batch stops recording (discarding the tail) the moment
+// the budget expires. Trajectories are therefore bit-identical across
+// scalar/batched/parallel execution for a fixed seed — the determinism
+// tests pin this.
+
+// payEvalBatch evaluates candidates as paid reference-cost-model queries,
+// recording them in order, and returns their normalized objective values.
+// The returned slice (vals reused when it has capacity) may be shorter
+// than ms: its length is the number of candidates recorded before the
+// budget ran out. The first candidate is always evaluated (callers check
+// the budget before building a batch, mirroring the scalar loops).
+func (t *tracker) payEvalBatch(ms []mapspace.Mapping, vals []float64) ([]float64, error) {
+	return t.evalBatch(ms, vals, true)
+}
+
+// scoreSurrogateBatch is payEvalBatch for Mind-Mappings-style surrogate
+// iterations: each candidate charges one (cheap) surrogate query against
+// the budget and is scored offline through the free cost-model path.
+func (t *tracker) scoreSurrogateBatch(ms []mapspace.Mapping, vals []float64) ([]float64, error) {
+	return t.evalBatch(ms, vals, false)
+}
+
+func (t *tracker) evalBatch(ms []mapspace.Mapping, vals []float64, paid bool) ([]float64, error) {
+	if cap(vals) >= len(ms) {
+		vals = vals[:0]
+	} else {
+		vals = make([]float64, 0, len(ms))
+	}
+	workers := t.ctx.Parallelism
+	if t.ctx.Scalar || workers <= 1 || len(ms) <= 1 {
+		// Scalar path: literally the per-candidate loop every searcher ran
+		// before batching existed.
+		for i := range ms {
+			if i > 0 && t.exhausted() {
+				break
+			}
+			var (
+				val float64
+				err error
+			)
+			if paid {
+				val, err = t.payEval(&ms[i])
+			} else {
+				val, err = t.scoreSurrogateStep(&ms[i])
+			}
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, val)
+		}
+		return vals, nil
+	}
+
+	// Parallel path: compute every candidate's value on the worker pool,
+	// then replay the results through the tracker in candidate order so
+	// recording (and hence the trajectory) is independent of scheduling.
+	n := len(ms)
+	if workers > n {
+		workers = n
+	}
+	if len(t.workers) < workers {
+		t.workers = make([]workerScratch, workers)
+	}
+	if cap(t.batchV) < n {
+		t.batchV = make([]float64, n)
+		t.batchE = make([]error, n)
+	}
+	results := t.batchV[:n]
+	errs := t.batchE[:n]
+	for i := range errs {
+		errs[i] = nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ws *workerScratch) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Honor cancellation between evaluations, like the scalar
+				// loop: remaining candidates are marked, not evaluated, so
+				// a canceled run stops within one in-flight evaluation per
+				// worker instead of finishing the whole batch.
+				if t.ctx.canceled() {
+					errs[i] = t.ctx.Ctx.Err()
+					continue
+				}
+				results[i], errs[i] = t.evalValue(&ms[i], paid, ws)
+			}
+		}(&t.workers[w])
+	}
+	wg.Wait()
+	for i := range ms {
+		if i > 0 && t.exhausted() {
+			break
+		}
+		if errs[i] != nil {
+			if t.ctx.canceled() {
+				// Interrupted mid-batch: stop recording and let the
+				// searcher return its best-so-far result, the same
+				// contract as scalar cancellation.
+				break
+			}
+			return nil, errs[i]
+		}
+		t.evals++
+		t.record(&ms[i], results[i])
+		vals = append(vals, results[i])
+	}
+	return vals, nil
+}
+
+// remainingEvals returns how many more candidates may be generated for a
+// batch under an eval-capped budget (at least min 1 so a caller that
+// passed the exhausted() gate can always build a single-candidate batch),
+// or limit when only time-bounded.
+func (t *tracker) remainingEvals(limit int) int {
+	if t.budget.MaxEvals <= 0 {
+		return limit
+	}
+	r := t.budget.MaxEvals - t.evals
+	if r < 1 {
+		r = 1
+	}
+	if r > limit {
+		return limit
+	}
+	return r
+}

@@ -53,27 +53,38 @@ func (bs BeamSearch) Search(ctx *Context, budget Budget) (Result, error) {
 		m   mapspace.Mapping
 		edp float64
 	}
+	// Initial beam, evaluated as one batch (candidate generation consumes
+	// the rng in the scalar loop's order, so trajectories are identical).
 	var beam []entry
-	for i := 0; i < width && !t.exhausted(); i++ {
-		m := ctx.Space.Random(rng)
-		edp, err := t.payEval(&m)
-		if err != nil {
-			return Result{}, err
-		}
-		beam = append(beam, entry{m, edp})
+	cohort := make([]mapspace.Mapping, 0, width*branch)
+	for i := 0; i < t.remainingEvals(width); i++ {
+		cohort = append(cohort, ctx.Space.Random(rng))
+	}
+	vals, err := t.payEvalBatch(cohort, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, v := range vals {
+		beam = append(beam, entry{cohort[i], v})
 	}
 
 	for !t.exhausted() && len(beam) > 0 {
 		children := append([]entry(nil), beam...)
+		// Expand the whole round — every parent's children, parent-major,
+		// exactly the scalar generation order — then evaluate it as one
+		// batch.
+		cohort = cohort[:0]
+		limit := t.remainingEvals(len(beam) * branch)
 		for _, parent := range beam {
-			for c := 0; c < branch && !t.exhausted(); c++ {
-				child := ctx.Space.Perturb(rng, &parent.m)
-				edp, err := t.payEval(&child)
-				if err != nil {
-					return Result{}, err
-				}
-				children = append(children, entry{child, edp})
+			for c := 0; c < branch && len(cohort) < limit; c++ {
+				cohort = append(cohort, ctx.Space.Perturb(rng, &parent.m))
 			}
+		}
+		if vals, err = t.payEvalBatch(cohort, vals); err != nil {
+			return Result{}, err
+		}
+		for i, v := range vals {
+			children = append(children, entry{cohort[i], v})
 		}
 		sort.SliceStable(children, func(a, b int) bool { return children[a].edp < children[b].edp })
 		if len(children) > width {

@@ -1,0 +1,163 @@
+package search
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/oracle"
+	"mindmappings/internal/stats"
+	"mindmappings/internal/timeloop"
+)
+
+// End-to-end search throughput benchmarks: evaluations per second through
+// the full tracker pipeline (cost model + budget accounting + trajectory)
+// for the scalar path, the batched path, and the batched path with a
+// worker pool. BENCH_search.json records these as the repo's perf
+// trajectory; b.ReportMetric exposes evals/s directly.
+
+func benchSearchContext(b *testing.B, seed int64) *Context {
+	b.Helper()
+	p, err := loopnest.NewCNNProblem("bench", 16, 256, 256, 14, 14, 3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := arch.Default(2)
+	space, err := mapspace.New(a, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := timeloop.New(a, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := oracle.Compute(a, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &Context{Space: space, Model: model, Bound: bound, Seed: seed}
+}
+
+func runSearchBench(b *testing.B, mk func(seed int64) *Context) {
+	const evals = 2000
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		ctx := mk(int64(i))
+		res, err := GeneticAlgorithm{}.Search(ctx, Budget{MaxEvals: evals})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Evals
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "evals/s")
+}
+
+func BenchmarkSearchGA(b *testing.B) {
+	b.Run("scalar", func(b *testing.B) {
+		runSearchBench(b, func(seed int64) *Context {
+			ctx := benchSearchContext(b, seed)
+			ctx.Scalar = true
+			return ctx
+		})
+	})
+	b.Run("batch", func(b *testing.B) {
+		runSearchBench(b, func(seed int64) *Context {
+			return benchSearchContext(b, seed)
+		})
+	})
+	b.Run("parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+		runSearchBench(b, func(seed int64) *Context {
+			ctx := benchSearchContext(b, seed)
+			ctx.Parallelism = workers
+			return ctx
+		})
+	})
+}
+
+// BenchmarkSearchGAQueryLatency replays the paper's setting, where each
+// reference-cost-model query takes real time (Timeloop queries take
+// milliseconds; 100µs emulated here). This is where Parallelism pays:
+// the pool overlaps the latency of a whole offspring cohort.
+func BenchmarkSearchGAQueryLatency(b *testing.B) {
+	const evals = 400
+	for _, mode := range []string{"serial", "parallel"} {
+		b.Run(mode, func(b *testing.B) {
+			total := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := benchSearchContext(b, int64(i))
+				ctx.Model.QueryLatency = 100 * time.Microsecond
+				if mode == "parallel" {
+					// Latency-bound, not CPU-bound: a fixed pool overlaps
+					// the emulated query latency even on one core.
+					ctx.Parallelism = 8
+				}
+				res, err := GeneticAlgorithm{}.Search(ctx, Budget{MaxEvals: evals})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Evals
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "evals/s")
+		})
+	}
+}
+
+// BenchmarkPayEvalBatch isolates the tracker's batch pipeline (no search
+// heuristics): cost of evaluating a 64-candidate batch per candidate.
+func BenchmarkPayEvalBatch(b *testing.B) {
+	for _, mode := range []string{"scalar", "batch", "parallel"} {
+		b.Run(mode, func(b *testing.B) {
+			ctx := benchSearchContext(b, 1)
+			switch mode {
+			case "scalar":
+				ctx.Scalar = true
+			case "parallel":
+				ctx.Parallelism = 4
+			}
+			rng := stats.NewRNG(2)
+			cand := make([]mapspace.Mapping, 64)
+			for i := range cand {
+				cand[i] = ctx.Space.Random(rng)
+			}
+			t := newTracker(ctx, Budget{MaxEvals: 1 << 30})
+			var vals []float64
+			var err error
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(cand) {
+				if vals, err = t.payEvalBatch(cand, vals); err != nil {
+					b.Fatal(err)
+				}
+				t.traj = t.traj[:0] // keep the trajectory from growing unboundedly
+			}
+		})
+	}
+}
+
+// BenchmarkCacheKey measures the binary key builder on the hot (reused
+// scratch) path; the only allocation should be the key string.
+func BenchmarkCacheKey(b *testing.B) {
+	ctx := benchSearchContext(b, 1)
+	rng := stats.NewRNG(3)
+	m := ctx.Space.Random(rng)
+	var key []byte
+	var vec []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key, vec = appendCacheKey(key[:0], ctx.Space, &m, vec)
+		if len(key) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}

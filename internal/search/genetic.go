@@ -76,15 +76,21 @@ func (g GeneticAlgorithm) Search(ctx *Context, budget Budget) (Result, error) {
 	rng := stats.NewRNG(ctx.Seed + 307)
 	t := newTracker(ctx, budget)
 
-	// Initial population.
+	// Initial population, evaluated as one batch. Generation consumes the
+	// rng in exactly the per-candidate order of the scalar loop (evals
+	// draw no randomness), and payEvalBatch records in candidate order,
+	// so trajectories match the scalar path bit for bit.
+	cohort := make([]mapspace.Mapping, 0, pop)
+	for i := 0; i < t.remainingEvals(pop); i++ {
+		cohort = append(cohort, ctx.Space.Random(rng))
+	}
+	vals, err := t.payEvalBatch(cohort, nil)
+	if err != nil {
+		return Result{}, err
+	}
 	var current []individual
-	for i := 0; i < pop && !t.exhausted(); i++ {
-		m := ctx.Space.Random(rng)
-		edp, err := t.payEval(&m)
-		if err != nil {
-			return Result{}, err
-		}
-		current = append(current, individual{m, edp})
+	for i, v := range vals {
+		current = append(current, individual{cohort[i], v})
 	}
 
 	for !t.exhausted() && len(current) >= 2 {
@@ -95,7 +101,10 @@ func (g GeneticAlgorithm) Search(ctx *Context, budget Budget) (Result, error) {
 		for i := 0; i < elite && i < len(current); i++ {
 			next = append(next, current[i])
 		}
-		for len(next) < len(current) && !t.exhausted() {
+		// Breed the generation's offspring cohort, then evaluate it as one
+		// batch.
+		cohort = cohort[:0]
+		for i := 0; i < t.remainingEvals(len(current)-len(next)); i++ {
 			parentA := tournament(rng, current, tk)
 			parentB := tournament(rng, current, tk)
 			var child mapspace.Mapping
@@ -105,11 +114,13 @@ func (g GeneticAlgorithm) Search(ctx *Context, budget Budget) (Result, error) {
 				child = parentA.m.Clone()
 			}
 			child = ctx.Space.Mutate(rng, &child, pm)
-			edp, err := t.payEval(&child)
-			if err != nil {
-				return Result{}, err
-			}
-			next = append(next, individual{child, edp})
+			cohort = append(cohort, child)
+		}
+		if vals, err = t.payEvalBatch(cohort, vals); err != nil {
+			return Result{}, err
+		}
+		for i, v := range vals {
+			next = append(next, individual{cohort[i], v})
 		}
 		current = next
 	}

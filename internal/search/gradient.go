@@ -51,6 +51,14 @@ type MindMappings struct {
 	// NoPrecondition disables the variance preconditioning of descent
 	// steps (ablation knob: raw-gradient direction).
 	NoPrecondition bool
+	// Chains is the number of independent gradient-descent chains run in
+	// lockstep. Each lockstep iteration batches the surrogate
+	// gradient queries of all chains into one GEMM pass (GradientBatch)
+	// and scores all chains' candidates as one tracker batch, charging
+	// Chains evaluations — so a fixed budget buys Chains× fewer
+	// iterations of Chains× more exploration, at a much lower per-query
+	// cost. 0 or 1 reproduces the paper's single-chain search exactly.
+	Chains int
 }
 
 // Name implements Searcher.
@@ -75,6 +83,9 @@ func (m MindMappings) withDefaults() MindMappings {
 	if m.StepNorm <= 0 {
 		m.StepNorm = 3
 	}
+	if m.Chains <= 0 {
+		m.Chains = 1
+	}
 	return m
 }
 
@@ -97,72 +108,133 @@ func (m MindMappings) Search(ctx *Context, budget Budget) (Result, error) {
 
 	rng := stats.NewRNG(ctx.Seed + 503)
 	t := newTracker(ctx, budget)
+	eExp, dExp := objectiveExponents(ctx.Objective)
 
-	// Step 1 (§4.2): random valid initial mapping m@0.
-	cur := ctx.Space.Random(rng)
+	// Step 1 (§4.2): random valid initial mapping per chain. With
+	// Chains == 1 everything below reduces exactly to the paper's
+	// single-chain loop (the batched kernels are bit-identical to the
+	// scalar ones, so even the arithmetic matches).
+	chains := cfg.Chains
+	curs := make([]mapspace.Mapping, chains)
+	for i := range curs {
+		curs[i] = ctx.Space.Random(rng)
+	}
 	temp := cfg.InitTemp
 	injections := 0
 
+	// Reused per-iteration buffers (encoded vectors, gradients, descent
+	// step, injection candidates) so the steady-state loop allocates only
+	// inside Decode/projection.
+	vecs := make([][]float64, chains)
+	var vals, scoreVals, preds []float64
+	var grads [][]float64
+	var step []float64
+	injEnc := make([][]float64, 2*chains)
+	injCands := make([]mapspace.Mapping, chains)
+	injUs := make([]float64, chains)
+
 	for iter := 1; !t.exhausted(); iter++ {
-		vec := ctx.Space.Encode(&cur)
+		for i := range curs {
+			vecs[i] = ctx.Space.EncodeInto(vecs[i], &curs[i])
+		}
 
 		// Steps 2-3: forward + backward through the surrogate for the
-		// predicted cost and its gradient with respect to the mapping.
-		eExp, dExp := objectiveExponents(ctx.Objective)
-		_, grad, err := sur.GradientScalar(vec, eExp, dExp)
-		if err != nil {
-			return Result{}, err
-		}
-
-		// Step 4: descend. The step is preconditioned by the squared
-		// per-coordinate input deviation (equivalent to taking the step in
-		// the surrogate's whitened input space) and normalized to a fixed
-		// length: the raw EDP gradient magnitude spans orders of magnitude
-		// across the space, but only its direction matters for descent.
-		step := make([]float64, len(grad))
-		norm := 0.0
-		for i, g := range grad {
-			step[i] = g
-			if !cfg.NoPrecondition {
-				s := sur.InNorm.Std[i]
-				step[i] *= s * s
+		// predicted cost and its gradient with respect to each chain's
+		// mapping — one batched GEMM pass across chains (or the scalar
+		// per-chain path under ctx.Scalar; both produce identical bits).
+		var err error
+		if ctx.Scalar {
+			if len(grads) != chains {
+				grads = make([][]float64, chains)
 			}
-			norm += step[i] * step[i]
-		}
-		norm = math.Sqrt(norm)
-		if norm > 1e-12 {
-			scale := cfg.LR * cfg.StepNorm / norm
-			for i := range vec {
-				vec[i] -= scale * step[i]
+			for i := range vecs {
+				if _, grads[i], err = sur.GradientScalar(vecs[i], eExp, dExp); err != nil {
+					return Result{}, err
+				}
 			}
-		}
-
-		// Step 5: project onto the valid map space.
-		next, err := ctx.Space.Decode(vec)
-		if err != nil {
-			return Result{}, err
-		}
-		cur = next
-
-		// Budget accounting: one surrogate query per iteration; trajectory
-		// scored with the true cost model offline.
-		if _, err := t.scoreSurrogateStep(&cur); err != nil {
+		} else if vals, grads, err = sur.GradientBatch(vecs, eExp, dExp, vals, grads); err != nil {
 			return Result{}, err
 		}
 
-		// Step 6: periodic random injection with annealed acceptance.
-		if !cfg.NoInjection && iter%cfg.InjectEvery == 0 && !t.exhausted() {
-			cand := ctx.Space.Random(rng)
-			accepted, err := acceptInjection(sur, ctx, &cand, &cur, temp, rng.Float64())
+		for i := range curs {
+			vec, grad := vecs[i], grads[i]
+			// Step 4: descend. The step is preconditioned by the squared
+			// per-coordinate input deviation (equivalent to taking the step
+			// in the surrogate's whitened input space) and normalized to a
+			// fixed length: the raw EDP gradient magnitude spans orders of
+			// magnitude across the space, but only its direction matters
+			// for descent.
+			if cap(step) < len(grad) {
+				step = make([]float64, len(grad))
+			}
+			step = step[:len(grad)]
+			norm := 0.0
+			for j, g := range grad {
+				step[j] = g
+				if !cfg.NoPrecondition {
+					s := sur.InNorm.Std[j]
+					step[j] *= s * s
+				}
+				norm += step[j] * step[j]
+			}
+			norm = math.Sqrt(norm)
+			if norm > 1e-12 {
+				scale := cfg.LR * cfg.StepNorm / norm
+				for j := range vec {
+					vec[j] -= scale * step[j]
+				}
+			}
+
+			// Step 5: project onto the valid map space.
+			next, err := ctx.Space.Decode(vec)
 			if err != nil {
 				return Result{}, err
 			}
-			if accepted {
-				cur = cand
+			curs[i] = next
+		}
+
+		// Budget accounting: one surrogate query per chain per iteration;
+		// trajectories scored with the true cost model offline, as one
+		// batch (fanned across Context.Parallelism workers when set).
+		if scoreVals, err = t.scoreSurrogateBatch(curs, scoreVals); err != nil {
+			return Result{}, err
+		}
+
+		// Step 6: periodic random injection with annealed acceptance, per
+		// chain. Candidate and acceptance draws happen chain-major so the
+		// rng stream matches the scalar path; predictions for all (cand,
+		// cur) pairs run as one surrogate batch.
+		if !cfg.NoInjection && iter%cfg.InjectEvery == 0 && !t.exhausted() {
+			for i := range curs {
+				injCands[i] = ctx.Space.Random(rng)
+				injUs[i] = rng.Float64()
 			}
-			injections++
-			if injections%cfg.DecayEvery == 0 {
-				temp *= cfg.TempDecay
+			if !ctx.Scalar {
+				for i := range curs {
+					injEnc[2*i] = ctx.Space.EncodeInto(injEnc[2*i], &injCands[i])
+					injEnc[2*i+1] = ctx.Space.EncodeInto(injEnc[2*i+1], &curs[i])
+				}
+				if preds, err = sur.PredictBatch(injEnc, eExp, dExp, preds); err != nil {
+					return Result{}, err
+				}
+			}
+			for i := range curs {
+				var accepted bool
+				if ctx.Scalar {
+					if accepted, err = acceptInjection(sur, ctx, &injCands[i], &curs[i], temp, injUs[i]); err != nil {
+						return Result{}, err
+					}
+				} else {
+					delta := preds[2*i] - preds[2*i+1]
+					accepted = delta <= 0 || (temp > 0 && injUs[i] < math.Exp(-delta/temp))
+				}
+				if accepted {
+					curs[i] = injCands[i]
+				}
+				injections++
+				if injections%cfg.DecayEvery == 0 {
+					temp *= cfg.TempDecay
+				}
 			}
 		}
 	}

@@ -1,10 +1,18 @@
 package search
 
-import "mindmappings/internal/stats"
+import (
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/stats"
+)
 
 // RandomSearch draws uniform valid mappings until the budget is exhausted.
 // It is the sanity-check baseline: any guided method must beat it.
 type RandomSearch struct{}
+
+// randomChunk is how many candidates RandomSearch draws per evaluation
+// batch; samples are independent, so chunking changes nothing but the
+// amortization (and, with Context.Parallelism, the fan-out width).
+const randomChunk = 64
 
 // Name implements Searcher.
 func (RandomSearch) Name() string { return "Random" }
@@ -19,9 +27,15 @@ func (RandomSearch) Search(ctx *Context, budget Budget) (Result, error) {
 	}
 	rng := stats.NewRNG(ctx.Seed + 101)
 	t := newTracker(ctx, budget)
+	cohort := make([]mapspace.Mapping, 0, randomChunk)
+	var vals []float64
 	for !t.exhausted() {
-		m := ctx.Space.Random(rng)
-		if _, err := t.payEval(&m); err != nil {
+		cohort = cohort[:0]
+		for i := 0; i < t.remainingEvals(randomChunk); i++ {
+			cohort = append(cohort, ctx.Space.Random(rng))
+		}
+		var err error
+		if vals, err = t.payEvalBatch(cohort, vals); err != nil {
 			return Result{}, err
 		}
 	}

@@ -38,13 +38,20 @@ type Budget struct {
 	// convergence", §5.4.2). It composes with the hard limits above; at
 	// least one hard limit must still be set.
 	Patience int
+	// TrajectoryStride thins the recorded trajectory: every improvement is
+	// always recorded, plus every stride-th evaluation. 0 or 1 records
+	// every evaluation (the historical behavior); larger strides keep
+	// million-eval runs from holding million-entry Sample slices. Budget
+	// accounting, convergence, and the search itself are unaffected — only
+	// Result.Trajectory is thinned.
+	TrajectoryStride int
 }
 
 func (b Budget) validate() error {
 	if b.MaxEvals <= 0 && b.MaxTime <= 0 {
 		return errors.New("search: budget needs MaxEvals or MaxTime")
 	}
-	if b.MaxEvals < 0 || b.MaxTime < 0 || b.Patience < 0 {
+	if b.MaxEvals < 0 || b.MaxTime < 0 || b.Patience < 0 || b.TrajectoryStride < 0 {
 		return fmt.Errorf("search: negative budget %+v", b)
 	}
 	return nil
@@ -126,6 +133,24 @@ type Context struct {
 	// cost-model compute and its emulated QueryLatency but still count
 	// toward the evaluation budget, so budget accounting is unchanged.
 	Cache EvalCache
+	// Parallelism, when > 1, fans batched cost-model evaluations
+	// (payEvalBatch: GA populations, SA pilot chains, beam expansions,
+	// multi-chain gradient scoring) across a bounded pool of that many
+	// workers. Results are recorded in candidate order, so trajectories
+	// are bit-identical for any Parallelism value; only wall-clock
+	// changes. Note that a parallel batch runs to completion, so a budget
+	// that expires mid-batch (Patience, MaxTime) can overshoot the
+	// model's raw Evals counter by up to one batch — the search budget
+	// accounting itself is unaffected. 0 and 1 evaluate sequentially.
+	Parallelism int
+	// Scalar forces the scalar (pre-batching) evaluation path everywhere:
+	// per-candidate cost-model queries and per-vector surrogate
+	// forward/backward passes. The batched kernels accumulate in exactly
+	// the same order as the scalar ones, so both paths produce
+	// bit-identical trajectories — this knob exists so tests (and
+	// benchmark baselines) can prove and measure that, not because
+	// results differ.
+	Scalar bool
 }
 
 // EvalCache memoizes cost-model evaluations across search runs sharing a
@@ -137,18 +162,32 @@ type EvalCache interface {
 }
 
 // CacheKey returns the canonical cache key for a mapping of a space: the
-// accelerator spec and algorithm name plus the raw bits of the encoded
-// mapping vector, whose problem-id prefix distinguishes problems of
-// different shapes. The arch fingerprint matters because evaluation costs
-// depend on the accelerator: two searches over the same problem on
-// different archs must not share cache entries.
+// accelerator spec's binary fingerprint and the algorithm name plus the
+// raw bits of the encoded mapping vector, whose problem-id prefix
+// distinguishes problems of different shapes. The arch fingerprint
+// matters because evaluation costs depend on the accelerator: two
+// searches over the same problem on different archs must not share cache
+// entries. Keys are stable across a process; the only allocation is the
+// returned string (the tracker's hot path reuses scratch buffers via
+// appendCacheKey).
 func CacheKey(s *mapspace.Space, m *mapspace.Mapping) string {
-	vec := s.Encode(m)
-	buf := make([]byte, 8*len(vec))
-	for i, v := range vec {
-		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	key, _ := appendCacheKey(nil, s, m, nil)
+	return string(key)
+}
+
+// appendCacheKey builds the CacheKey bytes into dst using vec as encode
+// scratch, returning both grown buffers so callers can reuse them. Every
+// component is either fixed-width binary or length-prefixed, so distinct
+// (arch, algorithm, mapping) triples cannot collide.
+func appendCacheKey(dst []byte, s *mapspace.Space, m *mapspace.Mapping, vec []float64) ([]byte, []float64) {
+	vec = s.EncodeInto(vec, m)
+	dst = s.Arch.AppendFingerprint(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(s.Prob.Algo.Name)))
+	dst = append(dst, s.Prob.Algo.Name...)
+	for _, v := range vec {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
-	return fmt.Sprintf("%v|%s|%s", s.Arch, s.Prob.Algo.Name, buf)
+	return dst, vec
 }
 
 // canceled reports whether the caller has canceled the run.
@@ -188,6 +227,24 @@ type tracker struct {
 	bestM     mapspace.Mapping
 	traj      []Sample
 	sinceBest int
+
+	// Reusable evaluation scratch: with no cache configured, steady-state
+	// evaluation allocates nothing (the Cost doubles as the cost model's
+	// workspace); with a cache, the only per-eval allocation is the key
+	// string.
+	own workerScratch
+
+	// Per-worker scratch for parallel batch evaluation, sized lazily to
+	// Context.Parallelism.
+	workers []workerScratch
+	batchV  []float64
+	batchE  []error
+}
+
+type workerScratch struct {
+	cost timeloop.Cost
+	key  []byte
+	vec  []float64
 }
 
 func newTracker(ctx *Context, budget Budget) *tracker {
@@ -229,56 +286,63 @@ func (t *tracker) progress() float64 {
 	return math.Min(p, 1)
 }
 
-// record notes a candidate with a known true normalized EDP.
+// record notes a candidate with a known true normalized EDP. Improvements
+// are always recorded; non-improving samples are thinned by
+// Budget.TrajectoryStride.
 func (t *tracker) record(m *mapspace.Mapping, edp float64) {
-	if edp < t.best {
+	improved := edp < t.best
+	if improved {
 		t.best = edp
 		t.bestM = m.Clone()
 		t.sinceBest = 0
 	} else {
 		t.sinceBest++
 	}
+	if stride := t.budget.TrajectoryStride; stride > 1 && !improved && t.evals%stride != 0 {
+		return
+	}
 	t.traj = append(t.traj, Sample{Eval: t.evals, Elapsed: time.Since(t.start), BestEDP: t.best})
 }
 
-// evaluate runs one cost-model query through the context's eval cache (when
-// configured). paid queries go through Model.Evaluate (counting toward the
-// model's counter and paying QueryLatency); free scoring queries use
-// EvaluateRaw. Cache hits skip the model entirely.
-func (t *tracker) evaluate(m *mapspace.Mapping, paid bool) (timeloop.Cost, error) {
-	if t.ctx.Cache == nil {
+// evalValue runs one cost-model query through the context's eval cache
+// (when configured) using the given scratch, returning the normalized
+// objective value. paid queries go through Model.EvaluateInto (counting
+// toward the model's counter and paying QueryLatency); free scoring
+// queries use EvaluateRawInto. Cache hits skip the model entirely; cache
+// misses store a detached Clone because ws is reused by the next call.
+func (t *tracker) evalValue(m *mapspace.Mapping, paid bool, ws *workerScratch) (float64, error) {
+	eval := func(c *timeloop.Cost) error {
 		if paid {
-			return t.ctx.Model.Evaluate(m)
+			return t.ctx.Model.EvaluateInto(m, c)
 		}
-		return t.ctx.Model.EvaluateRaw(m)
+		return t.ctx.Model.EvaluateRawInto(m, c)
 	}
-	key := CacheKey(t.ctx.Space, m)
+	if t.ctx.Cache == nil {
+		if err := eval(&ws.cost); err != nil {
+			return 0, err
+		}
+		return t.ctx.Objective.normalized(&ws.cost, t.ctx.Bound), nil
+	}
+	ws.key, ws.vec = appendCacheKey(ws.key[:0], t.ctx.Space, m, ws.vec)
+	key := string(ws.key)
 	if cost, ok := t.ctx.Cache.Get(key); ok {
-		return cost, nil
+		return t.ctx.Objective.normalized(&cost, t.ctx.Bound), nil
 	}
-	var cost timeloop.Cost
-	var err error
-	if paid {
-		cost, err = t.ctx.Model.Evaluate(m)
-	} else {
-		cost, err = t.ctx.Model.EvaluateRaw(m)
+	if err := eval(&ws.cost); err != nil {
+		return 0, err
 	}
-	if err != nil {
-		return cost, err
-	}
-	t.ctx.Cache.Put(key, cost)
-	return cost, nil
+	t.ctx.Cache.Put(key, ws.cost.Clone())
+	return t.ctx.Objective.normalized(&ws.cost, t.ctx.Bound), nil
 }
 
 // payEval runs a paid reference-cost-model query on m, records it, and
 // returns the true normalized EDP.
 func (t *tracker) payEval(m *mapspace.Mapping) (float64, error) {
-	cost, err := t.evaluate(m, true)
+	val, err := t.evalValue(m, true, &t.own)
 	if err != nil {
 		return 0, err
 	}
 	t.evals++
-	val := t.ctx.Objective.normalized(&cost, t.ctx.Bound)
 	t.record(m, val)
 	return val, nil
 }
@@ -288,12 +352,11 @@ func (t *tracker) payEval(m *mapspace.Mapping) (float64, error) {
 // true EDP (obtained through the free scoring path — in the paper's
 // methodology trajectory quality is measured offline, not paid for).
 func (t *tracker) scoreSurrogateStep(m *mapspace.Mapping) (float64, error) {
-	cost, err := t.evaluate(m, false)
+	val, err := t.evalValue(m, false, &t.own)
 	if err != nil {
 		return 0, err
 	}
 	t.evals++
-	val := t.ctx.Objective.normalized(&cost, t.ctx.Bound)
 	t.record(m, val)
 	return val, nil
 }

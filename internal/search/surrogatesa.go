@@ -67,20 +67,48 @@ func (s SurrogateSA) Search(ctx *Context, budget Budget) (Result, error) {
 		return Result{}, err
 	}
 
+	// Pilot chain: all moves are accepted, so the chain is rng-only and
+	// can be generated up front, predicted with one surrogate batch, and
+	// scored with one tracker batch — same results as the scalar loop,
+	// amortized query cost.
 	var deltas stats.Running
-	for i := 0; i < pilot && !t.exhausted(); i++ {
-		next := ctx.Space.Perturb(rng, &cur)
-		nextE, err := predict(&next)
+	if !t.exhausted() {
+		chain := make([]mapspace.Mapping, 0, pilot)
+		prev := &cur
+		for i := 0; i < t.remainingEvals(pilot); i++ {
+			chain = append(chain, ctx.Space.Perturb(rng, prev))
+			prev = &chain[len(chain)-1]
+		}
+		var preds []float64
+		if ctx.Scalar {
+			for i := range chain {
+				p, err := predict(&chain[i])
+				if err != nil {
+					return Result{}, err
+				}
+				preds = append(preds, p)
+			}
+		} else {
+			vecs := make([][]float64, len(chain))
+			for i := range chain {
+				vecs[i] = ctx.Space.Encode(&chain[i])
+			}
+			var err error
+			if preds, err = s.Surrogate.PredictBatch(vecs, eExp, dExp, nil); err != nil {
+				return Result{}, err
+			}
+		}
+		vals, err := t.scoreSurrogateBatch(chain, nil)
 		if err != nil {
 			return Result{}, err
 		}
-		if _, err := t.scoreSurrogateStep(&next); err != nil {
-			return Result{}, err
+		for i := range vals {
+			nextE := preds[i]
+			if d := math.Abs(nextE - curE); d > 0 {
+				deltas.Add(d)
+			}
+			cur, curE = chain[i], nextE
 		}
-		if d := math.Abs(nextE - curE); d > 0 {
-			deltas.Add(d)
-		}
-		cur, curE = next, nextE
 	}
 	meanDelta := deltas.Mean()
 	if meanDelta <= 0 {

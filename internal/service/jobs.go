@@ -64,7 +64,19 @@ type SearchRequest struct {
 	// Seed makes the run reproducible; jobs with equal requests and seeds
 	// produce identical results.
 	Seed int64 `json:"seed,omitempty"`
+	// Parallelism fans the job's batched cost-model evaluations across up
+	// to this many workers (capped at MaxParallelism). Search results are
+	// bit-identical for any value — only the job's wall-clock changes —
+	// so it composes safely with Seed reproducibility. 0 or 1 evaluates
+	// sequentially.
+	Parallelism int `json:"parallelism,omitempty"`
 }
+
+// MaxParallelism caps a request's Parallelism: enough to overlap
+// query-latency-bound evaluation generously while keeping one job from
+// monopolizing the scheduler (jobs already fan out across the manager's
+// worker pool).
+const MaxParallelism = 32
 
 // TrajectoryPoint is one best-so-far sample of a job's search trajectory.
 type TrajectoryPoint struct {
@@ -171,6 +183,9 @@ func (req *SearchRequest) Validate() error {
 	if _, err := search.ParseObjective(req.Objective); err != nil {
 		return err
 	}
+	if req.Parallelism < 0 {
+		return fmt.Errorf("service: negative parallelism %d", req.Parallelism)
+	}
 	if _, err := req.budget(); err != nil {
 		return err
 	}
@@ -190,7 +205,14 @@ func (req *SearchRequest) Validate() error {
 	return nil
 }
 
-// budget converts the request's limits into a search.Budget.
+// maxTrajectorySamples bounds how many non-improving trajectory points a
+// service job retains: beyond it the budget gets a TrajectoryStride so a
+// million-eval job holds thousands, not millions, of Samples (improvements
+// are always recorded regardless).
+const maxTrajectorySamples = 8192
+
+// budget converts the request's limits into a search.Budget, deriving a
+// trajectory stride for large evaluation budgets.
 func (req *SearchRequest) budget() (search.Budget, error) {
 	b := search.Budget{MaxEvals: req.Evals, Patience: req.Patience}
 	if req.Time != "" {
@@ -205,6 +227,19 @@ func (req *SearchRequest) budget() (search.Budget, error) {
 	}
 	if b.MaxEvals < 0 || b.MaxTime < 0 || b.Patience < 0 {
 		return b, fmt.Errorf("service: negative budget")
+	}
+	if b.MaxEvals > maxTrajectorySamples {
+		b.TrajectoryStride = (b.MaxEvals + maxTrajectorySamples - 1) / maxTrajectorySamples
+	} else if b.MaxEvals == 0 && b.MaxTime > 0 {
+		// Time-only budget: no eval count to derive a stride from, but
+		// the analytical cost model sustains ~1e5 evals/s, so a long
+		// wall-clock job can record tens of millions of samples. Thin
+		// against that rate estimate; improvements are always recorded,
+		// so an overestimate only makes the trajectory sparser.
+		const evalsPerSecondEstimate = 100_000
+		if est := int(b.MaxTime.Seconds() * evalsPerSecondEstimate); est > maxTrajectorySamples {
+			b.TrajectoryStride = (est + maxTrajectorySamples - 1) / maxTrajectorySamples
+		}
 	}
 	return b, nil
 }
@@ -537,14 +572,19 @@ func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.
 	if err != nil {
 		return nil, nil, err
 	}
+	parallelism := req.Parallelism
+	if parallelism > MaxParallelism {
+		parallelism = MaxParallelism
+	}
 	sctx := &search.Context{
-		Space:     space,
-		Model:     model,
-		Bound:     bound,
-		Seed:      req.Seed,
-		Objective: obj,
-		Ctx:       ctx,
-		Cache:     jm.cache,
+		Space:       space,
+		Model:       model,
+		Bound:       bound,
+		Seed:        req.Seed,
+		Objective:   obj,
+		Ctx:         ctx,
+		Cache:       jm.cache,
+		Parallelism: parallelism,
 	}
 	res, err := searcher.Search(sctx, budget)
 	if err != nil {

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"sync"
@@ -93,6 +94,9 @@ func TestRequestValidation(t *testing.T) {
 		{"bad searcher", func(r *SearchRequest) { r.Searcher = "gradient-boost" }, false},
 		{"mm needs model", func(r *SearchRequest) { r.Searcher = "mm" }, false},
 		{"negative evals", func(r *SearchRequest) { r.Evals = -3 }, false},
+		{"negative parallelism", func(r *SearchRequest) { r.Parallelism = -1 }, false},
+		{"parallelism", func(r *SearchRequest) { r.Parallelism = 8 }, true},
+		{"huge parallelism capped not rejected", func(r *SearchRequest) { r.Parallelism = 10_000 }, true},
 	}
 	for _, tc := range cases {
 		req := validRequest()
@@ -127,5 +131,93 @@ func TestResolveProblemTable1AndShapes(t *testing.T) {
 	req = SearchRequest{Algo: "cnn-layer", Problem: "MTTKRP_0"}
 	if _, err := req.resolveProblem(); err == nil {
 		t.Fatal("resolved a problem of another algorithm")
+	}
+}
+
+// TestParallelJobMatchesSerialJob pins the service-level contract of the
+// parallel evaluation fan-out: a job with Parallelism set produces the
+// exact same search result as the same request run serially, sharing the
+// service's eval cache along the way.
+func TestParallelJobMatchesSerialJob(t *testing.T) {
+	jobs := NewJobManager(NewModelRegistry(t.TempDir(), 2), NewEvalCache(4096), 2, 8)
+	defer jobs.Shutdown(context.Background())
+	run := func(parallelism int) *JobResult {
+		req := validRequest()
+		req.Searcher = "ga"
+		req.Evals = 300
+		req.Parallelism = parallelism
+		job, err := jobs.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := jobs.Wait(context.Background(), job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done.Status != JobDone {
+			t.Fatalf("job status %s (%s)", done.Status, done.Error)
+		}
+		return done.Result
+	}
+	serial := run(0)
+	parallel := run(8)
+	if serial.BestEDP != parallel.BestEDP || serial.Evals != parallel.Evals {
+		t.Fatalf("parallel job diverged: best %v/%v evals %d/%d",
+			serial.BestEDP, parallel.BestEDP, serial.Evals, parallel.Evals)
+	}
+	if len(serial.Trajectory) != len(parallel.Trajectory) {
+		t.Fatalf("trajectory lengths %d vs %d", len(serial.Trajectory), len(parallel.Trajectory))
+	}
+}
+
+// TestLargeJobTrajectoryIsStrided checks that big evaluation budgets get
+// an automatic stride bounding the retained trajectory.
+func TestLargeJobTrajectoryIsStrided(t *testing.T) {
+	req := validRequest()
+	req.Evals = 100 * maxTrajectorySamples
+	b, err := req.budget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TrajectoryStride != 100 {
+		t.Fatalf("stride = %d, want 100", b.TrajectoryStride)
+	}
+	req.Evals = maxTrajectorySamples
+	if b, err = req.budget(); err != nil || b.TrajectoryStride != 0 {
+		t.Fatalf("small budgets must not be strided (stride=%d err=%v)", b.TrajectoryStride, err)
+	}
+	// Time-only budgets get a rate-estimated stride so long jobs cannot
+	// accumulate unbounded trajectories either.
+	req.Evals = 0
+	req.Time = "10m"
+	if b, err = req.budget(); err != nil || b.TrajectoryStride < 1000 {
+		t.Fatalf("time-only budget stride = %d (err=%v), want a large stride", b.TrajectoryStride, err)
+	}
+	req.Time = "50ms"
+	if b, err = req.budget(); err != nil || b.TrajectoryStride != 0 {
+		t.Fatalf("short time budgets must not be strided (stride=%d err=%v)", b.TrajectoryStride, err)
+	}
+
+	// End to end: a job above the threshold returns a bounded trajectory.
+	jobs := NewJobManager(NewModelRegistry(t.TempDir(), 2), NewEvalCache(1024), 1, 4)
+	defer jobs.Shutdown(context.Background())
+	req = validRequest()
+	req.Evals = maxTrajectorySamples + 4096
+	job, err := jobs.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := jobs.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != JobDone {
+		t.Fatalf("job status %s (%s)", done.Status, done.Error)
+	}
+	if n := len(done.Result.Trajectory); n > maxTrajectorySamples+1024 {
+		t.Fatalf("trajectory has %d samples despite stride", n)
+	}
+	if done.Result.Evals != req.Evals {
+		t.Fatalf("evals %d, want %d", done.Result.Evals, req.Evals)
 	}
 }

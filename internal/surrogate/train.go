@@ -31,7 +31,8 @@ type Surrogate struct {
 	LogOutputs bool
 	NumTensors int
 
-	wsPool sync.Pool // of *nn.Workspace for s.Net
+	wsPool    sync.Pool // of *nn.Workspace for s.Net
+	batchPool sync.Pool // of *batchScratch for the batched entry points
 }
 
 // getWS takes a scratch workspace from the pool, allocating on first use.
@@ -145,8 +146,7 @@ func expm1Safe(v float64) float64 { return math.Expm1(v) }
 // representation it is the product of the predicted normalized total energy
 // and normalized cycles.
 func (s *Surrogate) PredictEDP(rawVec []float64) (float64, error) {
-	edp, _, err := s.edpAndOutputs(rawVec)
-	return edp, err
+	return s.PredictScalar(rawVec, 1, 1)
 }
 
 // PredictScalar predicts the designer objective energy^eExp x delay^dExp in
@@ -154,17 +154,14 @@ func (s *Surrogate) PredictEDP(rawVec []float64) (float64, error) {
 // designer). (1,1) is EDP, (1,2) ED²P, (1,0) energy, (0,1) delay. Only the
 // meta-statistics output representation supports objectives other than EDP.
 func (s *Surrogate) PredictScalar(rawVec []float64, eExp, dExp float64) (float64, error) {
-	if eExp == 1 && dExp == 1 {
-		return s.PredictEDP(rawVec)
-	}
-	if s.Mode != OutputMetaStats {
+	if !(eExp == 1 && dExp == 1) && s.Mode != OutputMetaStats {
 		return 0, errors.New("surrogate: non-EDP objectives need the meta-statistics representation")
 	}
-	e, d, _, _, err := s.energyDelay(rawVec)
+	eZ, cZ, err := s.forwardZ(rawVec)
 	if err != nil {
 		return 0, err
 	}
-	return math.Pow(clampPos(e), eExp) * math.Pow(clampPos(d), dExp), nil
+	return s.valueFromZ(eZ, cZ, eExp, dExp), nil
 }
 
 // clampPos floors a predicted normalized quantity at a small positive
@@ -177,56 +174,110 @@ func clampPos(v float64) float64 {
 	return v
 }
 
-// energyDelay runs the forward pass and returns the denormalized
-// (lower-bound-unit) predicted total energy and cycles, plus the raw
-// outputs and the z-space indices needed for gradients.
-func (s *Surrogate) energyDelay(rawVec []float64) (e, d float64, out []float64, idx [2]int, err error) {
+// forwardZ runs the forward pass and extracts the z-space outputs the
+// scalar objective depends on: the single output in direct-EDP mode, or
+// the total-energy and cycles entries of the meta-statistics vector.
+// valueFromZ / rowValueAndDOut turn these into values and gradients; the
+// batched path (batch.go) extracts the same components from ForwardBatch
+// rows, so value arithmetic exists in exactly one place.
+func (s *Surrogate) forwardZ(rawVec []float64) (eZ, cZ float64, err error) {
 	if len(rawVec) != s.Net.InDim() {
-		return 0, 0, nil, idx, fmt.Errorf("surrogate: input length %d, want %d", len(rawVec), s.Net.InDim())
+		return 0, 0, fmt.Errorf("surrogate: input length %d, want %d", len(rawVec), s.Net.InDim())
+	}
+	if s.Mode != OutputDirectEDP && s.Mode != OutputMetaStats {
+		return 0, 0, fmt.Errorf("surrogate: unknown output mode %d", s.Mode)
 	}
 	x := s.InNorm.Applied(rawVec)
 	ws := s.getWS()
-	out = append([]float64(nil), s.Net.Forward(ws, x)...)
-	s.putWS(ws)
-	totalIdx, _, cyclesIdx := metaIndices(s.NumTensors)
-	idx = [2]int{totalIdx, cyclesIdx}
-	e = s.OutNorm.InvertOne(totalIdx, out[totalIdx])
-	d = s.OutNorm.InvertOne(cyclesIdx, out[cyclesIdx])
-	if s.LogOutputs {
-		e = expm1Safe(e)
-		d = expm1Safe(d)
+	out := s.Net.Forward(ws, x)
+	if s.Mode == OutputDirectEDP {
+		eZ = out[0]
+	} else {
+		totalIdx, _, cyclesIdx := metaIndices(s.NumTensors)
+		eZ, cZ = out[totalIdx], out[cyclesIdx]
 	}
-	return e, d, out, idx, nil
+	s.putWS(ws)
+	return eZ, cZ, nil
 }
 
-// edpAndOutputs runs the forward pass and derives the scalar EDP along with
-// the raw network outputs (z-space).
-func (s *Surrogate) edpAndOutputs(rawVec []float64) (float64, []float64, error) {
-	if len(rawVec) != s.Net.InDim() {
-		return 0, nil, fmt.Errorf("surrogate: input length %d, want %d", len(rawVec), s.Net.InDim())
-	}
-	x := s.InNorm.Applied(rawVec)
-	ws := s.getWS()
-	out := append([]float64(nil), s.Net.Forward(ws, x)...)
-	s.putWS(ws)
-	switch s.Mode {
-	case OutputDirectEDP:
-		edp := s.OutNorm.InvertOne(0, out[0])
+// valueFromZ derives the predicted objective from forwardZ's z-space
+// outputs: denormalize, undo the log compression, and combine per the
+// exponents (EDP skips the clamp, matching the paper path's arithmetic
+// exactly).
+func (s *Surrogate) valueFromZ(eZ, cZ, eExp, dExp float64) float64 {
+	if s.Mode == OutputDirectEDP {
+		edp := s.OutNorm.InvertOne(0, eZ)
 		if s.LogOutputs {
 			edp = expm1Safe(edp)
 		}
-		return edp, out, nil
-	case OutputMetaStats:
-		totalIdx, _, cyclesIdx := metaIndices(s.NumTensors)
-		e := s.OutNorm.InvertOne(totalIdx, out[totalIdx])
-		c := s.OutNorm.InvertOne(cyclesIdx, out[cyclesIdx])
-		if s.LogOutputs {
-			e = expm1Safe(e)
-			c = expm1Safe(c)
-		}
-		return e * c, out, nil
+		return edp
 	}
-	return 0, nil, fmt.Errorf("surrogate: unknown output mode %d", s.Mode)
+	totalIdx, _, cyclesIdx := metaIndices(s.NumTensors)
+	e := s.OutNorm.InvertOne(totalIdx, eZ)
+	c := s.OutNorm.InvertOne(cyclesIdx, cZ)
+	if s.LogOutputs {
+		e = expm1Safe(e)
+		c = expm1Safe(c)
+	}
+	if eExp == 1 && dExp == 1 {
+		return e * c
+	}
+	return math.Pow(clampPos(e), eExp) * math.Pow(clampPos(c), dExp)
+}
+
+// rowValueAndDOut computes the predicted objective for one query's
+// z-space outputs and writes the chain-rule gradient of that objective
+// with respect to the network outputs into dOut (length OutDim,
+// pre-zeroed). It is the single definition of the value/gradient
+// formulas, shared by GradientScalar and the batched gradientChunk.
+func (s *Surrogate) rowValueAndDOut(eZ, cZ, eExp, dExp float64, dOut []float64) float64 {
+	if s.Mode == OutputDirectEDP {
+		edp := s.OutNorm.InvertOne(0, eZ)
+		if s.LogOutputs {
+			edp = expm1Safe(edp)
+		}
+		d := s.OutNorm.Std[0]
+		if s.LogOutputs {
+			d *= edp + 1 // d expm1(u)/du = exp(u) = value+1
+		}
+		dOut[0] = d
+		return edp
+	}
+	totalIdx, _, cyclesIdx := metaIndices(s.NumTensors)
+	e := s.OutNorm.InvertOne(totalIdx, eZ)
+	c := s.OutNorm.InvertOne(cyclesIdx, cZ)
+	de := s.OutNorm.Std[totalIdx]
+	dc := s.OutNorm.Std[cyclesIdx]
+	if eExp == 1 && dExp == 1 {
+		if s.LogOutputs {
+			eLin, cLin := expm1Safe(e), expm1Safe(c)
+			// edp = expm1(e)*expm1(c); d/dz_e = std_e*exp(e)*expm1(c).
+			dOut[totalIdx] = de * (eLin + 1) * cLin
+			dOut[cyclesIdx] = dc * (cLin + 1) * eLin
+			return eLin * cLin
+		}
+		dOut[totalIdx] = de * c
+		dOut[cyclesIdx] = dc * e
+		return e * c
+	}
+	if s.LogOutputs {
+		e = expm1Safe(e)
+		c = expm1Safe(c)
+	}
+	eC, dC := clampPos(e), clampPos(c)
+	val := math.Pow(eC, eExp) * math.Pow(dC, dExp)
+	// dV/de = eExp * e^(eExp-1) * d^dExp, chained through the log and
+	// whitening transforms.
+	dVdE := eExp * math.Pow(eC, eExp-1) * math.Pow(dC, dExp)
+	dVdD := dExp * math.Pow(eC, eExp) * math.Pow(dC, dExp-1)
+	dEdz, dDdz := de, dc
+	if s.LogOutputs {
+		dEdz *= e + 1
+		dDdz *= c + 1
+	}
+	dOut[totalIdx] = dVdE * dEdz
+	dOut[cyclesIdx] = dVdD * dDdz
+	return val
 }
 
 // PredictMetaStats returns the denormalized predicted cost vector in
@@ -257,32 +308,16 @@ func (s *Surrogate) PredictMetaStats(rawVec []float64) ([]float64, error) {
 // and its gradient with respect to the raw encoded mapping vector. Only
 // meta-statistics surrogates support objectives other than (1,1).
 func (s *Surrogate) GradientScalar(rawVec []float64, eExp, dExp float64) (float64, []float64, error) {
-	if eExp == 1 && dExp == 1 {
-		return s.GradientEDP(rawVec)
-	}
-	if s.Mode != OutputMetaStats {
+	if !(eExp == 1 && dExp == 1) && s.Mode != OutputMetaStats {
 		return 0, nil, errors.New("surrogate: non-EDP objectives need the meta-statistics representation")
 	}
-	e, d, out, idx, err := s.energyDelay(rawVec)
+	eZ, cZ, err := s.forwardZ(rawVec)
 	if err != nil {
 		return 0, nil, err
 	}
-	eC, dC := clampPos(e), clampPos(d)
-	val := math.Pow(eC, eExp) * math.Pow(dC, dExp)
-	// dV/de = eExp * e^(eExp-1) * d^dExp, chained through the log/whitening
-	// transforms exactly as in GradientEDP.
 	dOut := make([]float64, s.Net.OutDim())
-	dVdE := eExp * math.Pow(eC, eExp-1) * math.Pow(dC, dExp)
-	dVdD := dExp * math.Pow(eC, eExp) * math.Pow(dC, dExp-1)
-	dEdz := s.OutNorm.Std[idx[0]]
-	dDdz := s.OutNorm.Std[idx[1]]
-	if s.LogOutputs {
-		dEdz *= e + 1
-		dDdz *= d + 1
-	}
-	dOut[idx[0]] = dVdE * dEdz
-	dOut[idx[1]] = dVdD * dDdz
-	_ = out
+	val := s.rowValueAndDOut(eZ, cZ, eExp, dExp, dOut)
+	// Backprop to the whitened input, then chain through the whitening.
 	x := s.InNorm.Applied(rawVec)
 	ws := s.getWS()
 	gradWhite := s.Net.InputGradient(ws, x, dOut)
@@ -300,46 +335,7 @@ func (s *Surrogate) GradientScalar(rawVec []float64, eExp, dExp float64) (float6
 // meaningful but the searcher holds them fixed (the paper freezes p_target
 // during Phase 2).
 func (s *Surrogate) GradientEDP(rawVec []float64) (float64, []float64, error) {
-	edp, out, err := s.edpAndOutputs(rawVec)
-	if err != nil {
-		return 0, nil, err
-	}
-	// Build dEDP/d(network outputs in z-space).
-	dOut := make([]float64, s.Net.OutDim())
-	switch s.Mode {
-	case OutputDirectEDP:
-		// edp = g(z0) with g = expm1(invert) or invert.
-		d := s.OutNorm.Std[0]
-		if s.LogOutputs {
-			d *= edp + 1 // d expm1(u)/du = exp(u) = value+1
-		}
-		dOut[0] = d
-	case OutputMetaStats:
-		totalIdx, _, cyclesIdx := metaIndices(s.NumTensors)
-		e := s.OutNorm.InvertOne(totalIdx, out[totalIdx])
-		c := s.OutNorm.InvertOne(cyclesIdx, out[cyclesIdx])
-		de := s.OutNorm.Std[totalIdx]
-		dc := s.OutNorm.Std[cyclesIdx]
-		if s.LogOutputs {
-			eLin, cLin := expm1Safe(e), expm1Safe(c)
-			// edp = expm1(e)*expm1(c); d/dz_e = std_e*exp(e)*expm1(c).
-			dOut[totalIdx] = de * (eLin + 1) * cLin
-			dOut[cyclesIdx] = dc * (cLin + 1) * eLin
-		} else {
-			dOut[totalIdx] = de * c
-			dOut[cyclesIdx] = dc * e
-		}
-	}
-	// Backprop to the whitened input, then chain through the whitening.
-	x := s.InNorm.Applied(rawVec)
-	ws := s.getWS()
-	gradWhite := s.Net.InputGradient(ws, x, dOut)
-	grad := make([]float64, len(gradWhite))
-	for i, g := range gradWhite {
-		grad[i] = g / s.InNorm.Std[i]
-	}
-	s.putWS(ws)
-	return edp, grad, nil
+	return s.GradientScalar(rawVec, 1, 1)
 }
 
 // EvaluateQuality computes the mean absolute error of predicted vs. true

@@ -1,0 +1,158 @@
+package timeloop
+
+import (
+	"testing"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/stats"
+)
+
+func allocFixture(t testing.TB) (*Model, *mapspace.Space, []mapspace.Mapping) {
+	t.Helper()
+	prob, err := loopnest.NewCNNProblem("alloc-test", 16, 256, 256, 14, 14, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.Default(2)
+	model, err := New(a, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := mapspace.New(a, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	var ms []mapspace.Mapping
+	for i := 0; i < 16; i++ {
+		ms = append(ms, space.Random(rng))
+	}
+	return model, space, ms
+}
+
+// TestEvaluateIntoMatchesEvaluateRaw pins that the workspace-reusing path
+// computes the exact same cost as the allocating path, across mappings
+// evaluated back to back on one reused Cost (stale state must not leak).
+func TestEvaluateIntoMatchesEvaluateRaw(t *testing.T) {
+	model, _, ms := allocFixture(t)
+	var ws Cost
+	for i := range ms {
+		want, err := model.EvaluateRaw(&ms[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := model.EvaluateRawInto(&ms[i], &ws); err != nil {
+			t.Fatal(err)
+		}
+		if ws.EDP != want.EDP || ws.TotalEnergyPJ != want.TotalEnergyPJ ||
+			ws.Cycles != want.Cycles || ws.Utilization != want.Utilization ||
+			ws.MACEnergyPJ != want.MACEnergyPJ || ws.ComputeCycles != want.ComputeCycles {
+			t.Fatalf("mapping %d: EvaluateRawInto disagrees with EvaluateRaw:\n got %+v\nwant %+v", i, ws, want)
+		}
+		for l := range want.Accesses {
+			for tt := range want.Accesses[l] {
+				if ws.Accesses[l][tt] != want.Accesses[l][tt] || ws.EnergyPJ[l][tt] != want.EnergyPJ[l][tt] {
+					t.Fatalf("mapping %d level %d tensor %d: accesses/energy mismatch", i, l, tt)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateRawIntoZeroAllocs is the acceptance-criterion guard: once
+// the Cost workspace is warm, evaluations allocate nothing.
+func TestEvaluateRawIntoZeroAllocs(t *testing.T) {
+	model, _, ms := allocFixture(t)
+	var ws Cost
+	if err := model.EvaluateRawInto(&ms[0], &ws); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := model.EvaluateRawInto(&ms[i%len(ms)], &ws); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state EvaluateRawInto allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestCostCloneDetaches checks that a Clone survives the workspace being
+// reused for another evaluation — the contract shared eval caches rely on.
+func TestCostCloneDetaches(t *testing.T) {
+	model, _, ms := allocFixture(t)
+	var ws Cost
+	if err := model.EvaluateRawInto(&ms[0], &ws); err != nil {
+		t.Fatal(err)
+	}
+	clone := ws.Clone()
+	snapshot := ws.Clone()
+	if err := model.EvaluateRawInto(&ms[1], &ws); err != nil {
+		t.Fatal(err)
+	}
+	if clone.EDP != snapshot.EDP || clone.EDP == ws.EDP {
+		t.Fatalf("clone EDP %v, snapshot %v, workspace now %v", clone.EDP, snapshot.EDP, ws.EDP)
+	}
+	for l := range clone.Accesses {
+		for tt := range clone.Accesses[l] {
+			if clone.Accesses[l][tt] != snapshot.Accesses[l][tt] {
+				t.Fatal("clone slice mutated by workspace reuse")
+			}
+		}
+	}
+}
+
+// TestAtomicEvalCounter exercises the paid counter from concurrent
+// goroutines (meaningful under -race).
+func TestAtomicEvalCounter(t *testing.T) {
+	model, _, ms := allocFixture(t)
+	model.ResetEvals()
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			var ws Cost
+			for i := 0; i < 25; i++ {
+				if err := model.EvaluateInto(&ms[(g+i)%len(ms)], &ws); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := model.Evals(); got != 100 {
+		t.Fatalf("Evals() = %d, want 100", got)
+	}
+}
+
+func BenchmarkEvaluateRawAlloc(b *testing.B) {
+	model, _, ms := allocFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.EvaluateRaw(&ms[i%len(ms)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateRawInto(b *testing.B) {
+	model, _, ms := allocFixture(b)
+	var ws Cost
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := model.EvaluateRawInto(&ms[i%len(ms)], &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package timeloop
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mindmappings/internal/arch"
@@ -38,7 +39,7 @@ type Model struct {
 
 	macs     float64
 	fullSize []float64 // per-tensor full footprints
-	evals    int64
+	evals    atomic.Int64
 }
 
 // New constructs a cost model, validating the architecture and problem.
@@ -61,11 +62,12 @@ func New(a arch.Spec, p loopnest.Problem) (*Model, error) {
 }
 
 // Evals returns the number of Evaluate calls performed, used by the
-// experiment harness to enforce iso-iteration budgets.
-func (m *Model) Evals() int64 { return m.evals }
+// experiment harness to enforce iso-iteration budgets. The counter is
+// atomic so parallel scoring workers can share one model.
+func (m *Model) Evals() int64 { return m.evals.Load() }
 
 // ResetEvals clears the evaluation counter.
-func (m *Model) ResetEvals() { m.evals = 0 }
+func (m *Model) ResetEvals() { m.evals.Store(0) }
 
 // Cost is the detailed output of one cost-model query. Energies are in
 // picojoules, delay in accelerator cycles. The paper's §4.1.3 output
@@ -91,6 +93,50 @@ type Cost struct {
 	// EDP is the energy-delay product in joule-seconds, the optimization
 	// objective (§5.1.2).
 	EDP float64
+
+	// Evaluation scratch (cumulative tiles, temporal loop nests), kept on
+	// the Cost so a reused Cost value is a complete, allocation-free
+	// evaluation workspace: steady-state EvaluateRawInto calls on the same
+	// Cost perform zero heap allocations.
+	tile1, tile2   []int
+	loops1, loops2 []loop
+}
+
+// reset prepares c to receive a fresh evaluation for an algorithm with nt
+// tensors, reusing its per-level slices when already correctly sized.
+func (c *Cost) reset(nt int) {
+	for l := range c.Accesses {
+		if len(c.Accesses[l]) != nt {
+			c.Accesses[l] = make([]float64, nt)
+			c.EnergyPJ[l] = make([]float64, nt)
+			continue
+		}
+		for t := 0; t < nt; t++ {
+			c.Accesses[l][t] = 0
+			c.EnergyPJ[l][t] = 0
+		}
+	}
+	c.MACEnergyPJ = 0
+	c.TotalEnergyPJ = 0
+	c.ComputeCycles = 0
+	c.Cycles = 0
+	c.Utilization = 0
+	c.EDP = 0
+}
+
+// Clone returns a deep copy of the exported cost fields, detached from any
+// evaluation workspace. Costs stored in shared caches must be clones:
+// the original may be an EvaluateInto workspace whose slices are
+// overwritten by the next evaluation.
+func (c *Cost) Clone() Cost {
+	out := *c
+	for l := range c.Accesses {
+		out.Accesses[l] = append([]float64(nil), c.Accesses[l]...)
+		out.EnergyPJ[l] = append([]float64(nil), c.EnergyPJ[l]...)
+	}
+	out.tile1, out.tile2 = nil, nil
+	out.loops1, out.loops2 = nil, nil
+	return out
 }
 
 // loop is one temporal loop with its dimension and trip count.
@@ -99,21 +145,21 @@ type loop struct {
 	count int
 }
 
-// temporalLoops returns the loop nest above the given on-chip level,
-// outermost first: for the L1 boundary the DRAM-level loops followed by the
-// L2-level loops; for the L2 boundary the DRAM-level loops only.
-func temporalLoops(mp *mapspace.Mapping, level arch.Level) []loop {
-	var out []loop
+// appendTemporalLoops appends the loop nest above the given on-chip level
+// to buf, outermost first: for the L1 boundary the DRAM-level loops
+// followed by the L2-level loops; for the L2 boundary the DRAM-level loops
+// only. Passing buf[:0] reuses its storage.
+func appendTemporalLoops(buf []loop, mp *mapspace.Mapping, level arch.Level) []loop {
 	appendLevel := func(l arch.Level) {
 		for _, dim := range mp.Order[l] {
-			out = append(out, loop{dim: dim, count: mp.Tile[l][dim]})
+			buf = append(buf, loop{dim: dim, count: mp.Tile[l][dim]})
 		}
 	}
 	appendLevel(arch.DRAM)
 	if level == arch.L1 {
 		appendLevel(arch.L2)
 	}
-	return out
+	return buf
 }
 
 // reuseQ returns the tile-refetch multiplier for a tensor under the given
@@ -169,11 +215,20 @@ func allocEnergyScale(frac float64) float64 {
 // space (use mapspace.Space.IsMember to check), and structural mismatches
 // return an error rather than silently mis-costing.
 func (m *Model) Evaluate(mp *mapspace.Mapping) (Cost, error) {
+	var c Cost
+	err := m.EvaluateInto(mp, &c)
+	return c, err
+}
+
+// EvaluateInto is Evaluate writing into a caller-owned Cost workspace:
+// a paid query (Evals counter, QueryLatency) with zero steady-state heap
+// allocations when c is reused across calls.
+func (m *Model) EvaluateInto(mp *mapspace.Mapping, c *Cost) error {
 	if m.QueryLatency > 0 {
 		time.Sleep(m.QueryLatency)
 	}
-	m.evals++
-	return m.EvaluateRaw(mp)
+	m.evals.Add(1)
+	return m.EvaluateRawInto(mp, c)
 }
 
 // EvaluateRaw computes the cost of a mapping without paying the emulated
@@ -183,33 +238,42 @@ func (m *Model) Evaluate(mp *mapspace.Mapping) (Cost, error) {
 // the paper's methodology are found via the surrogate and never charged as
 // reference-cost-model queries (§5.2).
 func (m *Model) EvaluateRaw(mp *mapspace.Mapping) (Cost, error) {
+	var c Cost
+	err := m.EvaluateRawInto(mp, &c)
+	return c, err
+}
+
+// EvaluateRawInto is EvaluateRaw writing into a caller-owned Cost. The
+// Cost doubles as the evaluation workspace: its slices and internal
+// scratch are reused, so steady-state search loops that keep one Cost per
+// goroutine evaluate with zero heap allocations (the search tracker and
+// the batch scoring workers rely on this). The previous contents of c are
+// overwritten; Costs handed to shared caches must be Clone()s.
+func (m *Model) EvaluateRawInto(mp *mapspace.Mapping, c *Cost) error {
 	nd := m.Prob.Algo.NumDims()
 	if len(mp.Spatial) != nd || len(mp.Tile[arch.L1]) != nd ||
 		len(mp.Tile[arch.L2]) != nd || len(mp.Tile[arch.DRAM]) != nd {
-		return Cost{}, fmt.Errorf("timeloop: mapping has wrong arity for %d dims", nd)
+		return fmt.Errorf("timeloop: mapping has wrong arity for %d dims", nd)
 	}
 	for l := arch.L1; l < arch.NumLevels; l++ {
 		if len(mp.Order[l]) != nd {
-			return Cost{}, fmt.Errorf("timeloop: level %s order has wrong arity", l)
+			return fmt.Errorf("timeloop: level %s order has wrong arity", l)
 		}
 	}
 	nt := len(m.Prob.Algo.Tensors)
 	for level := arch.L1; level < arch.OnChipLevels; level++ {
 		if len(mp.Alloc[level]) != nt {
-			return Cost{}, fmt.Errorf("timeloop: level %s allocation has wrong arity", level)
+			return fmt.Errorf("timeloop: level %s allocation has wrong arity", level)
 		}
 	}
 
-	var c Cost
-	for l := range c.Accesses {
-		c.Accesses[l] = make([]float64, nt)
-		c.EnergyPJ[l] = make([]float64, nt)
-	}
-
-	tileL1 := mp.CumulativeTile(arch.L1)
-	tileL2 := mp.CumulativeTile(arch.L2)
-	loopsL1 := temporalLoops(mp, arch.L1)
-	loopsL2 := temporalLoops(mp, arch.L2)
+	c.reset(nt)
+	c.tile1 = mp.CumulativeTileInto(c.tile1, arch.L1)
+	c.tile2 = mp.CumulativeTileInto(c.tile2, arch.L2)
+	c.loops1 = appendTemporalLoops(c.loops1[:0], mp, arch.L1)
+	c.loops2 = appendTemporalLoops(c.loops2[:0], mp, arch.L2)
+	tileL1, tileL2 := c.tile1, c.tile2
+	loopsL1, loopsL2 := c.loops1, c.loops2
 
 	for t := range m.Prob.Algo.Tensors {
 		tensor := &m.Prob.Algo.Tensors[t]
@@ -282,7 +346,7 @@ func (m *Model) EvaluateRaw(mp *mapspace.Mapping) (Cost, error) {
 	c.Utilization = m.macs / c.Cycles / float64(m.Arch.NumPEs)
 
 	c.EDP = c.TotalEnergyPJ * 1e-12 * (c.Cycles / m.Arch.ClockHz)
-	return c, nil
+	return nil
 }
 
 func maxf(a, b float64) float64 {
