@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/experiments"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
@@ -19,7 +20,6 @@ import (
 	"mindmappings/internal/search"
 	"mindmappings/internal/stats"
 	"mindmappings/internal/surrogate"
-	"mindmappings/internal/timeloop"
 
 	archpkg "mindmappings/internal/arch"
 )
@@ -221,14 +221,14 @@ func BenchmarkPerStepCost(b *testing.B) {
 
 // --- Micro-benchmarks of the core primitives ---
 
-func benchCNNSetup(b *testing.B) (*timeloop.Model, *mapspace.Space, oracle.Bound) {
+func benchCNNSetup(b *testing.B) (costmodel.Evaluator, *mapspace.Space, oracle.Bound) {
 	b.Helper()
 	prob, err := loopnest.NewCNNProblem("ResNet_Conv_4", 16, 256, 256, 14, 14, 3, 3)
 	if err != nil {
 		b.Fatal(err)
 	}
 	a := archpkg.Default(2)
-	model, err := timeloop.New(a, prob)
+	model, err := costmodel.New("timeloop", a, prob)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -250,9 +250,10 @@ func BenchmarkCostModelQuery(b *testing.B) {
 	model, space, _ := benchCNNSetup(b)
 	rng := stats.NewRNG(1)
 	m := space.Random(rng)
+	var ws costmodel.Cost
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := model.EvaluateRaw(&m); err != nil {
+		if err := model.EvaluateInto(nil, &m, &ws); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,11 +14,13 @@
 //	experiments -fig components  search-component ablation (extension)
 //	experiments -fig tail     sampling ablation (extension)
 //	experiments -fig generality  edge-accelerator generality check (extension)
+//	experiments -fig costmodels  cost-model backend head-to-head (extension)
 //	experiments -fig summary  Figures 5+6 headline ratios
 //	experiments -fig all      everything above
 //
 // -fast shrinks budgets for a quick sanity pass; -repeats, -evals, -time,
-// and -latency scale toward the paper's methodology.
+// and -latency scale toward the paper's methodology. -costmodel evaluates
+// every experiment against a different registered backend (e.g. roofline).
 package main
 
 import (
@@ -53,12 +55,13 @@ func main() {
 func parseFlags(args []string, log io.Writer) (experiments.Options, string, error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(log)
-	fig := fs.String("fig", "all", "which experiment to run (t1, 3, space, 5, 6, 7a, 7b, 7c, ablate, step, components, tail, generality, summary, all)")
+	fig := fs.String("fig", "all", "which experiment to run (t1, 3, space, 5, 6, 7a, 7b, 7c, ablate, step, components, tail, generality, costmodels, summary, all)")
 	fast := fs.Bool("fast", false, "reduced problem set and budgets")
 	repeats := fs.Int("repeats", 0, "override runs averaged per method/problem (paper: 100)")
 	evals := fs.Int("evals", 0, "override iso-iteration budget (paper: ~1000)")
 	isoTime := fs.Duration("time", 0, "override iso-time budget")
 	latency := fs.Duration("latency", 0, "override emulated reference-model query latency")
+	costModel := fs.String("costmodel", "", "cost-model backend to evaluate against (timeloop, roofline)")
 	seed := fs.Int64("seed", 0, "override random seed")
 	quiet := fs.Bool("quiet", false, "suppress progress logging")
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +86,7 @@ func parseFlags(args []string, log io.Writer) (experiments.Options, string, erro
 	if *latency > 0 {
 		opts.QueryLatency = *latency
 	}
+	opts.CostModel = *costModel
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
@@ -129,6 +133,8 @@ func run(h *experiments.Harness, fig string, w io.Writer) error {
 			_, err = h.TailBiasAblation(w, "cnn-layer")
 		case "generality":
 			_, err = h.ArchGenerality(w)
+		case "costmodels":
+			_, err = h.CostModelHeadToHead(w)
 		case "summary":
 			var iso, it *experiments.Comparison
 			if iso, err = h.RunIsoIteration(); err != nil {
@@ -157,7 +163,7 @@ func run(h *experiments.Harness, fig string, w io.Writer) error {
 	if fig != "all" {
 		return runOne(fig)
 	}
-	for _, name := range []string{"t1", "3", "space", "7a", "7b", "7c", "ablate", "step", "components", "tail", "generality", "5", "6", "summary"} {
+	for _, name := range []string{"t1", "3", "space", "7a", "7b", "7c", "ablate", "step", "components", "tail", "generality", "costmodels", "5", "6", "summary"} {
 		if err := runOne(name); err != nil {
 			return err
 		}

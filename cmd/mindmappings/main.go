@@ -70,6 +70,9 @@ run "mindmappings <command> -h" for per-command flags
 `)
 }
 
+// costModelUsage documents the -model flag shared by search and compare.
+const costModelUsage = "cost-model backend: timeloop (default, reference reuse analysis) or roofline (optimistic lower-bound model)"
+
 // surrogateConfig resolves a named Phase-1 configuration.
 func surrogateConfig(name string) (surrogate.Config, error) {
 	switch name {
@@ -146,6 +149,7 @@ func cmdTrain(args []string) error {
 	algoName := fs.String("algo", "cnn-layer", "target algorithm: cnn-layer, mttkrp, conv1d")
 	cfgName := fs.String("config", "small", "phase-1 configuration: tiny, small, paper")
 	out := fs.String("out", "surrogate.bin", "output surrogate file")
+	model := fs.String("model", "", "cost-model backend that labels the training set: timeloop (default) or roofline; search with the same -model so the surrogate approximates the f it is scored against")
 	samples := fs.Int("samples", 0, "override training-set size")
 	epochs := fs.Int("epochs", 0, "override training epochs")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -162,6 +166,7 @@ func cmdTrain(args []string) error {
 	if *epochs > 0 {
 		cfg.Train.Epochs = *epochs
 	}
+	cfg.CostModel = *model
 	cfg.Seed = *seed
 	cfg.Train.Log = os.Stderr
 
@@ -209,6 +214,7 @@ func cmdSearch(args []string) error {
 	surPath := fs.String("surrogate", "surrogate.bin", "trained surrogate file")
 	problemName := fs.String("problem", "", "Table-1 problem name")
 	shape := fs.String("shape", "", "explicit problem shape (e.g. 16,256,256,14,14,3,3 for cnn-layer)")
+	model := fs.String("model", "", costModelUsage)
 	evals := fs.Int("evals", 1000, "surrogate-query budget")
 	maxTime := fs.Duration("time", 0, "wall-clock budget (overrides -evals when set)")
 	objective := fs.String("objective", "edp", "optimization objective: edp, ed2p, energy, delay")
@@ -226,6 +232,7 @@ func cmdSearch(args []string) error {
 	if err != nil {
 		return err
 	}
+	mp.CostModel = *model
 	prob, err := resolveProblem(*algoName, *problemName, *shape)
 	if err != nil {
 		return err
@@ -266,6 +273,7 @@ func cmdCompare(args []string) error {
 	surPath := fs.String("surrogate", "surrogate.bin", "trained surrogate file")
 	problemName := fs.String("problem", "", "Table-1 problem name")
 	shape := fs.String("shape", "", "explicit problem shape")
+	model := fs.String("model", "", costModelUsage)
 	evals := fs.Int("evals", 1000, "evaluation budget per method")
 	maxTime := fs.Duration("time", 0, "wall-clock budget per method (overrides -evals)")
 	latency := fs.Duration("latency", 2*time.Millisecond, "emulated reference-cost-model latency (iso-time only)")
@@ -278,6 +286,7 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
+	mp.CostModel = *model
 	prob, err := resolveProblem(*algoName, *problemName, *shape)
 	if err != nil {
 		return err
@@ -299,7 +308,7 @@ func cmdCompare(args []string) error {
 			return err
 		}
 		if isoTime && method.Name() != "MM" {
-			pc.Model.QueryLatency = *latency
+			pc.QueryLatency = *latency
 		}
 		res, err := mp.SearchWith(method, pc, budget, *seed)
 		if err != nil {

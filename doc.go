@@ -14,8 +14,18 @@
 // internal/core (the Mapper API), the runnable examples under examples/, and
 // the command-line tools under cmd/. The root-level benchmarks in
 // bench_test.go regenerate every table and figure of the paper's evaluation;
-// see DESIGN.md for the per-experiment index and EXPERIMENTS.md for measured
-// results.
+// see DESIGN.md for the per-experiment index and the layering notes.
+//
+// The cost function f is a pluggable layer: internal/costmodel defines the
+// Evaluator interface, a by-name backend registry, and composable
+// middleware (eval counting, query-latency emulation, memoization,
+// bounded-parallel batch fan-out) that any backend inherits. The reference
+// Timeloop-style model (internal/timeloop) registers as "timeloop", the
+// default; an optimistic roofline/lower-bound model registers as
+// "roofline". Backends are selected end-to-end — `mindmappings search
+// -model=roofline`, the service's "cost_model" request field (with
+// per-backend eval counters in /v1/metrics), and `experiments -costmodel`
+// — and no searcher, trainer, or service code names a concrete backend.
 //
 // Beyond the one-shot CLI, internal/service turns the library into a
 // long-running concurrent mapping-search server (`mindmappings serve`): an
@@ -28,11 +38,11 @@
 // The evaluation hot path is batched and allocation-free: surrogate
 // queries run through batch GEMM kernels (surrogate.PredictBatch /
 // GradientBatch over mat.MulNT / mat.MulNN) that are bit-identical to the
-// scalar path, the reference cost model evaluates into a reusable
-// workspace with zero steady-state heap allocations
-// (timeloop.EvaluateInto), searchers evaluate candidate populations and
-// neighborhoods as batches, and search.Context.Parallelism fans
-// cost-model scoring across a bounded worker pool without changing
+// scalar path, every cost-model backend evaluates into a reusable
+// costmodel.Cost workspace with zero steady-state heap allocations,
+// searchers evaluate candidate populations and neighborhoods as batches,
+// and search.Context.Parallelism fans cost-model scoring across the
+// costmodel parallel middleware's bounded worker pool without changing
 // results. BENCH_search.json records the measured speedups; the README's
 // Performance section documents the knobs and the benchmark commands.
 package mindmappings

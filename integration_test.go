@@ -152,7 +152,7 @@ func TestPipelineIsoTimeAdvantage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pcSA.Model.QueryLatency = 2 * time.Millisecond
+	pcSA.QueryLatency = 2 * time.Millisecond
 	saRes, err := mp.SearchWith(search.SimulatedAnnealing{}, pcSA, budget, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +162,7 @@ func TestPipelineIsoTimeAdvantage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pcMM.Model.QueryLatency = 2 * time.Millisecond
+	pcMM.QueryLatency = 2 * time.Millisecond
 	mmRes, err := mp.FindMapping(pcMM, budget, 5)
 	if err != nil {
 		t.Fatal(err)

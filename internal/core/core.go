@@ -16,15 +16,16 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/nn"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/search"
 	"mindmappings/internal/surrogate"
-	"mindmappings/internal/timeloop"
 )
 
 // Mapper is the Mind Mappings entry point for one algorithm-accelerator
@@ -32,6 +33,11 @@ import (
 type Mapper struct {
 	Algo *loopnest.Algorithm
 	Arch arch.Spec
+	// CostModel names the registered costmodel backend problem contexts
+	// are built against (empty = costmodel.DefaultBackend, the reference
+	// Timeloop-style model). The CLI's -model flag sets it; every searcher
+	// and evaluation goes through the selected backend.
+	CostModel string
 
 	sur *surrogate.Surrogate
 }
@@ -99,8 +105,10 @@ func (mp *Mapper) SaveSurrogate(w io.Writer) error {
 type ProblemContext struct {
 	Problem loopnest.Problem
 	Space   *mapspace.Space
-	Model   *timeloop.Model
-	Bound   oracle.Bound
+	// Model is the pluggable cost function the context was built with —
+	// any registered costmodel backend.
+	Model costmodel.Evaluator
+	Bound oracle.Bound
 	// Objective selects the designer cost function for searches run
 	// through this context (paper §2.3). The zero value is EDP.
 	Objective search.Objective
@@ -108,10 +116,15 @@ type ProblemContext struct {
 	// many workers during searches run through this context. Search
 	// results are bit-identical for any value; only wall-clock changes.
 	Parallelism int
+	// QueryLatency emulates the reference cost model's per-query latency
+	// for paid queries during searches run through this context (the
+	// iso-time methodology; see DESIGN.md §4). Zero pays nothing.
+	QueryLatency time.Duration
 }
 
 // NewProblemContext builds the per-problem machinery for any problem of
-// the mapper's algorithm.
+// the mapper's algorithm, evaluating against the mapper's selected
+// costmodel backend.
 func (mp *Mapper) NewProblemContext(p loopnest.Problem) (*ProblemContext, error) {
 	if p.Algo == nil || p.Algo.Name != mp.Algo.Name {
 		return nil, fmt.Errorf("core: problem %q does not belong to algorithm %q", p.Name, mp.Algo.Name)
@@ -120,9 +133,9 @@ func (mp *Mapper) NewProblemContext(p loopnest.Problem) (*ProblemContext, error)
 	if err != nil {
 		return nil, err
 	}
-	model, err := timeloop.New(mp.Arch, p)
+	model, err := costmodel.New(mp.CostModel, mp.Arch, p)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	bound, err := oracle.Compute(mp.Arch, p)
 	if err != nil {
@@ -149,12 +162,12 @@ func (pc *ProblemContext) GetProjection(m mapspace.Mapping) mapspace.Mapping {
 	return pc.Space.Project(m)
 }
 
-// Evaluate runs the reference cost model on a mapping and reports the cost
-// with EDP normalized to the algorithmic minimum.
-func (pc *ProblemContext) Evaluate(m *mapspace.Mapping) (timeloop.Cost, float64, error) {
-	cost, err := pc.Model.EvaluateRaw(m)
+// Evaluate runs the context's cost model on a mapping and reports the
+// cost with EDP normalized to the algorithmic minimum.
+func (pc *ProblemContext) Evaluate(m *mapspace.Mapping) (costmodel.Cost, float64, error) {
+	cost, err := costmodel.Evaluate(nil, pc.Model, m)
 	if err != nil {
-		return timeloop.Cost{}, 0, err
+		return costmodel.Cost{}, 0, err
 	}
 	return cost, pc.Bound.NormalizeEDP(cost.EDP), nil
 }
@@ -162,12 +175,13 @@ func (pc *ProblemContext) Evaluate(m *mapspace.Mapping) (timeloop.Cost, float64,
 // searchContext adapts the ProblemContext for the search package.
 func (pc *ProblemContext) searchContext(seed int64) *search.Context {
 	return &search.Context{
-		Space:       pc.Space,
-		Model:       pc.Model,
-		Bound:       pc.Bound,
-		Seed:        seed,
-		Objective:   pc.Objective,
-		Parallelism: pc.Parallelism,
+		Space:        pc.Space,
+		Model:        pc.Model,
+		Bound:        pc.Bound,
+		Seed:         seed,
+		Objective:    pc.Objective,
+		Parallelism:  pc.Parallelism,
+		QueryLatency: pc.QueryLatency,
 	}
 }
 

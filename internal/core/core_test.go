@@ -255,3 +255,57 @@ func TestObjectivePropagatesThroughContext(t *testing.T) {
 		t.Fatalf("delay-objective mapping uses only %d PEs", res.Best.SpatialPEs())
 	}
 }
+
+// TestCostModelSelection pins the pluggable-backend knob on the Mapper:
+// problem contexts built with CostModel "roofline" evaluate against a
+// different f than the default (distinct costs for the same mapping),
+// searches still run end to end, and unknown backends are rejected.
+func TestCostModelSelection(t *testing.T) {
+	mp := trainedMapper(t)
+	prob, err := loopnest.NewConv1DProblem("backend", 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	def, err := mp.NewProblemContext(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfMapper := *mp
+	rfMapper.CostModel = "roofline"
+	rf, err := rfMapper.NewProblemContext(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Model.Name() != "timeloop" || rf.Model.Name() != "roofline" {
+		t.Fatalf("backends %q/%q, want timeloop/roofline", def.Model.Name(), rf.Model.Name())
+	}
+	m := def.GetMapping(stats.NewRNG(5))
+	_, defEDP, err := def.Evaluate(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rfEDP, err := rf.Evaluate(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defEDP == rfEDP {
+		t.Fatalf("both backends report %v for the same mapping", defEDP)
+	}
+	if rfEDP < 1 || defEDP < 1 {
+		t.Fatalf("normalized EDPs %v/%v below the lower bound", rfEDP, defEDP)
+	}
+	res, err := mp.FindMapping(rf, search.Budget{MaxEvals: 80}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 80 {
+		t.Fatalf("roofline-scored search used %d evals", res.Evals)
+	}
+
+	bad := *mp
+	bad.CostModel = "abacus"
+	if _, err := bad.NewProblemContext(prob); err == nil {
+		t.Fatal("accepted unknown cost model")
+	}
+}

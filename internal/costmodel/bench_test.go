@@ -1,0 +1,102 @@
+package costmodel_test
+
+import (
+	"context"
+	"testing"
+
+	"mindmappings/internal/costmodel"
+)
+
+// BenchmarkEvaluatorDispatchTimeloop measures one reference-backend
+// evaluation through the Evaluator interface — against timeloop's direct
+// BenchmarkEvaluateInto this is the price of the costmodel seam (expected:
+// ~0, one devirtualizable call).
+func BenchmarkEvaluatorDispatchTimeloop(b *testing.B) {
+	f := newFixture(b, 100)
+	ev := f.backend(b, "timeloop")
+	ctx := context.Background()
+	var ws costmodel.Cost
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.EvaluateInto(ctx, &f.ms[i%len(f.ms)], &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluatorDispatchRoofline measures the roofline backend: no
+// loop-order analysis, so it should undercut the reference model.
+func BenchmarkEvaluatorDispatchRoofline(b *testing.B) {
+	f := newFixture(b, 101)
+	ev := f.backend(b, "roofline")
+	ctx := context.Background()
+	var ws costmodel.Cost
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.EvaluateInto(ctx, &f.ms[i%len(f.ms)], &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCounterMiddleware isolates the accounting wrapper's overhead on
+// the hot path (one atomic add per eval).
+func BenchmarkCounterMiddleware(b *testing.B) {
+	f := newFixture(b, 102)
+	var ctr costmodel.Counter
+	ev := costmodel.WithCounter(f.backend(b, "timeloop"), &ctr)
+	ctx := context.Background()
+	var ws costmodel.Cost
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.EvaluateInto(ctx, &f.ms[i%len(f.ms)], &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheMiddlewareHit measures a warm memoization hit: key build +
+// lookup + CopyTo, one allocation (the key string).
+func BenchmarkCacheMiddlewareHit(b *testing.B) {
+	f := newFixture(b, 103)
+	ev := costmodel.WithCache(f.backend(b, "timeloop"), newMapCache())
+	ctx := context.Background()
+	var ws costmodel.Cost
+	for i := range f.ms {
+		if err := ev.EvaluateInto(ctx, &f.ms[i], &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.EvaluateInto(ctx, &f.ms[i%len(f.ms)], &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelBatch measures the parallel middleware driving
+// full batches over the reference backend.
+func BenchmarkParallelBatch(b *testing.B) {
+	f := newFixture(b, 104)
+	ev := costmodel.WithParallel(f.backend(b, "timeloop"), 4)
+	ctx := context.Background()
+	n := len(f.ms)
+	costs := make([]costmodel.Cost, n)
+	errs := make([]error, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateBatchInto(ctx, f.ms, costs, errs)
+	}
+	b.StopTimer()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

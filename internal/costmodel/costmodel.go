@@ -1,0 +1,138 @@
+// Package costmodel is the pluggable cost-model layer: it defines the
+// Evaluator interface every cost function f implements, the Cost record
+// all backends produce, a by-name backend registry, and the composable
+// middleware (eval counting, query-latency emulation, memoization,
+// bounded-parallel batch fan-out) that any backend inherits.
+//
+// The paper treats f as an exchangeable component (§2.3, §5.1.2 — Timeloop
+// is just the reference instantiation), so nothing above this package may
+// care which backend computes a cost: searchers, the surrogate trainer,
+// the Mapper API, and the serve service all work against Evaluator. Two
+// backends are built in — the reference Timeloop-style reuse-analysis
+// model (package timeloop, registered as "timeloop") and the optimistic
+// roofline/lower-bound model in this package (registered as "roofline") —
+// and new ones (a real-Timeloop subprocess, a learned model) plug in by
+// calling Register without touching any searcher. See DESIGN.md §5 for the
+// layering.
+package costmodel
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/mapspace"
+)
+
+// Evaluator is a cost function f bound to one (accelerator, problem) pair.
+// Implementations must be safe for concurrent use: the parallel middleware
+// fans batch elements across goroutines, each with its own Cost workspace.
+type Evaluator interface {
+	// Name identifies the backend ("timeloop", "roofline"). Middleware
+	// wrappers return the wrapped backend's name.
+	Name() string
+	// Problem returns the problem the evaluator is bound to, so callers
+	// can validate that a mapping space and a cost model agree.
+	Problem() loopnest.Problem
+	// AppendFingerprint appends a canonical binary identity of the
+	// evaluator — backend name, accelerator, and problem — to dst and
+	// returns the extended slice. Distinct (backend, arch, problem)
+	// triples yield distinct fingerprints; the cache middleware prefixes
+	// its keys with it so different backends never share entries.
+	AppendFingerprint(dst []byte) []byte
+	// EvaluateInto computes the cost of one mapping into the caller-owned
+	// workspace c, overwriting its previous contents. Reusing c across
+	// calls makes steady-state evaluation allocation-free. ctx carries
+	// cancellation for middleware that waits (latency emulation); bare
+	// backends are fast enough to ignore it.
+	EvaluateInto(ctx context.Context, m *mapspace.Mapping, c *Cost) error
+	// EvaluateBatchInto evaluates ms[i] into costs[i], reporting each
+	// element's outcome in errs[i]. All three slices have equal length.
+	// Elements remaining after ctx is canceled are marked with ctx.Err()
+	// and not evaluated. Plain backends evaluate sequentially (use
+	// SequentialBatch); the parallel middleware fans elements across a
+	// bounded worker pool.
+	EvaluateBatchInto(ctx context.Context, ms []mapspace.Mapping, costs []Cost, errs []error)
+}
+
+// Evaluate is the convenience scalar form: it evaluates m into a fresh
+// Cost. Hot paths should hold a reusable Cost and call EvaluateInto.
+func Evaluate(ctx context.Context, ev Evaluator, m *mapspace.Mapping) (Cost, error) {
+	var c Cost
+	err := ev.EvaluateInto(orBackground(ctx), m, &c)
+	return c, err
+}
+
+// SequentialBatch implements EvaluateBatchInto as the per-element scalar
+// loop, for evaluators without a native batch path. Cancellation is
+// honored between elements: once ctx expires the remaining elements are
+// marked with ctx.Err() instead of being evaluated.
+func SequentialBatch(ctx context.Context, ev Evaluator, ms []mapspace.Mapping, costs []Cost, errs []error) {
+	ctx = orBackground(ctx)
+	for i := range ms {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		errs[i] = ev.EvaluateInto(ctx, &ms[i], &costs[i])
+	}
+}
+
+// orBackground tolerates callers that have no context to thread through.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// AppendBackendFingerprint appends the canonical evaluator identity shared
+// by all backends: the length-prefixed backend name, the accelerator
+// fingerprint, and the problem identity (length-prefixed algorithm name
+// plus shape). Backends call it from AppendFingerprint so fingerprints are
+// collision-free across backends by construction.
+func AppendBackendFingerprint(dst []byte, name string, a *arch.Spec, p *loopnest.Problem) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(name)))
+	dst = append(dst, name...)
+	dst = a.AppendFingerprint(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(p.Algo.Name)))
+	dst = append(dst, p.Algo.Name...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(p.Shape)))
+	for _, s := range p.Shape {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s))
+	}
+	return dst
+}
+
+// AppendMappingKey appends the raw bits of every cost-relevant mapping
+// attribute (tile factors, spatial factors, loop orders, buffer
+// allocations) to dst and returns the extended slice. Combined with an
+// evaluator fingerprint prefix — which pins the problem arity, so no
+// per-section length prefixes are needed — the result is a collision-free
+// memoization key. Appending into a reused buffer allocates nothing.
+func AppendMappingKey(dst []byte, m *mapspace.Mapping) []byte {
+	appendInt := func(v int) {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	for l := range m.Tile {
+		for _, v := range m.Tile[l] {
+			appendInt(v)
+		}
+	}
+	for _, v := range m.Spatial {
+		appendInt(v)
+	}
+	for l := range m.Order {
+		for _, v := range m.Order[l] {
+			appendInt(v)
+		}
+	}
+	for l := range m.Alloc {
+		for _, f := range m.Alloc[l] {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+		}
+	}
+	return dst
+}

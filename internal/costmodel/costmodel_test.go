@@ -1,0 +1,244 @@
+package costmodel_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/stats"
+
+	_ "mindmappings/internal/timeloop" // register the reference backend
+)
+
+// fixture bundles one (arch, problem) pair with its map space and a pool
+// of random mappings.
+type fixture struct {
+	arch  arch.Spec
+	prob  loopnest.Problem
+	space *mapspace.Space
+	ms    []mapspace.Mapping
+}
+
+func newFixture(t testing.TB, seed int64) *fixture {
+	t.Helper()
+	p, err := loopnest.NewCNNProblem("costmodel-test", 4, 16, 8, 14, 14, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.Default(2)
+	space, err := mapspace.New(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{arch: a, prob: p, space: space}
+	rng := stats.NewRNG(seed)
+	for i := 0; i < 24; i++ {
+		f.ms = append(f.ms, space.Random(rng))
+	}
+	return f
+}
+
+func (f *fixture) backend(t testing.TB, name string) costmodel.Evaluator {
+	t.Helper()
+	ev, err := costmodel.New(name, f.arch, f.prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestRegistryResolvesBackends(t *testing.T) {
+	f := newFixture(t, 1)
+	for _, tc := range []struct{ name, want string }{
+		{"", "timeloop"}, // default
+		{"timeloop", "timeloop"},
+		{"roofline", "roofline"},
+	} {
+		ev := f.backend(t, tc.name)
+		if ev.Name() != tc.want {
+			t.Fatalf("New(%q).Name() = %q, want %q", tc.name, ev.Name(), tc.want)
+		}
+		if ev.Problem().Name != f.prob.Name {
+			t.Fatalf("backend %q bound to problem %q", tc.want, ev.Problem().Name)
+		}
+	}
+	if _, err := costmodel.New("no-such-backend", f.arch, f.prob); err == nil ||
+		!strings.Contains(err.Error(), "roofline") {
+		t.Fatalf("unknown backend error should list registered names, got %v", err)
+	}
+	names := costmodel.Names()
+	for _, want := range []string{"timeloop", "roofline"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("Names() = %v, missing %q", names, want)
+		}
+		if !costmodel.Registered(want) {
+			t.Fatalf("Registered(%q) = false", want)
+		}
+	}
+	if !costmodel.Registered("") {
+		t.Fatal("empty name must resolve to the default backend")
+	}
+	if costmodel.Registered("no-such-backend") {
+		t.Fatal("Registered accepted an unknown backend")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	mustPanic := func(name string, c costmodel.Constructor) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("Register(%q) did not panic", name)
+			}
+		}()
+		costmodel.Register(name, c)
+	}
+	dummy := func(a arch.Spec, p loopnest.Problem) (costmodel.Evaluator, error) {
+		return costmodel.NewRoofline(a, p)
+	}
+	mustPanic("", dummy)
+	mustPanic("timeloop", dummy) // duplicate of the reference backend
+	mustPanic("x", nil)
+}
+
+// TestFingerprintsDistinguishEvaluators pins the cache-key contract: any
+// change of backend, accelerator, or problem changes the fingerprint, and
+// equal configurations reproduce it byte for byte.
+func TestFingerprintsDistinguishEvaluators(t *testing.T) {
+	f := newFixture(t, 2)
+	otherProb, err := loopnest.NewCNNProblem("costmodel-test", 4, 16, 8, 14, 14, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	add := func(label string, ev costmodel.Evaluator) {
+		t.Helper()
+		fp := string(ev.AppendFingerprint(nil))
+		if again := string(ev.AppendFingerprint(nil)); again != fp {
+			t.Fatalf("%s: fingerprint unstable", label)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision between %s and %s", prev, label)
+		}
+		seen[fp] = label
+	}
+	for _, name := range []string{"timeloop", "roofline"} {
+		for _, a := range []arch.Spec{arch.Default(2), arch.Edge(2)} {
+			for _, p := range []loopnest.Problem{f.prob, otherProb} {
+				ev, err := costmodel.New(name, a, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				add(name+"/"+a.Name+"/"+p.String(), ev)
+			}
+		}
+	}
+}
+
+// TestMappingKeyCollisionFreedom: distinct mappings yield distinct keys,
+// equal mappings identical keys, and key building into a warm buffer costs
+// zero allocations.
+func TestMappingKeyCollisionFreedom(t *testing.T) {
+	f := newFixture(t, 3)
+	keys := map[string]int{}
+	for i := range f.ms {
+		key := string(costmodel.AppendMappingKey(nil, &f.ms[i]))
+		if again := string(costmodel.AppendMappingKey(nil, &f.ms[i])); again != key {
+			t.Fatal("mapping key not stable for equal inputs")
+		}
+		if prev, dup := keys[key]; dup {
+			t.Fatalf("mapping key collision between mappings %d and %d", prev, i)
+		}
+		keys[key] = i
+	}
+	buf := costmodel.AppendMappingKey(nil, &f.ms[0])
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = costmodel.AppendMappingKey(buf[:0], &f.ms[i%len(f.ms)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("warm mapping-key build allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestEvaluateConvenience(t *testing.T) {
+	f := newFixture(t, 4)
+	ev := f.backend(t, "")
+	c, err := costmodel.Evaluate(nil, ev, &f.ms[0]) // nil ctx must be tolerated
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c.EDP > 0) {
+		t.Fatalf("EDP = %v", c.EDP)
+	}
+}
+
+func TestCostCopyToReusesSlicesAndDropsNothing(t *testing.T) {
+	f := newFixture(t, 5)
+	ev := f.backend(t, "")
+	ctx := context.Background()
+	var a, b costmodel.Cost
+	if err := ev.EvaluateInto(ctx, &f.ms[0], &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.EvaluateInto(ctx, &f.ms[1], &b); err != nil {
+		t.Fatal(err)
+	}
+	scratch := b.Scratch
+	a.CopyTo(&b)
+	if b.Scratch != scratch {
+		t.Fatal("CopyTo replaced the destination's backend workspace")
+	}
+	if b.EDP != a.EDP || b.TotalEnergyPJ != a.TotalEnergyPJ || b.Cycles != a.Cycles ||
+		b.Utilization != a.Utilization || b.MACEnergyPJ != a.MACEnergyPJ ||
+		b.ComputeCycles != a.ComputeCycles {
+		t.Fatal("CopyTo lost scalar fields")
+	}
+	for l := range a.Accesses {
+		for tt := range a.Accesses[l] {
+			if b.Accesses[l][tt] != a.Accesses[l][tt] || b.EnergyPJ[l][tt] != a.EnergyPJ[l][tt] {
+				t.Fatal("CopyTo lost per-level values")
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() { a.CopyTo(&b) })
+	if allocs != 0 {
+		t.Fatalf("steady-state CopyTo allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestRenderAnyBackend covers the cost-report rendering for both backends:
+// the table must name every level and tensor and carry the summary lines.
+func TestRenderAnyBackend(t *testing.T) {
+	f := newFixture(t, 6)
+	for _, name := range []string{"timeloop", "roofline"} {
+		ev := f.backend(t, name)
+		c, err := costmodel.Evaluate(context.Background(), ev, &f.ms[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		c.Render(&buf, f.prob.Algo)
+		out := buf.String()
+		for _, want := range []string{"level", "L1", "L2", "DRAM", "MACs",
+			"total energy", "cycles", "utilization", "EDP"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s report missing %q:\n%s", name, want, out)
+			}
+		}
+		for _, tensor := range f.prob.Algo.Tensors {
+			if !strings.Contains(out, tensor.Name) {
+				t.Fatalf("%s report missing tensor %q:\n%s", name, tensor.Name, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package costmodel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/mapspace"
+)
+
+// This file holds the composable middleware any backend inherits: eval
+// accounting (WithCounter), reference-model query-latency emulation
+// (WithLatency), memoization (WithCache), and bounded-parallel batch
+// fan-out (WithParallel). Each wrapper is itself an Evaluator, so stacks
+// compose freely; the conventional order, outermost first, is
+//
+//	WithParallel(WithCache(WithLatency(WithCounter(backend))))
+//
+// so cache hits skip the latency and the counter (a memoized query is not
+// a paid one), and parallel workers drive the whole per-element stack.
+
+// Counter is shared, concurrency-safe evaluation accounting. One Counter
+// may be attached to many evaluator stacks (the serve service keeps one
+// per backend and reports them in /v1/metrics).
+type Counter struct {
+	n atomic.Int64
+}
+
+// Count returns the number of evaluations charged so far.
+func (c *Counter) Count() int64 { return c.n.Load() }
+
+// Reset clears the counter.
+func (c *Counter) Reset() { c.n.Store(0) }
+
+// counted charges every evaluation that reaches it to a Counter.
+type counted struct {
+	inner Evaluator
+	ctr   *Counter
+}
+
+// WithCounter wraps inner so every evaluation reaching it increments ctr.
+// Elements skipped by cancellation (or served by a cache wrapped outside)
+// are not charged.
+func WithCounter(inner Evaluator, ctr *Counter) Evaluator {
+	if ctr == nil {
+		return inner
+	}
+	return &counted{inner: inner, ctr: ctr}
+}
+
+func (e *counted) Name() string                        { return e.inner.Name() }
+func (e *counted) Problem() loopnest.Problem           { return e.inner.Problem() }
+func (e *counted) AppendFingerprint(dst []byte) []byte { return e.inner.AppendFingerprint(dst) }
+func (e *counted) EvaluateInto(ctx context.Context, m *mapspace.Mapping, c *Cost) error {
+	e.ctr.n.Add(1)
+	return e.inner.EvaluateInto(ctx, m, c)
+}
+
+func (e *counted) EvaluateBatchInto(ctx context.Context, ms []mapspace.Mapping, costs []Cost, errs []error) {
+	SequentialBatch(ctx, e, ms, costs, errs)
+}
+
+// latency stalls every evaluation by a fixed duration, emulating the query
+// cost of the paper's reference cost model (Timeloop queries take
+// milliseconds; the in-process analytical backends take microseconds).
+// Iso-time experiments install it so the relative per-step costs of
+// surrogate-driven and cost-model-driven search match the paper's setting.
+// The stall honors ctx: a canceled context interrupts the wait immediately
+// and returns ctx.Err(), so jobs with emulated latency tear down promptly.
+type latency struct {
+	inner Evaluator
+	d     time.Duration
+}
+
+// WithLatency wraps inner so every evaluation first waits d (or returns
+// early with ctx.Err() when ctx is canceled mid-wait). d <= 0 returns
+// inner unchanged.
+func WithLatency(inner Evaluator, d time.Duration) Evaluator {
+	if d <= 0 {
+		return inner
+	}
+	return &latency{inner: inner, d: d}
+}
+
+func (e *latency) Name() string                        { return e.inner.Name() }
+func (e *latency) Problem() loopnest.Problem           { return e.inner.Problem() }
+func (e *latency) AppendFingerprint(dst []byte) []byte { return e.inner.AppendFingerprint(dst) }
+
+func (e *latency) EvaluateInto(ctx context.Context, m *mapspace.Mapping, c *Cost) error {
+	ctx = orBackground(ctx)
+	t := time.NewTimer(e.d)
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	}
+	return e.inner.EvaluateInto(ctx, m, c)
+}
+
+func (e *latency) EvaluateBatchInto(ctx context.Context, ms []mapspace.Mapping, costs []Cost, errs []error) {
+	SequentialBatch(ctx, e, ms, costs, errs)
+}
+
+// Cache memoizes evaluations across search runs sharing a problem.
+// Implementations must be safe for concurrent use; cached Cost values are
+// shared and must be treated as immutable (the middleware stores detached
+// clones and serves hits by copy).
+type Cache interface {
+	Get(key string) (Cost, bool)
+	Put(key string, c Cost)
+}
+
+// cached memoizes inner's evaluations under fingerprint-prefixed keys.
+type cached struct {
+	inner  Evaluator
+	cache  Cache
+	prefix []byte // evaluator fingerprint, computed once
+	keys   sync.Pool
+}
+
+// WithCache wraps inner so evaluations are memoized in cache, keyed by the
+// evaluator fingerprint plus the mapping's attribute bits — evaluators
+// differing in backend, accelerator, or problem never share entries. Hits
+// skip inner entirely (and therefore any latency or counting wrapped
+// inside); misses store a detached clone. The only steady-state allocation
+// is the key string itself. A nil cache returns inner unchanged.
+func WithCache(inner Evaluator, cache Cache) Evaluator {
+	if cache == nil {
+		return inner
+	}
+	return &cached{inner: inner, cache: cache, prefix: inner.AppendFingerprint(nil)}
+}
+
+func (e *cached) Name() string                        { return e.inner.Name() }
+func (e *cached) Problem() loopnest.Problem           { return e.inner.Problem() }
+func (e *cached) AppendFingerprint(dst []byte) []byte { return e.inner.AppendFingerprint(dst) }
+
+func (e *cached) EvaluateInto(ctx context.Context, m *mapspace.Mapping, c *Cost) error {
+	buf, _ := e.keys.Get().(*[]byte)
+	if buf == nil {
+		buf = new([]byte)
+	}
+	*buf = AppendMappingKey(append((*buf)[:0], e.prefix...), m)
+	key := string(*buf)
+	e.keys.Put(buf)
+	if hit, ok := e.cache.Get(key); ok {
+		hit.CopyTo(c)
+		return nil
+	}
+	if err := e.inner.EvaluateInto(ctx, m, c); err != nil {
+		return err
+	}
+	e.cache.Put(key, c.Clone())
+	return nil
+}
+
+func (e *cached) EvaluateBatchInto(ctx context.Context, ms []mapspace.Mapping, costs []Cost, errs []error) {
+	SequentialBatch(ctx, e, ms, costs, errs)
+}
+
+// parallel fans batch evaluations across a bounded worker pool. Scalar
+// evaluations pass straight through.
+type parallel struct {
+	inner   Evaluator
+	workers int
+}
+
+// WithParallel wraps inner so EvaluateBatchInto fans elements across up to
+// workers goroutines, each driving the full inner stack with its own
+// caller-provided Cost workspace. Results land at their element's index,
+// so batch contents are independent of scheduling; only wall-clock
+// changes. workers <= 1 returns inner unchanged.
+func WithParallel(inner Evaluator, workers int) Evaluator {
+	if workers <= 1 {
+		return inner
+	}
+	return &parallel{inner: inner, workers: workers}
+}
+
+func (e *parallel) Name() string                        { return e.inner.Name() }
+func (e *parallel) Problem() loopnest.Problem           { return e.inner.Problem() }
+func (e *parallel) AppendFingerprint(dst []byte) []byte { return e.inner.AppendFingerprint(dst) }
+
+func (e *parallel) EvaluateInto(ctx context.Context, m *mapspace.Mapping, c *Cost) error {
+	return e.inner.EvaluateInto(ctx, m, c)
+}
+
+func (e *parallel) EvaluateBatchInto(ctx context.Context, ms []mapspace.Mapping, costs []Cost, errs []error) {
+	n := len(ms)
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		e.inner.EvaluateBatchInto(ctx, ms, costs, errs)
+		return
+	}
+	ctx = orBackground(ctx)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Honor cancellation between evaluations: remaining
+				// elements are marked, not evaluated, so a canceled batch
+				// stops within one in-flight evaluation per worker.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = e.inner.EvaluateInto(ctx, &ms[i], &costs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,4 +1,4 @@
-package timeloop
+package costmodel
 
 import (
 	"fmt"
@@ -10,7 +10,8 @@ import (
 
 // Render writes a human-readable cost report: a per-level, per-tensor table
 // of word traffic and access energy, followed by the delay breakdown —
-// the information an architect reads off a Timeloop report.
+// the information an architect reads off a Timeloop report. It applies to
+// any backend's Cost.
 func (c *Cost) Render(w io.Writer, algo *loopnest.Algorithm) {
 	fmt.Fprintf(w, "%-6s", "level")
 	for _, t := range algo.Tensors {

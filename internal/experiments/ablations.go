@@ -5,12 +5,12 @@ import (
 	"io"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/search"
 	"mindmappings/internal/surrogate"
-	"mindmappings/internal/timeloop"
 )
 
 // This file contains studies beyond the paper's figures: ablations of the
@@ -181,7 +181,7 @@ func (h *Harness) ArchGenerality(w io.Writer) (*GeneralityResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, err := timeloop.New(a, prob)
+	model, err := costmodel.New(h.opts.CostModel, a, prob)
 	if err != nil {
 		return nil, err
 	}

@@ -16,12 +16,14 @@ import (
 	"time"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/search"
 	"mindmappings/internal/surrogate"
-	"mindmappings/internal/timeloop"
+
+	_ "mindmappings/internal/timeloop" // register the reference cost-model backend
 )
 
 // Options scales the reproduction. The paper's full methodology (100
@@ -46,6 +48,11 @@ type Options struct {
 	// RLHidden is the DDPG network width (paper: 300; default 64 for
 	// single-core tractability).
 	RLHidden int
+	// CostModel names the registered costmodel backend every experiment
+	// evaluates against (empty = the reference "timeloop" backend). The
+	// head-to-head study (CostModelHeadToHead) always sweeps all
+	// registered backends regardless.
+	CostModel string
 	// SpaceSamples is the sample count for the §5.1.3 characterization
 	// (paper: 1M).
 	SpaceSamples int
@@ -121,13 +128,22 @@ func (h *Harness) logf(format string, args ...any) {
 }
 
 // algoFor returns the algorithm, accelerator, and surrogate config for an
-// algorithm name.
+// algorithm name. The config's CostModel follows Options.CostModel so
+// Phase-1 surrogates approximate the same f the experiments evaluate
+// against — an MM run under -costmodel roofline is guided by a
+// roofline-trained surrogate, keeping comparisons apples to apples.
 func (h *Harness) algoFor(name string) (*loopnest.Algorithm, arch.Spec, surrogate.Config, error) {
+	withBackend := func(cfg surrogate.Config) surrogate.Config {
+		if cfg.CostModel == "" {
+			cfg.CostModel = h.opts.CostModel
+		}
+		return cfg
+	}
 	switch name {
 	case "cnn-layer":
-		return loopnest.CNNLayer(), arch.Default(2), h.opts.CNNSurrogate, nil
+		return loopnest.CNNLayer(), arch.Default(2), withBackend(h.opts.CNNSurrogate), nil
 	case "mttkrp":
-		return loopnest.MTTKRP(), arch.Default(3), h.opts.MTTKRPSurrogate, nil
+		return loopnest.MTTKRP(), arch.Default(3), withBackend(h.opts.MTTKRPSurrogate), nil
 	}
 	return nil, arch.Spec{}, surrogate.Config{}, fmt.Errorf("experiments: unknown algorithm %q", name)
 }
@@ -201,16 +217,15 @@ func (h *Harness) problemContext(p loopnest.Problem, latency time.Duration, seed
 	if err != nil {
 		return nil, err
 	}
-	model, err := timeloop.New(a, p)
+	model, err := costmodel.New(h.opts.CostModel, a, p)
 	if err != nil {
 		return nil, err
 	}
-	model.QueryLatency = latency
 	bound, err := oracle.Compute(a, p)
 	if err != nil {
 		return nil, err
 	}
-	return &search.Context{Space: space, Model: model, Bound: bound, Seed: seed}, nil
+	return &search.Context{Space: space, Model: model, Bound: bound, Seed: seed, QueryLatency: latency}, nil
 }
 
 // methods returns the five search methods in paper order (§5.2): the

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -221,4 +222,44 @@ func TestPerStepCost(t *testing.T) {
 			byName["RL"].RatioToMM, byName["SA"].RatioToMM)
 	}
 	t.Logf("per-step costs:\n%s", buf.String())
+}
+
+func TestCostModelHeadToHead(t *testing.T) {
+	h := fastHarness(t)
+	var buf bytes.Buffer
+	runs, err := h.CostModelHeadToHead(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) < 2 {
+		t.Fatalf("expected runs for >= 2 backends, got %d", len(runs))
+	}
+	seen := map[string]bool{}
+	for _, run := range runs {
+		seen[run.SearchedWith] = true
+		if run.Evals != h.Options().IsoIterations {
+			t.Fatalf("%s run used %d evals", run.SearchedWith, run.Evals)
+		}
+		if len(run.ScoredBy) != len(runs) {
+			t.Fatalf("%s winner scored by %d backends, want %d", run.SearchedWith, len(run.ScoredBy), len(runs))
+		}
+		// Self-score and the search's own best agree up to float
+		// association (the tracker normalizes e*d, the scorer EDP/MinEDP).
+		if got := run.ScoredBy[run.SearchedWith]; math.Abs(got-run.NativeEDP) > 1e-9*run.NativeEDP {
+			t.Fatalf("%s self-score %v != native %v", run.SearchedWith, got, run.NativeEDP)
+		}
+		for scorer, edp := range run.ScoredBy {
+			if edp < 1-1e-9 {
+				t.Fatalf("%s scored %s's winner below the lower bound: %v", scorer, run.SearchedWith, edp)
+			}
+		}
+	}
+	if !seen["timeloop"] || !seen["roofline"] {
+		t.Fatalf("missing a built-in backend: %v", seen)
+	}
+	for _, want := range []string{"head-to-head", "timeloop", "roofline"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("rendering missing %q:\n%s", want, buf.String())
+		}
+	}
 }

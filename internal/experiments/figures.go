@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/nn"
@@ -14,7 +15,6 @@ import (
 	"mindmappings/internal/search"
 	"mindmappings/internal/stats"
 	"mindmappings/internal/surrogate"
-	"mindmappings/internal/timeloop"
 )
 
 // SurfaceStats summarizes the Figure-3 cost surface.
@@ -58,7 +58,7 @@ func CostSurfaceFor(w io.Writer, prob loopnest.Problem, seed int64) (*SurfaceSta
 	if err != nil {
 		return nil, err
 	}
-	model, err := timeloop.New(a, prob)
+	model, err := costmodel.New("", a, prob)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +82,7 @@ func CostSurfaceFor(w io.Writer, prob loopnest.Problem, seed int64) (*SurfaceSta
 			m.SetChain(loopnest.CNNDimK, mapspace.FactorChain{1, 1, fk, prob.Shape[loopnest.CNNDimK] / fk})
 			m.SetChain(loopnest.CNNDimC, mapspace.FactorChain{1, 1, fc, prob.Shape[loopnest.CNNDimC] / fc})
 			m = space.Repair(m)
-			cost, err := model.EvaluateRaw(&m)
+			cost, err := costmodel.Evaluate(nil, model, &m)
 			if err != nil {
 				return nil, err
 			}
@@ -165,7 +165,7 @@ func (h *Harness) SpaceStats(w io.Writer) ([]SpaceCharacterization, error) {
 		if err != nil {
 			return nil, err
 		}
-		model, err := timeloop.New(a, p)
+		model, err := costmodel.New(h.opts.CostModel, a, p)
 		if err != nil {
 			return nil, err
 		}
@@ -182,13 +182,13 @@ func (h *Harness) SpaceStats(w io.Writer) ([]SpaceCharacterization, error) {
 		if samples < 100 {
 			samples = 100
 		}
+		var ws costmodel.Cost
 		for i := 0; i < samples; i++ {
 			m := space.Random(rng)
-			cost, err := model.EvaluateRaw(&m)
-			if err != nil {
+			if err := model.EvaluateInto(nil, &m, &ws); err != nil {
 				return nil, err
 			}
-			perAlgo[p.Algo.Name].Add(bound.NormalizeEnergy(cost.TotalEnergyPJ))
+			perAlgo[p.Algo.Name].Add(bound.NormalizeEnergy(ws.TotalEnergyPJ))
 		}
 	}
 	var out []SpaceCharacterization
@@ -459,13 +459,14 @@ func (h *Harness) PerStepCost(w io.Writer) ([]StepCost, error) {
 	var out []StepCost
 	var mmStep time.Duration
 	for _, method := range methods {
-		ctx, err := h.problemContext(prob, h.opts.QueryLatency, h.opts.Seed)
-		if err != nil {
-			return nil, err
-		}
+		latency := h.opts.QueryLatency
 		if method.Name() == "MM" {
 			// Mind Mappings never pays the reference-model latency.
-			ctx.Model.QueryLatency = 0
+			latency = 0
+		}
+		ctx, err := h.problemContext(prob, latency, h.opts.Seed)
+		if err != nil {
+			return nil, err
 		}
 		res, err := method.Search(ctx, budget)
 		if err != nil {

@@ -7,9 +7,10 @@ import (
 	"testing/quick"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
-	"mindmappings/internal/timeloop"
+	_ "mindmappings/internal/timeloop" // register the reference backend
 )
 
 func TestComputeHandChecked(t *testing.T) {
@@ -77,7 +78,7 @@ func TestOracleIsLowerBoundProperty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, err := timeloop.New(a, prob)
+	model, err := costmodel.New("timeloop", a, prob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestOracleIsLowerBoundProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := space.Random(rng)
-		c, err := model.Evaluate(&m)
+		c, err := costmodel.Evaluate(nil, model, &m)
 		if err != nil {
 			return false
 		}

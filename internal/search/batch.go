@@ -1,9 +1,9 @@
 package search
 
 import (
-	"sync"
-	"sync/atomic"
+	"math"
 
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/mapspace"
 )
 
@@ -12,7 +12,8 @@ import (
 // expansions, random chunks, multi-chain gradient scoring) hand it to the
 // tracker as one batch instead of one candidate at a time. Sequentially
 // that amortizes per-candidate overhead; with Context.Parallelism > 1 the
-// cost-model queries additionally fan out across a bounded worker pool.
+// cost-model queries additionally fan out across the costmodel parallel
+// middleware's bounded worker pool.
 //
 // The contract in both modes is exact equivalence with the scalar loop:
 // candidates are recorded in slice order, the budget is re-checked before
@@ -45,8 +46,7 @@ func (t *tracker) evalBatch(ms []mapspace.Mapping, vals []float64, paid bool) ([
 	} else {
 		vals = make([]float64, 0, len(ms))
 	}
-	workers := t.ctx.Parallelism
-	if t.ctx.Scalar || workers <= 1 || len(ms) <= 1 {
+	if t.ctx.Scalar || t.paidBatch == nil || len(ms) <= 1 {
 		// Scalar path: literally the per-candidate loop every searcher ran
 		// before batching existed.
 		for i := range ms {
@@ -65,54 +65,37 @@ func (t *tracker) evalBatch(ms []mapspace.Mapping, vals []float64, paid bool) ([
 			if err != nil {
 				return nil, err
 			}
+			if t.ctx.canceled() && math.IsInf(val, 1) {
+				// Interrupted mid-evaluation: the candidate was never
+				// recorded, so its sentinel value is not handed back either
+				// (mirroring the parallel path's mid-batch break).
+				break
+			}
 			vals = append(vals, val)
 		}
 		return vals, nil
 	}
 
-	// Parallel path: compute every candidate's value on the worker pool,
-	// then replay the results through the tracker in candidate order so
-	// recording (and hence the trajectory) is independent of scheduling.
+	// Parallel path: the costmodel parallel middleware computes every
+	// candidate's cost on its worker pool (results landing at the
+	// candidate's index), then the results are replayed through the
+	// tracker in candidate order so recording (and hence the trajectory)
+	// is independent of scheduling.
 	n := len(ms)
-	if workers > n {
-		workers = n
+	if cap(t.batchCosts) < n {
+		t.batchCosts = make([]costmodel.Cost, n)
+		t.batchErrs = make([]error, n)
 	}
-	if len(t.workers) < workers {
-		t.workers = make([]workerScratch, workers)
-	}
-	if cap(t.batchV) < n {
-		t.batchV = make([]float64, n)
-		t.batchE = make([]error, n)
-	}
-	results := t.batchV[:n]
-	errs := t.batchE[:n]
+	costs := t.batchCosts[:n]
+	errs := t.batchErrs[:n]
 	for i := range errs {
 		errs[i] = nil
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(ws *workerScratch) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				// Honor cancellation between evaluations, like the scalar
-				// loop: remaining candidates are marked, not evaluated, so
-				// a canceled run stops within one in-flight evaluation per
-				// worker instead of finishing the whole batch.
-				if t.ctx.canceled() {
-					errs[i] = t.ctx.Ctx.Err()
-					continue
-				}
-				results[i], errs[i] = t.evalValue(&ms[i], paid, ws)
-			}
-		}(&t.workers[w])
+	ev := t.freeBatch
+	if paid {
+		ev = t.paidBatch
 	}
-	wg.Wait()
+	ev.EvaluateBatchInto(t.ectx, ms, costs, errs)
 	for i := range ms {
 		if i > 0 && t.exhausted() {
 			break
@@ -127,8 +110,9 @@ func (t *tracker) evalBatch(ms []mapspace.Mapping, vals []float64, paid bool) ([
 			return nil, errs[i]
 		}
 		t.evals++
-		t.record(&ms[i], results[i])
-		vals = append(vals, results[i])
+		val := t.ctx.Objective.normalized(&costs[i], t.ctx.Bound)
+		t.record(&ms[i], val)
+		vals = append(vals, val)
 	}
 	return vals, nil
 }

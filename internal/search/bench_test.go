@@ -6,11 +6,11 @@ import (
 	"time"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/stats"
-	"mindmappings/internal/timeloop"
 )
 
 // End-to-end search throughput benchmarks: evaluations per second through
@@ -30,7 +30,7 @@ func benchSearchContext(b *testing.B, seed int64) *Context {
 	if err != nil {
 		b.Fatal(err)
 	}
-	model, err := timeloop.New(a, p)
+	model, err := costmodel.New("timeloop", a, p)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func BenchmarkSearchGAQueryLatency(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ctx := benchSearchContext(b, int64(i))
-				ctx.Model.QueryLatency = 100 * time.Microsecond
+				ctx.QueryLatency = 100 * time.Microsecond
 				if mode == "parallel" {
 					// Latency-bound, not CPU-bound: a fixed pool overlaps
 					// the emulated query latency even on one core.
@@ -144,20 +144,30 @@ func BenchmarkPayEvalBatch(b *testing.B) {
 	}
 }
 
-// BenchmarkCacheKey measures the binary key builder on the hot (reused
-// scratch) path; the only allocation should be the key string.
-func BenchmarkCacheKey(b *testing.B) {
+// BenchmarkEvalCacheHit measures the tracker pipeline with a shared eval
+// cache fully warm: key build + lookup + copy per candidate (the key
+// string is the only allocation; the middleware bench in
+// internal/costmodel isolates the raw hit cost).
+func BenchmarkEvalCacheHit(b *testing.B) {
 	ctx := benchSearchContext(b, 1)
+	ctx.Cache = newMapCache()
 	rng := stats.NewRNG(3)
-	m := ctx.Space.Random(rng)
-	var key []byte
-	var vec []float64
+	cand := make([]mapspace.Mapping, 64)
+	for i := range cand {
+		cand[i] = ctx.Space.Random(rng)
+	}
+	t := newTracker(ctx, Budget{MaxEvals: 1 << 30})
+	var vals []float64
+	var err error
+	if vals, err = t.payEvalBatch(cand, vals); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		key, vec = appendCacheKey(key[:0], ctx.Space, &m, vec)
-		if len(key) == 0 {
-			b.Fatal("empty key")
+	for i := 0; i < b.N; i += len(cand) {
+		if vals, err = t.payEvalBatch(cand, vals); err != nil {
+			b.Fatal(err)
 		}
+		t.traj = t.traj[:0] // keep the trajectory from growing unboundedly
 	}
 }

@@ -6,21 +6,20 @@ import (
 	"testing"
 	"time"
 
-	"mindmappings/internal/stats"
-	"mindmappings/internal/timeloop"
+	"mindmappings/internal/costmodel"
 )
 
-// mapCache is a minimal EvalCache for tests.
+// mapCache is a minimal costmodel.Cache for tests.
 type mapCache struct {
 	mu     sync.Mutex
-	m      map[string]timeloop.Cost
+	m      map[string]costmodel.Cost
 	hits   int
 	misses int
 }
 
-func newMapCache() *mapCache { return &mapCache{m: map[string]timeloop.Cost{}} }
+func newMapCache() *mapCache { return &mapCache{m: map[string]costmodel.Cost{}} }
 
-func (c *mapCache) Get(key string) (timeloop.Cost, bool) {
+func (c *mapCache) Get(key string) (costmodel.Cost, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cost, ok := c.m[key]
@@ -32,7 +31,7 @@ func (c *mapCache) Get(key string) (timeloop.Cost, bool) {
 	return cost, ok
 }
 
-func (c *mapCache) Put(key string, cost timeloop.Cost) {
+func (c *mapCache) Put(key string, cost costmodel.Cost) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m[key] = cost
@@ -42,7 +41,7 @@ func TestCancellationStopsInFlightSearch(t *testing.T) {
 	ctx := conv1dContext(t, 1)
 	// Slow the model down so the run would take ~an hour without the
 	// cancel, then cancel shortly after it starts.
-	ctx.Model.QueryLatency = 10 * time.Millisecond
+	ctx.QueryLatency = 10 * time.Millisecond
 	cctx, cancel := context.WithCancel(context.Background())
 	ctx.Ctx = cctx
 
@@ -136,26 +135,10 @@ func TestSeedReproducibility(t *testing.T) {
 	}
 }
 
-func TestCacheKeyDistinguishesMappings(t *testing.T) {
-	ctx := conv1dContext(t, 1)
-	rng := stats.NewRNG(1)
-	a := ctx.Space.Random(rng)
-	b := ctx.Space.Random(rng)
-	ka, kb := CacheKey(ctx.Space, &a), CacheKey(ctx.Space, &b)
-	if ka != CacheKey(ctx.Space, &a) {
-		t.Fatal("cache key is not deterministic")
-	}
-	if ka == kb && ctx.Space.Encode(&a)[ctx.Space.PIDLen()] != ctx.Space.Encode(&b)[ctx.Space.PIDLen()] {
-		t.Fatal("distinct mappings share a cache key")
-	}
-	// Same mapping on a different accelerator must key differently: costs
-	// depend on the arch, so cross-arch sharing would corrupt results.
-	other := *ctx.Space
-	other.Arch.NumPEs *= 2
-	if CacheKey(&other, &a) == ka {
-		t.Fatal("different archs share a cache key")
-	}
-}
+// Cache keys are built by the costmodel cache middleware from evaluator
+// fingerprints plus mapping bits; their collision-freedom (across
+// mappings, accelerators, problems, and backends) is pinned by the tests
+// in internal/costmodel.
 
 // TestCancellationStopsParallelBatch pins the parallel analog of the
 // cancellation contract: with a worker pool fanning a latency-heavy batch,
@@ -163,7 +146,7 @@ func TestCacheKeyDistinguishesMappings(t *testing.T) {
 // worker rather than letting the pool drain the whole batch.
 func TestCancellationStopsParallelBatch(t *testing.T) {
 	ctx := conv1dContext(t, 1)
-	ctx.Model.QueryLatency = 10 * time.Millisecond
+	ctx.QueryLatency = 10 * time.Millisecond
 	ctx.Parallelism = 4
 	cctx, cancel := context.WithCancel(context.Background())
 	ctx.Ctx = cctx

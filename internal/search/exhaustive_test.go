@@ -4,11 +4,11 @@ import (
 	"testing"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/oracle"
 	statspkg "mindmappings/internal/stats"
-	"mindmappings/internal/timeloop"
 )
 
 // tinyContext builds a map space small enough for pruned search to cover
@@ -24,7 +24,7 @@ func tinyContext(t *testing.T, seed int64) *Context {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, err := timeloop.New(a, p)
+	model, err := costmodel.New("timeloop", a, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -95,13 +95,13 @@ func TestSurrogateSACheaperPerStepThanPaidSA(t *testing.T) {
 	// complete far more steps per unit time than plain SA — the paper's
 	// §5.4.2 argument for hybrid methods.
 	ctx := conv1dContext(t, 317)
-	ctx.Model.QueryLatency = 2 * time.Millisecond
+	ctx.QueryLatency = 2 * time.Millisecond
 	paid, err := SimulatedAnnealing{}.Search(ctx, Budget{MaxTime: 60 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx2 := conv1dContext(t, 317)
-	ctx2.Model.QueryLatency = 2 * time.Millisecond
+	ctx2.QueryLatency = 2 * time.Millisecond
 	hybrid, err := SurrogateSA{Surrogate: conv1dSurrogate(t)}.Search(ctx2, Budget{MaxTime: 60 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)

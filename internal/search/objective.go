@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/oracle"
-	"mindmappings/internal/timeloop"
 )
 
 // Objective selects the optimization target (paper §2.3: "It is up to the
@@ -62,7 +62,7 @@ func (o Objective) String() string {
 
 // normalized converts a cost into the objective's normalized scalar
 // (>= ~1, relative to the algorithmic-minimum components).
-func (o Objective) normalized(c *timeloop.Cost, b oracle.Bound) float64 {
+func (o Objective) normalized(c *costmodel.Cost, b oracle.Bound) float64 {
 	e := c.TotalEnergyPJ / b.MinEnergyPJ
 	d := c.Cycles / b.MinCycles
 	switch o {

@@ -3,8 +3,8 @@ package search
 import (
 	"testing"
 
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/oracle"
-	"mindmappings/internal/timeloop"
 )
 
 func TestObjectiveString(t *testing.T) {
@@ -23,7 +23,7 @@ func TestObjectiveString(t *testing.T) {
 }
 
 func TestObjectiveNormalized(t *testing.T) {
-	c := &timeloop.Cost{TotalEnergyPJ: 200, Cycles: 30}
+	c := &costmodel.Cost{TotalEnergyPJ: 200, Cycles: 30}
 	b := oracle.Bound{MinEnergyPJ: 100, MinCycles: 10, MinEDP: 1}
 	// e = 2, d = 3.
 	if got := ObjectiveEDP.normalized(c, b); got != 6 {
@@ -45,7 +45,7 @@ func TestObjectiveEDPMatchesNormalizeEDP(t *testing.T) {
 	// NormalizeEDP so results stay comparable with the figures.
 	ctx := conv1dContext(t, 401)
 	m := ctx.Space.Minimal()
-	cost, err := ctx.Model.EvaluateRaw(&m)
+	cost, err := costmodel.Evaluate(nil, ctx.Model, &m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestObjectiveAwareSearch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cost, err := ctx.Model.EvaluateRaw(&res.Best)
+		cost, err := costmodel.Evaluate(nil, ctx.Model, &res.Best)
 		if err != nil {
 			t.Fatal(err)
 		}

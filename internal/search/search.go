@@ -7,19 +7,25 @@
 // evaluations for iso-iteration studies, fixed wall-clock for iso-time
 // studies) and record best-so-far normalized-EDP trajectories, the raw data
 // behind the paper's Figures 5 and 6.
+//
+// Searchers evaluate candidates through the pluggable costmodel layer:
+// Context.Model is any costmodel.Evaluator, and the cross-cutting concerns
+// of a paid reference-model query — eval accounting, emulated query
+// latency, memoization, parallel batch fan-out — are costmodel middleware
+// the tracker composes from the Context knobs. No searcher knows which
+// backend computes its costs.
 package search
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"time"
 
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/oracle"
-	"mindmappings/internal/timeloop"
 )
 
 // Budget bounds a search run. At least one limit must be set; whichever is
@@ -110,11 +116,15 @@ func (r *Result) BestAtTime(d time.Duration) float64 {
 }
 
 // Context carries everything a searcher needs for one problem: the map
-// space, the reference cost model (paid queries), the normalization bound,
+// space, the pluggable cost model (paid queries), the normalization bound,
 // and a seed for reproducibility.
 type Context struct {
 	Space *mapspace.Space
-	Model *timeloop.Model
+	// Model is the cost function f: any registered costmodel backend (or a
+	// pre-composed middleware stack). The bare evaluator doubles as the
+	// free offline-scoring path; the tracker layers the paid-query
+	// middleware (QueryLatency, Evals, Cache, Parallelism) on top of it.
+	Model costmodel.Evaluator
 	Bound oracle.Bound
 	Seed  int64
 	// Objective selects the designer cost function (§2.3); the zero value
@@ -123,25 +133,37 @@ type Context struct {
 	Objective Objective
 	// Ctx, when non-nil, lets callers cancel an in-flight search: every
 	// searcher treats cancellation like budget exhaustion, stopping at the
-	// next evaluation boundary and returning the best-so-far result with a
-	// nil error. Long-running callers (the serve job manager, client
-	// disconnects) rely on this for prompt teardown; nil means run to the
-	// budget.
+	// next evaluation boundary (interrupting an in-flight emulated-latency
+	// stall) and returning the best-so-far result with a nil error.
+	// Long-running callers (the serve job manager, client disconnects)
+	// rely on this for prompt teardown; nil means run to the budget.
 	Ctx context.Context
-	// Cache, when non-nil, memoizes reference-cost-model evaluations keyed
-	// by the mapping's canonical encoding (see CacheKey). Hits skip the
+	// QueryLatency, when positive, stalls every paid query by the given
+	// duration (costmodel.WithLatency) to emulate the reference cost
+	// model's per-query cost. Free scoring queries — Mind Mappings
+	// trajectory measurements — never pay it. See DESIGN.md §4.
+	QueryLatency time.Duration
+	// Evals, when non-nil, receives paid-query accounting
+	// (costmodel.WithCounter): cache hits and free scoring queries are not
+	// charged. Counters may be shared across runs and backends-per-name
+	// (the service's /v1/metrics reporting).
+	Evals *costmodel.Counter
+	// Cache, when non-nil, memoizes evaluations (costmodel.WithCache)
+	// under fingerprint-prefixed keys, so evaluations of the same mapping
+	// by different backends or accelerators never mix. Hits skip the
 	// cost-model compute and its emulated QueryLatency but still count
 	// toward the evaluation budget, so budget accounting is unchanged.
-	Cache EvalCache
+	Cache costmodel.Cache
 	// Parallelism, when > 1, fans batched cost-model evaluations
 	// (payEvalBatch: GA populations, SA pilot chains, beam expansions,
 	// multi-chain gradient scoring) across a bounded pool of that many
-	// workers. Results are recorded in candidate order, so trajectories
-	// are bit-identical for any Parallelism value; only wall-clock
-	// changes. Note that a parallel batch runs to completion, so a budget
-	// that expires mid-batch (Patience, MaxTime) can overshoot the
-	// model's raw Evals counter by up to one batch — the search budget
-	// accounting itself is unaffected. 0 and 1 evaluate sequentially.
+	// workers (costmodel.WithParallel). Results are recorded in candidate
+	// order, so trajectories are bit-identical for any Parallelism value;
+	// only wall-clock changes. Note that a parallel batch runs to
+	// completion, so a budget that expires mid-batch (Patience, MaxTime)
+	// can overshoot the Evals counter by up to one batch — the search
+	// budget accounting itself is unaffected. 0 and 1 evaluate
+	// sequentially.
 	Parallelism int
 	// Scalar forces the scalar (pre-batching) evaluation path everywhere:
 	// per-candidate cost-model queries and per-vector surrogate
@@ -153,46 +175,17 @@ type Context struct {
 	Scalar bool
 }
 
-// EvalCache memoizes cost-model evaluations across search runs sharing a
-// problem. Implementations must be safe for concurrent use; the cached Cost
-// values are shared and must be treated as immutable.
-type EvalCache interface {
-	Get(key string) (timeloop.Cost, bool)
-	Put(key string, c timeloop.Cost)
-}
-
-// CacheKey returns the canonical cache key for a mapping of a space: the
-// accelerator spec's binary fingerprint and the algorithm name plus the
-// raw bits of the encoded mapping vector, whose problem-id prefix
-// distinguishes problems of different shapes. The arch fingerprint
-// matters because evaluation costs depend on the accelerator: two
-// searches over the same problem on different archs must not share cache
-// entries. Keys are stable across a process; the only allocation is the
-// returned string (the tracker's hot path reuses scratch buffers via
-// appendCacheKey).
-func CacheKey(s *mapspace.Space, m *mapspace.Mapping) string {
-	key, _ := appendCacheKey(nil, s, m, nil)
-	return string(key)
-}
-
-// appendCacheKey builds the CacheKey bytes into dst using vec as encode
-// scratch, returning both grown buffers so callers can reuse them. Every
-// component is either fixed-width binary or length-prefixed, so distinct
-// (arch, algorithm, mapping) triples cannot collide.
-func appendCacheKey(dst []byte, s *mapspace.Space, m *mapspace.Mapping, vec []float64) ([]byte, []float64) {
-	vec = s.EncodeInto(vec, m)
-	dst = s.Arch.AppendFingerprint(dst)
-	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(s.Prob.Algo.Name)))
-	dst = append(dst, s.Prob.Algo.Name...)
-	for _, v := range vec {
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
-	}
-	return dst, vec
-}
-
 // canceled reports whether the caller has canceled the run.
 func (c *Context) canceled() bool {
 	return c.Ctx != nil && c.Ctx.Err() != nil
+}
+
+// evalCtx returns the cancellation context threaded into evaluator calls.
+func (c *Context) evalCtx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c *Context) validate() error {
@@ -202,9 +195,9 @@ func (c *Context) validate() error {
 	if c.Bound.MinEDP <= 0 {
 		return errors.New("search: context bound is not positive")
 	}
-	if c.Space.Prob.Name != c.Model.Prob.Name {
+	if p := c.Model.Problem(); c.Space.Prob.Name != p.Name {
 		return fmt.Errorf("search: space problem %q != model problem %q",
-			c.Space.Prob.Name, c.Model.Prob.Name)
+			c.Space.Prob.Name, p.Name)
 	}
 	return nil
 }
@@ -217,9 +210,12 @@ type Searcher interface {
 
 // tracker enforces the budget and records the best-so-far trajectory. It is
 // shared by all searchers so that budget accounting is identical across
-// methods.
+// methods. It composes the Context's middleware knobs into two evaluator
+// stacks: paid (counter + latency + cache) for reference-model queries and
+// free (cache only) for offline trajectory scoring.
 type tracker struct {
 	ctx       *Context
+	ectx      context.Context
 	budget    Budget
 	start     time.Time
 	evals     int
@@ -228,27 +224,44 @@ type tracker struct {
 	traj      []Sample
 	sinceBest int
 
-	// Reusable evaluation scratch: with no cache configured, steady-state
-	// evaluation allocates nothing (the Cost doubles as the cost model's
-	// workspace); with a cache, the only per-eval allocation is the key
-	// string.
-	own workerScratch
+	// paid and free are the scalar evaluator stacks; paidBatch and
+	// freeBatch additionally fan batches across the parallel middleware
+	// (nil when Parallelism <= 1, which selects the scalar batch loop).
+	paid, free           costmodel.Evaluator
+	paidBatch, freeBatch costmodel.Evaluator
 
-	// Per-worker scratch for parallel batch evaluation, sized lazily to
-	// Context.Parallelism.
-	workers []workerScratch
-	batchV  []float64
-	batchE  []error
-}
+	// own is the scalar evaluation workspace: with no cache configured,
+	// steady-state evaluation allocates nothing (the Cost doubles as the
+	// backend's workspace); with a cache, the only per-eval allocation is
+	// the key string.
+	own costmodel.Cost
 
-type workerScratch struct {
-	cost timeloop.Cost
-	key  []byte
-	vec  []float64
+	// Per-candidate batch state, reused across batches.
+	batchCosts []costmodel.Cost
+	batchErrs  []error
 }
 
 func newTracker(ctx *Context, budget Budget) *tracker {
-	return &tracker{ctx: ctx, budget: budget, start: time.Now(), best: math.Inf(1)}
+	paid := costmodel.WithCache(
+		costmodel.WithLatency(
+			costmodel.WithCounter(ctx.Model, ctx.Evals),
+			ctx.QueryLatency),
+		ctx.Cache)
+	free := costmodel.WithCache(ctx.Model, ctx.Cache)
+	t := &tracker{
+		ctx:    ctx,
+		ectx:   ctx.evalCtx(),
+		budget: budget,
+		start:  time.Now(),
+		best:   math.Inf(1),
+		paid:   paid,
+		free:   free,
+	}
+	if ctx.Parallelism > 1 {
+		t.paidBatch = costmodel.WithParallel(paid, ctx.Parallelism)
+		t.freeBatch = costmodel.WithParallel(free, ctx.Parallelism)
+	}
+	return t
 }
 
 // exhausted reports whether the budget has run out, the run has converged
@@ -304,42 +317,32 @@ func (t *tracker) record(m *mapspace.Mapping, edp float64) {
 	t.traj = append(t.traj, Sample{Eval: t.evals, Elapsed: time.Since(t.start), BestEDP: t.best})
 }
 
-// evalValue runs one cost-model query through the context's eval cache
-// (when configured) using the given scratch, returning the normalized
-// objective value. paid queries go through Model.EvaluateInto (counting
-// toward the model's counter and paying QueryLatency); free scoring
-// queries use EvaluateRawInto. Cache hits skip the model entirely; cache
-// misses store a detached Clone because ws is reused by the next call.
-func (t *tracker) evalValue(m *mapspace.Mapping, paid bool, ws *workerScratch) (float64, error) {
-	eval := func(c *timeloop.Cost) error {
-		if paid {
-			return t.ctx.Model.EvaluateInto(m, c)
-		}
-		return t.ctx.Model.EvaluateRawInto(m, c)
+// evalValue runs one cost-model query through the paid or free evaluator
+// stack into the given workspace, returning the normalized objective
+// value. Paid queries pay QueryLatency and count toward Context.Evals;
+// cache hits (when a Cache is configured) skip both.
+func (t *tracker) evalValue(m *mapspace.Mapping, paid bool, ws *costmodel.Cost) (float64, error) {
+	ev := t.free
+	if paid {
+		ev = t.paid
 	}
-	if t.ctx.Cache == nil {
-		if err := eval(&ws.cost); err != nil {
-			return 0, err
-		}
-		return t.ctx.Objective.normalized(&ws.cost, t.ctx.Bound), nil
-	}
-	ws.key, ws.vec = appendCacheKey(ws.key[:0], t.ctx.Space, m, ws.vec)
-	key := string(ws.key)
-	if cost, ok := t.ctx.Cache.Get(key); ok {
-		return t.ctx.Objective.normalized(&cost, t.ctx.Bound), nil
-	}
-	if err := eval(&ws.cost); err != nil {
+	if err := ev.EvaluateInto(t.ectx, m, ws); err != nil {
 		return 0, err
 	}
-	t.ctx.Cache.Put(key, ws.cost.Clone())
-	return t.ctx.Objective.normalized(&ws.cost, t.ctx.Bound), nil
+	return t.ctx.Objective.normalized(ws, t.ctx.Bound), nil
 }
 
 // payEval runs a paid reference-cost-model query on m, records it, and
-// returns the true normalized EDP.
+// returns the true normalized EDP. A query interrupted by cancellation
+// (mid-latency-stall) records nothing and returns +Inf with a nil error;
+// the caller's next exhausted() check stops the run, preserving the
+// cancellation contract (best-so-far result, nil error).
 func (t *tracker) payEval(m *mapspace.Mapping) (float64, error) {
 	val, err := t.evalValue(m, true, &t.own)
 	if err != nil {
+		if t.ctx.canceled() {
+			return math.Inf(1), nil
+		}
 		return 0, err
 	}
 	t.evals++
@@ -354,6 +357,9 @@ func (t *tracker) payEval(m *mapspace.Mapping) (float64, error) {
 func (t *tracker) scoreSurrogateStep(m *mapspace.Mapping) (float64, error) {
 	val, err := t.evalValue(m, false, &t.own)
 	if err != nil {
+		if t.ctx.canceled() {
+			return math.Inf(1), nil
+		}
 		return 0, err
 	}
 	t.evals++

@@ -7,12 +7,14 @@ import (
 	"time"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/stats"
 	"mindmappings/internal/surrogate"
-	"mindmappings/internal/timeloop"
+
+	_ "mindmappings/internal/timeloop" // register the reference backend
 )
 
 // conv1dContext builds a small, fast search context plus a surrogate
@@ -60,7 +62,7 @@ func conv1dContext(t testing.TB, seed int64) *Context {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, err := timeloop.New(a, p)
+	model, err := costmodel.New("timeloop", a, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +81,7 @@ func randomMeanEDP(t testing.TB, ctx *Context, n int) float64 {
 	var r stats.Running
 	for i := 0; i < n; i++ {
 		m := ctx.Space.Random(rng)
-		c, err := ctx.Model.EvaluateRaw(&m)
+		c, err := costmodel.Evaluate(nil, ctx.Model, &m)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -263,7 +265,7 @@ func TestQueryLatencySlowsPaidMethodsOnly(t *testing.T) {
 	// method gets ~25 evals in 50ms while Mind Mappings (surrogate-priced)
 	// gets far more — the mechanism behind the paper's iso-time results.
 	ctx := conv1dContext(t, 41)
-	ctx.Model.QueryLatency = 2 * time.Millisecond
+	ctx.QueryLatency = 2 * time.Millisecond
 	saRes, err := SimulatedAnnealing{}.Search(ctx, Budget{MaxTime: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
@@ -273,7 +275,7 @@ func TestQueryLatencySlowsPaidMethodsOnly(t *testing.T) {
 	}
 
 	ctx2 := conv1dContext(t, 41)
-	ctx2.Model.QueryLatency = 2 * time.Millisecond
+	ctx2.QueryLatency = 2 * time.Millisecond
 	mmRes, err := MindMappings{Surrogate: conv1dSurrogate(t)}.Search(ctx2, Budget{MaxTime: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
@@ -301,7 +303,7 @@ func TestMindMappingsRejectsMismatchedSurrogate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, err := timeloop.New(a, p)
+	model, err := costmodel.New("timeloop", a, p)
 	if err != nil {
 		t.Fatal(err)
 	}

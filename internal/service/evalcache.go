@@ -4,15 +4,15 @@ import (
 	"container/list"
 	"sync"
 
-	"mindmappings/internal/timeloop"
+	"mindmappings/internal/costmodel"
 )
 
 // EvalCache is a bounded LRU memoization of reference-cost-model
-// evaluations, shared by every job the service runs. Keys are canonical
-// mapping encodings (search.CacheKey), so two jobs searching the same
-// problem — a common pattern when many clients tune the same layer — reuse
+// evaluations, shared by every job the service runs. Keys are the
+// costmodel cache middleware's fingerprint-prefixed canonical mapping
+// encodings, so two jobs searching the same problem with the same backend — a common pattern when many clients tune the same layer — reuse
 // each other's cost-model work instead of recomputing it. It implements
-// search.EvalCache and is safe for concurrent use.
+// costmodel.Cache and is safe for concurrent use.
 type EvalCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -25,7 +25,7 @@ type EvalCache struct {
 
 type cacheEntry struct {
 	key  string
-	cost timeloop.Cost
+	cost costmodel.Cost
 }
 
 // DefaultEvalCacheCapacity bounds the cache when the caller passes a
@@ -48,13 +48,13 @@ func NewEvalCache(capacity int) *EvalCache {
 
 // Get returns the cached cost for key, marking the entry most recently
 // used. The returned Cost is shared: callers must not mutate it.
-func (c *EvalCache) Get(key string) (timeloop.Cost, bool) {
+func (c *EvalCache) Get(key string) (costmodel.Cost, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return timeloop.Cost{}, false
+		return costmodel.Cost{}, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
@@ -63,7 +63,7 @@ func (c *EvalCache) Get(key string) (timeloop.Cost, bool) {
 
 // Put stores a cost under key, evicting the least recently used entry when
 // the cache is full.
-func (c *EvalCache) Put(key string, cost timeloop.Cost) {
+func (c *EvalCache) Put(key string, cost costmodel.Cost) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"testing"
 
-	"mindmappings/internal/timeloop"
+	"mindmappings/internal/costmodel"
 )
 
 func TestEvalCacheHitMissCounters(t *testing.T) {
@@ -12,7 +12,7 @@ func TestEvalCacheHitMissCounters(t *testing.T) {
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put("a", timeloop.Cost{EDP: 1})
+	c.Put("a", costmodel.Cost{EDP: 1})
 	cost, ok := c.Get("a")
 	if !ok || cost.EDP != 1 {
 		t.Fatalf("get a: %v %v", cost, ok)
@@ -26,13 +26,13 @@ func TestEvalCacheHitMissCounters(t *testing.T) {
 func TestEvalCacheLRUEviction(t *testing.T) {
 	c := NewEvalCache(3)
 	for i := 0; i < 3; i++ {
-		c.Put(fmt.Sprintf("k%d", i), timeloop.Cost{EDP: float64(i)})
+		c.Put(fmt.Sprintf("k%d", i), costmodel.Cost{EDP: float64(i)})
 	}
 	// Touch k0 so k1 is the LRU entry, then overflow.
 	if _, ok := c.Get("k0"); !ok {
 		t.Fatal("k0 missing")
 	}
-	c.Put("k3", timeloop.Cost{EDP: 3})
+	c.Put("k3", costmodel.Cost{EDP: 3})
 	if _, ok := c.Get("k1"); ok {
 		t.Fatal("k1 survived eviction despite being LRU")
 	}
@@ -48,8 +48,8 @@ func TestEvalCacheLRUEviction(t *testing.T) {
 
 func TestEvalCacheUpdateExisting(t *testing.T) {
 	c := NewEvalCache(2)
-	c.Put("a", timeloop.Cost{EDP: 1})
-	c.Put("a", timeloop.Cost{EDP: 2})
+	c.Put("a", costmodel.Cost{EDP: 1})
+	c.Put("a", costmodel.Cost{EDP: 2})
 	if cost, _ := c.Get("a"); cost.EDP != 2 {
 		t.Fatalf("update lost: %v", cost.EDP)
 	}
@@ -70,7 +70,7 @@ func TestEvalCacheConcurrent(t *testing.T) {
 					t.Error("corrupt entry")
 					return
 				}
-				c.Put(k, timeloop.Cost{EDP: float64(i)})
+				c.Put(k, costmodel.Cost{EDP: float64(i)})
 			}
 		}(g)
 	}

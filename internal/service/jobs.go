@@ -13,11 +13,13 @@ import (
 	"time"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/search"
-	"mindmappings/internal/timeloop"
+
+	_ "mindmappings/internal/timeloop" // register the reference cost-model backend
 )
 
 // JobStatus is the lifecycle state of a search job.
@@ -52,6 +54,11 @@ type SearchRequest struct {
 	// Model names a surrogate file in the server's model directory;
 	// required for the mm searcher, ignored otherwise.
 	Model string `json:"model,omitempty"`
+	// CostModel selects the registered cost-model backend that evaluates
+	// (and, for black-box searchers, drives) the search: "timeloop"
+	// (default) or "roofline". Per-backend eval totals are reported by
+	// GET /v1/metrics.
+	CostModel string `json:"cost_model,omitempty"`
 	// Evals caps cost-function evaluations; Time is a wall-clock budget as
 	// a Go duration string ("30s"). At least one must be set.
 	Evals int    `json:"evals,omitempty"`
@@ -136,6 +143,12 @@ type JobManager struct {
 	completed uint64
 	failed    uint64
 	cancelled uint64
+
+	// counters holds one shared paid-eval counter per cost-model backend
+	// (costmodel.WithCounter accounting, surfaced by GET /v1/metrics).
+	// Guarded by countersMu, not mu: jobs read them on the hot path.
+	countersMu sync.Mutex
+	counters   map[string]*costmodel.Counter
 }
 
 // NewJobManager starts workers goroutines (runtime.NumCPU() when workers
@@ -158,6 +171,7 @@ func NewJobManager(registry *ModelRegistry, cache *EvalCache, workers, queueCap 
 		jobs:      make(map[string]*Job),
 		workers:   workers,
 		retention: DefaultJobRetention,
+		counters:  make(map[string]*costmodel.Counter),
 	}
 	jm.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -185,6 +199,10 @@ func (req *SearchRequest) Validate() error {
 	}
 	if req.Parallelism < 0 {
 		return fmt.Errorf("service: negative parallelism %d", req.Parallelism)
+	}
+	if !costmodel.Registered(req.CostModel) {
+		return fmt.Errorf("service: unknown cost model %q (registered: %s)",
+			req.CostModel, strings.Join(costmodel.Names(), ", "))
 	}
 	if _, err := req.budget(); err != nil {
 		return err
@@ -552,7 +570,7 @@ func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.
 	if err != nil {
 		return nil, nil, err
 	}
-	model, err := timeloop.New(a, prob)
+	model, err := costmodel.New(req.CostModel, a, prob)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -584,6 +602,7 @@ func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.
 		Objective:   obj,
 		Ctx:         ctx,
 		Cache:       jm.cache,
+		Evals:       jm.counterFor(model.Name()),
 		Parallelism: parallelism,
 	}
 	res, err := searcher.Search(sctx, budget)
@@ -675,6 +694,33 @@ func (jm *JobManager) Stats() JobStats {
 		}
 	}
 	return st
+}
+
+// counterFor returns the shared paid-eval counter for a cost-model
+// backend, creating it on first use. Jobs selecting the same backend share
+// one counter, so /v1/metrics reports aggregate evals per backend.
+func (jm *JobManager) counterFor(backend string) *costmodel.Counter {
+	jm.countersMu.Lock()
+	defer jm.countersMu.Unlock()
+	ctr, ok := jm.counters[backend]
+	if !ok {
+		ctr = &costmodel.Counter{}
+		jm.counters[backend] = ctr
+	}
+	return ctr
+}
+
+// EvalCounts snapshots the paid reference-cost-model evaluations performed
+// per backend across all jobs (cache hits are not charged). Backends that
+// have not served a job yet are absent.
+func (jm *JobManager) EvalCounts() map[string]int64 {
+	jm.countersMu.Lock()
+	defer jm.countersMu.Unlock()
+	out := make(map[string]int64, len(jm.counters))
+	for name, ctr := range jm.counters {
+		out[name] = ctr.Count()
+	}
+	return out
 }
 
 // Workers returns the worker-pool size.

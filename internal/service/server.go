@@ -132,21 +132,25 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 
 // Metrics is the GET /v1/metrics body.
 type Metrics struct {
-	Uptime    string        `json:"uptime"`
-	Workers   int           `json:"workers"`
-	QueueCap  int           `json:"queue_capacity"`
-	Jobs      JobStats      `json:"jobs"`
-	EvalCache CacheStats    `json:"eval_cache"`
-	Registry  RegistryStats `json:"registry"`
+	Uptime   string   `json:"uptime"`
+	Workers  int      `json:"workers"`
+	QueueCap int      `json:"queue_capacity"`
+	Jobs     JobStats `json:"jobs"`
+	// CostModels maps each cost-model backend that has served a job to its
+	// total paid evaluations (cache hits excluded).
+	CostModels map[string]int64 `json:"cost_models"`
+	EvalCache  CacheStats       `json:"eval_cache"`
+	Registry   RegistryStats    `json:"registry"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Metrics{
-		Uptime:    time.Since(s.started).Round(time.Millisecond).String(),
-		Workers:   s.jobs.Workers(),
-		QueueCap:  s.jobs.QueueCap(),
-		Jobs:      s.jobs.Stats(),
-		EvalCache: s.cache.Stats(),
-		Registry:  s.registry.Stats(),
+		Uptime:     time.Since(s.started).Round(time.Millisecond).String(),
+		Workers:    s.jobs.Workers(),
+		QueueCap:   s.jobs.QueueCap(),
+		Jobs:       s.jobs.Stats(),
+		CostModels: s.jobs.EvalCounts(),
+		EvalCache:  s.cache.Stats(),
+		Registry:   s.registry.Stats(),
 	})
 }

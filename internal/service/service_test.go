@@ -97,6 +97,9 @@ func TestRequestValidation(t *testing.T) {
 		{"negative parallelism", func(r *SearchRequest) { r.Parallelism = -1 }, false},
 		{"parallelism", func(r *SearchRequest) { r.Parallelism = 8 }, true},
 		{"huge parallelism capped not rejected", func(r *SearchRequest) { r.Parallelism = 10_000 }, true},
+		{"roofline cost model", func(r *SearchRequest) { r.CostModel = "roofline" }, true},
+		{"explicit timeloop cost model", func(r *SearchRequest) { r.CostModel = "timeloop" }, true},
+		{"unknown cost model", func(r *SearchRequest) { r.CostModel = "abacus" }, false},
 	}
 	for _, tc := range cases {
 		req := validRequest()
@@ -219,5 +222,50 @@ func TestLargeJobTrajectoryIsStrided(t *testing.T) {
 	}
 	if done.Result.Evals != req.Evals {
 		t.Fatalf("evals %d, want %d", done.Result.Evals, req.Evals)
+	}
+}
+
+// TestCostModelSelectionPerJob pins the pluggable-backend path through the
+// whole service: jobs selecting different cost models run against distinct
+// evaluators (distinct results, distinct cache entries) and each backend's
+// paid evaluations are accounted separately for /v1/metrics.
+func TestCostModelSelectionPerJob(t *testing.T) {
+	jobs := NewJobManager(NewModelRegistry(t.TempDir(), 2), NewEvalCache(4096), 2, 8)
+	defer jobs.Shutdown(context.Background())
+	run := func(backend string) *JobResult {
+		req := validRequest()
+		req.CostModel = backend
+		job, err := jobs.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := jobs.Wait(context.Background(), job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done.Status != JobDone {
+			t.Fatalf("%s job finished %s (%s)", backend, done.Status, done.Error)
+		}
+		return done.Result
+	}
+	tl := run("timeloop")
+	rf := run("roofline")
+	if tl.BestEDP == rf.BestEDP {
+		t.Fatalf("timeloop and roofline jobs agreed exactly (%v) — backend selection is not wired through", tl.BestEDP)
+	}
+	counts := jobs.EvalCounts()
+	if counts["timeloop"] != 50 || counts["roofline"] != 50 {
+		t.Fatalf("per-backend eval counts = %v, want 50 each", counts)
+	}
+	// Identical reruns must be served from the shared cache without
+	// charging the backends again — and stay backend-separated.
+	tl2 := run("timeloop")
+	rf2 := run("roofline")
+	if tl2.BestEDP != tl.BestEDP || rf2.BestEDP != rf.BestEDP {
+		t.Fatal("cached rerun diverged")
+	}
+	counts = jobs.EvalCounts()
+	if counts["timeloop"] != 50 || counts["roofline"] != 50 {
+		t.Fatalf("cache hits charged a backend: %v", counts)
 	}
 }

@@ -12,12 +12,14 @@ import (
 	"fmt"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/nn"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/stats"
-	"mindmappings/internal/timeloop"
+
+	_ "mindmappings/internal/timeloop" // register the reference cost-model backend
 )
 
 // OutputMode selects the surrogate's output representation.
@@ -67,6 +69,11 @@ type Config struct {
 	TailBias      float64
 	TailK         int // candidates per tail draw (default 8)
 	TailNeighbors int // neighbor samples per tail draw (default 3)
+	// CostModel names the costmodel backend that labels the training set
+	// (empty = costmodel.DefaultBackend, the reference Timeloop-style
+	// model). A surrogate is an approximation of one specific f; training
+	// against a different registered backend needs no other change.
+	CostModel string
 	// Seed drives dataset sampling and weight initialization.
 	Seed int64
 }
@@ -141,6 +148,9 @@ func (c *Config) validate() error {
 	if c.TestFrac <= 0 || c.TestFrac >= 1 {
 		return fmt.Errorf("surrogate: test fraction %v", c.TestFrac)
 	}
+	if !costmodel.Registered(c.CostModel) {
+		return fmt.Errorf("surrogate: unknown cost model %q (registered: %v)", c.CostModel, costmodel.Names())
+	}
 	return nil
 }
 
@@ -180,7 +190,7 @@ func Generate(algo *loopnest.Algorithm, a arch.Spec, cfg Config) (*RawDataset, e
 	rng := stats.NewRNG(cfg.Seed)
 	type problemCtx struct {
 		space *mapspace.Space
-		model *timeloop.Model
+		model costmodel.Evaluator
 		bound oracle.Bound
 	}
 	var ctxs []problemCtx
@@ -196,7 +206,7 @@ func Generate(algo *loopnest.Algorithm, a arch.Spec, cfg Config) (*RawDataset, e
 		if err != nil {
 			return nil, fmt.Errorf("surrogate: map space for %s: %w", key, err)
 		}
-		model, err := timeloop.New(a, p)
+		model, err := costmodel.New(cfg.CostModel, a, p)
 		if err != nil {
 			return nil, fmt.Errorf("surrogate: cost model for %s: %w", key, err)
 		}
@@ -219,10 +229,10 @@ func Generate(algo *loopnest.Algorithm, a arch.Spec, cfg Config) (*RawDataset, e
 	}
 
 	ds := &RawDataset{Algo: algo, Arch: a, Mode: cfg.Mode}
-	add := func(ctx problemCtx, m *mapspace.Mapping) (timeloop.Cost, error) {
-		cost, err := ctx.model.EvaluateRaw(m)
+	add := func(ctx problemCtx, m *mapspace.Mapping) (costmodel.Cost, error) {
+		cost, err := costmodel.Evaluate(nil, ctx.model, m)
 		if err != nil {
-			return timeloop.Cost{}, fmt.Errorf("surrogate: evaluating sample %d: %w", ds.Len(), err)
+			return costmodel.Cost{}, fmt.Errorf("surrogate: evaluating sample %d: %w", ds.Len(), err)
 		}
 		ds.X = append(ds.X, ctx.space.Encode(m))
 		ds.Y = append(ds.Y, normalizeTarget(&cost, ctx.bound, cfg.Mode))
@@ -245,7 +255,7 @@ func Generate(algo *loopnest.Algorithm, a arch.Spec, cfg Config) (*RawDataset, e
 		bestEDP := -1.0
 		for k := 0; k < tailK; k++ {
 			m := ctx.space.Random(rng)
-			cost, err := ctx.model.EvaluateRaw(&m)
+			cost, err := costmodel.Evaluate(nil, ctx.model, &m)
 			if err != nil {
 				return nil, fmt.Errorf("surrogate: tail candidate: %w", err)
 			}
@@ -271,7 +281,7 @@ func Generate(algo *loopnest.Algorithm, a arch.Spec, cfg Config) (*RawDataset, e
 // cycles by minimum cycles, utilization kept as-is. In these units the
 // product of the normalized total energy and normalized cycles is exactly
 // the paper's normalized EDP.
-func normalizeTarget(c *timeloop.Cost, bound oracle.Bound, mode OutputMode) []float64 {
+func normalizeTarget(c *costmodel.Cost, bound oracle.Bound, mode OutputMode) []float64 {
 	if mode == OutputDirectEDP {
 		return []float64{bound.NormalizeEDP(c.EDP)}
 	}

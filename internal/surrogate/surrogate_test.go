@@ -8,12 +8,12 @@ import (
 	"testing"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/nn"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/stats"
-	"mindmappings/internal/timeloop"
 )
 
 // Shared fixtures: dataset generation and training are the expensive parts
@@ -336,7 +336,7 @@ func TestNormalizeTargetEDPIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := arch.Default(2)
-	model, err := timeloop.New(a, prob)
+	model, err := costmodel.New("timeloop", a, prob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func TestNormalizeTargetEDPIdentity(t *testing.T) {
 	rng := stats.NewRNG(5)
 	for i := 0; i < 20; i++ {
 		m := space.Random(rng)
-		cost, err := model.EvaluateRaw(&m)
+		cost, err := costmodel.Evaluate(nil, model, &m)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,9 +1,11 @@
 package timeloop
 
 import (
+	"context"
 	"testing"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/stats"
@@ -32,24 +34,25 @@ func allocFixture(t testing.TB) (*Model, *mapspace.Space, []mapspace.Mapping) {
 	return model, space, ms
 }
 
-// TestEvaluateIntoMatchesEvaluateRaw pins that the workspace-reusing path
+// TestEvaluateIntoMatchesEvaluate pins that the workspace-reusing path
 // computes the exact same cost as the allocating path, across mappings
 // evaluated back to back on one reused Cost (stale state must not leak).
-func TestEvaluateIntoMatchesEvaluateRaw(t *testing.T) {
+func TestEvaluateIntoMatchesEvaluate(t *testing.T) {
 	model, _, ms := allocFixture(t)
-	var ws Cost
+	ctx := context.Background()
+	var ws costmodel.Cost
 	for i := range ms {
-		want, err := model.EvaluateRaw(&ms[i])
+		want, err := model.Evaluate(&ms[i])
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := model.EvaluateRawInto(&ms[i], &ws); err != nil {
+		if err := model.EvaluateInto(ctx, &ms[i], &ws); err != nil {
 			t.Fatal(err)
 		}
 		if ws.EDP != want.EDP || ws.TotalEnergyPJ != want.TotalEnergyPJ ||
 			ws.Cycles != want.Cycles || ws.Utilization != want.Utilization ||
 			ws.MACEnergyPJ != want.MACEnergyPJ || ws.ComputeCycles != want.ComputeCycles {
-			t.Fatalf("mapping %d: EvaluateRawInto disagrees with EvaluateRaw:\n got %+v\nwant %+v", i, ws, want)
+			t.Fatalf("mapping %d: EvaluateInto disagrees with Evaluate:\n got %+v\nwant %+v", i, ws, want)
 		}
 		for l := range want.Accesses {
 			for tt := range want.Accesses[l] {
@@ -61,23 +64,24 @@ func TestEvaluateIntoMatchesEvaluateRaw(t *testing.T) {
 	}
 }
 
-// TestEvaluateRawIntoZeroAllocs is the acceptance-criterion guard: once
-// the Cost workspace is warm, evaluations allocate nothing.
-func TestEvaluateRawIntoZeroAllocs(t *testing.T) {
+// TestEvaluateIntoZeroAllocs is the acceptance-criterion guard: once the
+// Cost workspace is warm, evaluations allocate nothing.
+func TestEvaluateIntoZeroAllocs(t *testing.T) {
 	model, _, ms := allocFixture(t)
-	var ws Cost
-	if err := model.EvaluateRawInto(&ms[0], &ws); err != nil {
+	ctx := context.Background()
+	var ws costmodel.Cost
+	if err := model.EvaluateInto(ctx, &ms[0], &ws); err != nil {
 		t.Fatal(err)
 	}
 	i := 0
 	allocs := testing.AllocsPerRun(100, func() {
-		if err := model.EvaluateRawInto(&ms[i%len(ms)], &ws); err != nil {
+		if err := model.EvaluateInto(ctx, &ms[i%len(ms)], &ws); err != nil {
 			t.Fatal(err)
 		}
 		i++
 	})
 	if allocs != 0 {
-		t.Fatalf("steady-state EvaluateRawInto allocates %.1f per run, want 0", allocs)
+		t.Fatalf("steady-state EvaluateInto allocates %.1f per run, want 0", allocs)
 	}
 }
 
@@ -85,17 +89,21 @@ func TestEvaluateRawIntoZeroAllocs(t *testing.T) {
 // reused for another evaluation — the contract shared eval caches rely on.
 func TestCostCloneDetaches(t *testing.T) {
 	model, _, ms := allocFixture(t)
-	var ws Cost
-	if err := model.EvaluateRawInto(&ms[0], &ws); err != nil {
+	ctx := context.Background()
+	var ws costmodel.Cost
+	if err := model.EvaluateInto(ctx, &ms[0], &ws); err != nil {
 		t.Fatal(err)
 	}
 	clone := ws.Clone()
 	snapshot := ws.Clone()
-	if err := model.EvaluateRawInto(&ms[1], &ws); err != nil {
+	if err := model.EvaluateInto(ctx, &ms[1], &ws); err != nil {
 		t.Fatal(err)
 	}
 	if clone.EDP != snapshot.EDP || clone.EDP == ws.EDP {
 		t.Fatalf("clone EDP %v, snapshot %v, workspace now %v", clone.EDP, snapshot.EDP, ws.EDP)
+	}
+	if clone.Scratch != nil {
+		t.Fatal("clone kept a reference to the backend workspace")
 	}
 	for l := range clone.Accesses {
 		for tt := range clone.Accesses[l] {
@@ -106,17 +114,18 @@ func TestCostCloneDetaches(t *testing.T) {
 	}
 }
 
-// TestAtomicEvalCounter exercises the paid counter from concurrent
-// goroutines (meaningful under -race).
-func TestAtomicEvalCounter(t *testing.T) {
+// TestConcurrentEvaluate exercises the shared model from concurrent
+// goroutines, each with its own Cost workspace (meaningful under -race):
+// the model itself must be read-only during evaluation.
+func TestConcurrentEvaluate(t *testing.T) {
 	model, _, ms := allocFixture(t)
-	model.ResetEvals()
+	ctx := context.Background()
 	done := make(chan error, 4)
 	for g := 0; g < 4; g++ {
 		go func(g int) {
-			var ws Cost
+			var ws costmodel.Cost
 			for i := 0; i < 25; i++ {
-				if err := model.EvaluateInto(&ms[(g+i)%len(ms)], &ws); err != nil {
+				if err := model.EvaluateInto(ctx, &ms[(g+i)%len(ms)], &ws); err != nil {
 					done <- err
 					return
 				}
@@ -129,29 +138,27 @@ func TestAtomicEvalCounter(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := model.Evals(); got != 100 {
-		t.Fatalf("Evals() = %d, want 100", got)
-	}
 }
 
-func BenchmarkEvaluateRawAlloc(b *testing.B) {
+func BenchmarkEvaluateAlloc(b *testing.B) {
 	model, _, ms := allocFixture(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := model.EvaluateRaw(&ms[i%len(ms)]); err != nil {
+		if _, err := model.Evaluate(&ms[i%len(ms)]); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkEvaluateRawInto(b *testing.B) {
+func BenchmarkEvaluateInto(b *testing.B) {
 	model, _, ms := allocFixture(b)
-	var ws Cost
+	ctx := context.Background()
+	var ws costmodel.Cost
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := model.EvaluateRawInto(&ms[i%len(ms)], &ws); err != nil {
+		if err := model.EvaluateInto(ctx, &ms[i%len(ms)], &ws); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -24,11 +24,11 @@ func TestBiggerTilesNeverIncreaseDRAMTraffic(t *testing.T) {
 	big.SetChain(loopnest.CNNDimC, mapspace.FactorChain{8, 1, 1, 1})
 	big = space.Repair(big)
 
-	cs, err := model.EvaluateRaw(&small)
+	cs, err := model.Evaluate(&small)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cb, err := model.EvaluateRaw(&big)
+	cb, err := model.Evaluate(&big)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +51,11 @@ func TestAllocationAffectsEnergyNotTraffic(t *testing.T) {
 	fat := lean.Clone()
 	fat.Alloc[arch.L1] = []float64{0.9, 0.05, 0.05}
 
-	cl, err := model.EvaluateRaw(&lean)
+	cl, err := model.Evaluate(&lean)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cf, err := model.EvaluateRaw(&fat)
+	cf, err := model.Evaluate(&fat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +94,11 @@ func TestBandwidthBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cf, err := mf.EvaluateRaw(&m)
+	cf, err := mf.Evaluate(&m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs, err := ms.EvaluateRaw(&m)
+	cs, err := ms.Evaluate(&m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestEdgeArchWorks(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 30; i++ {
 		m := space.Random(rng)
-		c, err := model.EvaluateRaw(&m)
+		c, err := model.Evaluate(&m)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,52 +176,12 @@ func TestFullSpatialUtilization(t *testing.T) {
 	m := space.Minimal()
 	m.SetChain(0, mapspace.FactorChain{1, 256, 1, 1}) // I fully spatial
 	m = space.Repair(m)
-	c, err := model.EvaluateRaw(&m)
+	c, err := model.Evaluate(&m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(c.Utilization-1) > 1e-9 {
 		t.Fatalf("utilization = %v, want 1 with 256-way parallelism and infinite bandwidth", c.Utilization)
-	}
-}
-
-// EvaluateRaw must not advance the paid-query counter (the property the
-// iso-time methodology depends on).
-func TestEvaluateRawDoesNotCount(t *testing.T) {
-	model, space := conv1dSetup(t)
-	rng := rand.New(rand.NewSource(6))
-	m := space.Random(rng)
-	if _, err := model.EvaluateRaw(&m); err != nil {
-		t.Fatal(err)
-	}
-	if model.Evals() != 0 {
-		t.Fatalf("EvaluateRaw counted as a paid query: %d", model.Evals())
-	}
-	if _, err := model.Evaluate(&m); err != nil {
-		t.Fatal(err)
-	}
-	if model.Evals() != 1 {
-		t.Fatalf("Evaluate did not count: %d", model.Evals())
-	}
-}
-
-// Evaluate and EvaluateRaw must agree exactly on the produced cost.
-func TestEvaluateMatchesRaw(t *testing.T) {
-	model, space := cnnSetup(t)
-	rng := rand.New(rand.NewSource(7))
-	for i := 0; i < 20; i++ {
-		m := space.Random(rng)
-		a, err := model.Evaluate(&m)
-		if err != nil {
-			t.Fatal(err)
-		}
-		b, err := model.EvaluateRaw(&m)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if a.EDP != b.EDP || a.TotalEnergyPJ != b.TotalEnergyPJ || a.Cycles != b.Cycles {
-			t.Fatal("Evaluate and EvaluateRaw disagree")
-		}
 	}
 }
 
@@ -233,7 +193,7 @@ func TestOutputAccumulationAccounting(t *testing.T) {
 	m.SetChain(0, mapspace.FactorChain{4, 1, 1, 1})
 	m.SetChain(1, mapspace.FactorChain{2, 1, 1, 1})
 	m = space.Repair(m)
-	c, err := model.EvaluateRaw(&m)
+	c, err := model.Evaluate(&m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +207,7 @@ func TestOutputAccumulationAccounting(t *testing.T) {
 func TestCostRender(t *testing.T) {
 	model, space := conv1dSetup(t)
 	m := space.Minimal()
-	c, err := model.EvaluateRaw(&m)
+	c, err := model.Evaluate(&m)
 	if err != nil {
 		t.Fatal(err)
 	}

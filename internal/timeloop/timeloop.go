@@ -1,9 +1,10 @@
-// Package timeloop is a from-scratch analytical cost model for flexible
-// tensor accelerators in the style of Timeloop (Parashar et al., ISPASS
-// 2019), which the paper uses as its reference cost function f (§5.1.2:
-// "We model the programmable hardware accelerator using Timeloop, which
-// uses an analytical cost model to provide a high-fidelity cost estimation
-// for hardware accelerators that implement affine loopnests").
+// Package timeloop is the reference cost-model backend: a from-scratch
+// analytical model for flexible tensor accelerators in the style of
+// Timeloop (Parashar et al., ISPASS 2019), which the paper uses as its
+// reference cost function f (§5.1.2: "We model the programmable hardware
+// accelerator using Timeloop, which uses an analytical cost model to
+// provide a high-fidelity cost estimation for hardware accelerators that
+// implement affine loopnests").
 //
 // Given an accelerator specification, a problem, and a mapping, the model
 // derives per-level per-tensor data movement from a loop-order-aware reuse
@@ -11,14 +12,21 @@
 // by compute and per-level bandwidth, and reports the energy-delay product
 // (EDP) the search methods minimize. See DESIGN.md §3 for the analysis
 // rules and their relation to Timeloop's.
+//
+// Model implements costmodel.Evaluator and registers itself as "timeloop",
+// the costmodel registry's default backend; cross-cutting concerns the
+// model used to own — eval accounting, query-latency emulation,
+// memoization, parallel batch fan-out — are costmodel middleware now.
+// Nothing outside this package (and its tests) constructs a *Model
+// directly; consumers go through costmodel.New.
 package timeloop
 
 import (
+	"context"
 	"fmt"
-	"sync/atomic"
-	"time"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 )
@@ -28,18 +36,14 @@ type Model struct {
 	Arch arch.Spec
 	Prob loopnest.Problem
 
-	// QueryLatency, when positive, stalls every Evaluate call by the given
-	// duration to emulate the query cost of the paper's reference cost
-	// model (Timeloop queries take milliseconds; this pure-Go analytical
-	// model takes microseconds). Iso-time experiments set this so the
-	// relative per-step costs of surrogate-driven and cost-model-driven
-	// search match the paper's setting; iso-iteration experiments leave it
-	// zero. See DESIGN.md §4.
-	QueryLatency time.Duration
-
 	macs     float64
 	fullSize []float64 // per-tensor full footprints
-	evals    atomic.Int64
+}
+
+func init() {
+	costmodel.Register("timeloop", func(a arch.Spec, p loopnest.Problem) (costmodel.Evaluator, error) {
+		return New(a, p)
+	})
 }
 
 // New constructs a cost model, validating the architecture and problem.
@@ -61,88 +65,30 @@ func New(a arch.Spec, p loopnest.Problem) (*Model, error) {
 	return m, nil
 }
 
-// Evals returns the number of Evaluate calls performed, used by the
-// experiment harness to enforce iso-iteration budgets. The counter is
-// atomic so parallel scoring workers can share one model.
-func (m *Model) Evals() int64 { return m.evals.Load() }
+// Name implements costmodel.Evaluator.
+func (m *Model) Name() string { return "timeloop" }
 
-// ResetEvals clears the evaluation counter.
-func (m *Model) ResetEvals() { m.evals.Store(0) }
+// Problem implements costmodel.Evaluator.
+func (m *Model) Problem() loopnest.Problem { return m.Prob }
 
-// Cost is the detailed output of one cost-model query. Energies are in
-// picojoules, delay in accelerator cycles. The paper's §4.1.3 output
-// representation ("a vector containing the energy spent accessing each
-// level of the memory hierarchy by each data type, compute utilization,
-// total cycles, and total energy") is exposed via MetaStats.
-type Cost struct {
-	// Accesses[level][tensor] counts words moved at each level (reads plus
-	// writes attributable to the tensor).
-	Accesses [arch.NumLevels][]float64
-	// EnergyPJ[level][tensor] is the corresponding access energy.
-	EnergyPJ [arch.NumLevels][]float64
-	// MACEnergyPJ is the datapath energy.
-	MACEnergyPJ float64
-	// TotalEnergyPJ is all access energy plus datapath energy.
-	TotalEnergyPJ float64
-	// ComputeCycles is MACs divided by utilized PEs.
-	ComputeCycles float64
-	// Cycles is the bottleneck delay across compute and memory levels.
-	Cycles float64
-	// Utilization is achieved MACs/cycle over peak MACs/cycle.
-	Utilization float64
-	// EDP is the energy-delay product in joule-seconds, the optimization
-	// objective (§5.1.2).
-	EDP float64
-
-	// Evaluation scratch (cumulative tiles, temporal loop nests), kept on
-	// the Cost so a reused Cost value is a complete, allocation-free
-	// evaluation workspace: steady-state EvaluateRawInto calls on the same
-	// Cost perform zero heap allocations.
-	tile1, tile2   []int
-	loops1, loops2 []loop
-}
-
-// reset prepares c to receive a fresh evaluation for an algorithm with nt
-// tensors, reusing its per-level slices when already correctly sized.
-func (c *Cost) reset(nt int) {
-	for l := range c.Accesses {
-		if len(c.Accesses[l]) != nt {
-			c.Accesses[l] = make([]float64, nt)
-			c.EnergyPJ[l] = make([]float64, nt)
-			continue
-		}
-		for t := 0; t < nt; t++ {
-			c.Accesses[l][t] = 0
-			c.EnergyPJ[l][t] = 0
-		}
-	}
-	c.MACEnergyPJ = 0
-	c.TotalEnergyPJ = 0
-	c.ComputeCycles = 0
-	c.Cycles = 0
-	c.Utilization = 0
-	c.EDP = 0
-}
-
-// Clone returns a deep copy of the exported cost fields, detached from any
-// evaluation workspace. Costs stored in shared caches must be clones:
-// the original may be an EvaluateInto workspace whose slices are
-// overwritten by the next evaluation.
-func (c *Cost) Clone() Cost {
-	out := *c
-	for l := range c.Accesses {
-		out.Accesses[l] = append([]float64(nil), c.Accesses[l]...)
-		out.EnergyPJ[l] = append([]float64(nil), c.EnergyPJ[l]...)
-	}
-	out.tile1, out.tile2 = nil, nil
-	out.loops1, out.loops2 = nil, nil
-	return out
+// AppendFingerprint implements costmodel.Evaluator.
+func (m *Model) AppendFingerprint(dst []byte) []byte {
+	return costmodel.AppendBackendFingerprint(dst, m.Name(), &m.Arch, &m.Prob)
 }
 
 // loop is one temporal loop with its dimension and trip count.
 type loop struct {
 	dim   int
 	count int
+}
+
+// evalScratch is the per-Cost evaluation workspace (cumulative tiles,
+// temporal loop nests), kept on the Cost so a reused Cost value is a
+// complete, allocation-free workspace: steady-state EvaluateInto calls on
+// the same Cost perform zero heap allocations.
+type evalScratch struct {
+	tile1, tile2   []int
+	loops1, loops2 []loop
 }
 
 // appendTemporalLoops appends the loop nest above the given on-chip level
@@ -209,47 +155,29 @@ func allocEnergyScale(frac float64) float64 {
 	return 0.75 + 0.5*frac
 }
 
-// Evaluate computes the cost of a mapping as a paid reference-cost-model
-// query: it counts toward Evals and pays QueryLatency. The mapping must be
-// structurally complete; callers are expected to pass members of the map
-// space (use mapspace.Space.IsMember to check), and structural mismatches
-// return an error rather than silently mis-costing.
-func (m *Model) Evaluate(mp *mapspace.Mapping) (Cost, error) {
-	var c Cost
-	err := m.EvaluateInto(mp, &c)
+// Evaluate computes the cost of a mapping into a fresh Cost. The mapping
+// must be structurally complete; callers are expected to pass members of
+// the map space (use mapspace.Space.IsMember to check), and structural
+// mismatches return an error rather than silently mis-costing. Hot paths
+// keep a reusable Cost and call EvaluateInto.
+func (m *Model) Evaluate(mp *mapspace.Mapping) (costmodel.Cost, error) {
+	var c costmodel.Cost
+	err := m.EvaluateInto(context.Background(), mp, &c)
 	return c, err
 }
 
-// EvaluateInto is Evaluate writing into a caller-owned Cost workspace:
-// a paid query (Evals counter, QueryLatency) with zero steady-state heap
-// allocations when c is reused across calls.
-func (m *Model) EvaluateInto(mp *mapspace.Mapping, c *Cost) error {
-	if m.QueryLatency > 0 {
-		time.Sleep(m.QueryLatency)
-	}
-	m.evals.Add(1)
-	return m.EvaluateRawInto(mp, c)
+// EvaluateBatchInto implements costmodel.Evaluator sequentially.
+func (m *Model) EvaluateBatchInto(ctx context.Context, ms []mapspace.Mapping, costs []costmodel.Cost, errs []error) {
+	costmodel.SequentialBatch(ctx, m, ms, costs, errs)
 }
 
-// EvaluateRaw computes the cost of a mapping without paying the emulated
-// query latency and without counting toward the evaluation budget. The
-// experiment harness uses it to score search trajectories offline — e.g.
-// recording the true EDP of Mind Mappings' intermediate solutions, which in
-// the paper's methodology are found via the surrogate and never charged as
-// reference-cost-model queries (§5.2).
-func (m *Model) EvaluateRaw(mp *mapspace.Mapping) (Cost, error) {
-	var c Cost
-	err := m.EvaluateRawInto(mp, &c)
-	return c, err
-}
-
-// EvaluateRawInto is EvaluateRaw writing into a caller-owned Cost. The
-// Cost doubles as the evaluation workspace: its slices and internal
-// scratch are reused, so steady-state search loops that keep one Cost per
-// goroutine evaluate with zero heap allocations (the search tracker and
-// the batch scoring workers rely on this). The previous contents of c are
-// overwritten; Costs handed to shared caches must be Clone()s.
-func (m *Model) EvaluateRawInto(mp *mapspace.Mapping, c *Cost) error {
+// EvaluateInto implements costmodel.Evaluator. The Cost doubles as the
+// evaluation workspace: its slices and internal scratch are reused, so
+// steady-state search loops that keep one Cost per goroutine evaluate with
+// zero heap allocations (the search tracker and the costmodel parallel
+// middleware rely on this). The previous contents of c are overwritten;
+// Costs handed to shared caches must be Clone()s.
+func (m *Model) EvaluateInto(_ context.Context, mp *mapspace.Mapping, c *costmodel.Cost) error {
 	nd := m.Prob.Algo.NumDims()
 	if len(mp.Spatial) != nd || len(mp.Tile[arch.L1]) != nd ||
 		len(mp.Tile[arch.L2]) != nd || len(mp.Tile[arch.DRAM]) != nd {
@@ -267,13 +195,18 @@ func (m *Model) EvaluateRawInto(mp *mapspace.Mapping, c *Cost) error {
 		}
 	}
 
-	c.reset(nt)
-	c.tile1 = mp.CumulativeTileInto(c.tile1, arch.L1)
-	c.tile2 = mp.CumulativeTileInto(c.tile2, arch.L2)
-	c.loops1 = appendTemporalLoops(c.loops1[:0], mp, arch.L1)
-	c.loops2 = appendTemporalLoops(c.loops2[:0], mp, arch.L2)
-	tileL1, tileL2 := c.tile1, c.tile2
-	loopsL1, loopsL2 := c.loops1, c.loops2
+	c.Reset(nt)
+	ws, _ := c.Scratch.(*evalScratch)
+	if ws == nil {
+		ws = &evalScratch{}
+		c.Scratch = ws
+	}
+	ws.tile1 = mp.CumulativeTileInto(ws.tile1, arch.L1)
+	ws.tile2 = mp.CumulativeTileInto(ws.tile2, arch.L2)
+	ws.loops1 = appendTemporalLoops(ws.loops1[:0], mp, arch.L1)
+	ws.loops2 = appendTemporalLoops(ws.loops2[:0], mp, arch.L2)
+	tileL1, tileL2 := ws.tile1, ws.tile2
+	loopsL1, loopsL2 := ws.loops1, ws.loops2
 
 	for t := range m.Prob.Algo.Tensors {
 		tensor := &m.Prob.Algo.Tensors[t]
@@ -354,23 +287,4 @@ func maxf(a, b float64) float64 {
 		return a
 	}
 	return b
-}
-
-// MetaStats flattens the cost into the surrogate's rich output
-// representation (§4.1.3): per-level per-tensor access energies, followed
-// by total energy, utilization, and cycles. For CNN-Layer that is
-// 3x3+3 = 12 values; for MTTKRP 3x4+3 = 15, matching §5.5.
-func (c *Cost) MetaStats() []float64 {
-	var out []float64
-	for l := arch.L1; l < arch.NumLevels; l++ {
-		out = append(out, c.EnergyPJ[l]...)
-	}
-	out = append(out, c.TotalEnergyPJ, c.Utilization, c.Cycles)
-	return out
-}
-
-// MetaStatsLen returns the meta-statistics vector length for an algorithm
-// with nt tensors.
-func MetaStatsLen(nt int) int {
-	return int(arch.NumLevels)*nt + 3
 }

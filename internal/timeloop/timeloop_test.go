@@ -5,9 +5,9 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
-	"time"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 )
@@ -339,35 +339,26 @@ func TestEvaluateArityErrors(t *testing.T) {
 	}
 }
 
-func TestQueryLatencyEmulation(t *testing.T) {
-	model, space := conv1dSetup(t)
-	rng := rand.New(rand.NewSource(9))
-	m := space.Random(rng)
-	model.QueryLatency = 5 * time.Millisecond
-	start := time.Now()
-	if _, err := model.Evaluate(&m); err != nil {
+// TestRegisteredAsDefaultBackend pins the registry wiring: the reference
+// model is reachable by name (and as the default) through costmodel.New.
+// Query-latency emulation and eval accounting are costmodel middleware
+// now; their tests live there.
+func TestRegisteredAsDefaultBackend(t *testing.T) {
+	p, err := loopnest.NewConv1DProblem("c", 5, 2)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
-		t.Fatalf("latency emulation too fast: %v", elapsed)
-	}
-}
-
-func TestEvalCounter(t *testing.T) {
-	model, space := conv1dSetup(t)
-	rng := rand.New(rand.NewSource(10))
-	m := space.Random(rng)
-	for i := 0; i < 5; i++ {
-		if _, err := model.Evaluate(&m); err != nil {
+	for _, name := range []string{"", "timeloop"} {
+		ev, err := costmodel.New(name, arch.Default(2), p)
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	if model.Evals() != 5 {
-		t.Fatalf("Evals = %d, want 5", model.Evals())
-	}
-	model.ResetEvals()
-	if model.Evals() != 0 {
-		t.Fatal("ResetEvals failed")
+		if ev.Name() != "timeloop" {
+			t.Fatalf("costmodel.New(%q) resolved to %q", name, ev.Name())
+		}
+		if _, ok := ev.(*Model); !ok {
+			t.Fatalf("costmodel.New(%q) returned %T, want *Model", name, ev)
+		}
 	}
 }
 
@@ -383,7 +374,7 @@ func TestMetaStatsShape(t *testing.T) {
 	if got := len(c.MetaStats()); got != 12 {
 		t.Fatalf("CNN meta stats = %d, want 12", got)
 	}
-	if MetaStatsLen(3) != 12 || MetaStatsLen(4) != 15 {
+	if costmodel.MetaStatsLen(3) != 12 || costmodel.MetaStatsLen(4) != 15 {
 		t.Fatal("MetaStatsLen wrong")
 	}
 
