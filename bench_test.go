@@ -324,7 +324,7 @@ func BenchmarkSurrogateTraining(b *testing.B) {
 	cfg := surrogate.TinyConfig()
 	cfg.Samples = 2000
 	cfg.Train.Epochs = 5
-	ds, err := surrogate.Generate(loopnest.CNNLayer(), archpkg.Default(2), cfg)
+	ds, err := surrogate.Generate(loopnest.MustAlgorithm("cnn-layer"), archpkg.Default(2), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

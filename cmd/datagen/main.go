@@ -4,6 +4,11 @@
 // reference-cost-model meta-statistics. Decoupling generation from training
 // lets the expensive sampling pass be reused across training experiments
 // (Figures 7a-7c all share one dataset).
+//
+// The target workload is any registered name (-algo; see `mindmappings
+// algos`) or an inline einsum spec (-einsum). Inline specs are registered
+// for the run so the saved dataset carries the spec itself: loading the
+// file later recompiles the workload without any registry coordination.
 package main
 
 import (
@@ -15,10 +20,12 @@ import (
 	"mindmappings/internal/arch"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/surrogate"
+	"mindmappings/internal/workload"
 )
 
 func main() {
-	algoName := flag.String("algo", "cnn-layer", "target algorithm: cnn-layer, mttkrp, conv1d")
+	algoName := flag.String("algo", "", "target workload (a registered name; see `mindmappings algos`; default cnn-layer)")
+	einsum := flag.String("einsum", "", `inline workload spec, e.g. "O[m,n] += A[m,k] * B[k,n]" (instead of -algo)`)
 	samples := flag.Int("samples", 20000, "number of (mapping, problem, cost) samples")
 	problems := flag.Int("problems", 24, "number of representative problems to sample from")
 	tailBias := flag.Float64("tailbias", 0.5, "fraction of samples drawn from the low-cost tail (0 = paper's pure uniform)")
@@ -26,14 +33,28 @@ func main() {
 	out := flag.String("out", "dataset.bin", "output file")
 	flag.Parse()
 
-	if err := run(*algoName, *samples, *problems, *tailBias, *seed, *out); err != nil {
+	if err := run(*algoName, *einsum, *samples, *problems, *tailBias, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algoName string, samples, problems int, tailBias float64, seed int64, out string) error {
-	algo, err := loopnest.AlgorithmByName(algoName)
+func run(algoName, einsum string, samples, problems int, tailBias float64, seed int64, out string) error {
+	if algoName != "" && einsum != "" {
+		return fmt.Errorf("use -algo or -einsum, not both")
+	}
+	var algo *loopnest.Algorithm
+	var err error
+	switch {
+	case einsum != "":
+		// Register (not just compile) so Save finds the spec and stamps it
+		// into the dataset file.
+		algo, err = workload.RegisterSpec(workload.Spec{Expr: einsum})
+	case algoName != "":
+		algo, err = loopnest.AlgorithmByName(algoName)
+	default:
+		algo, err = loopnest.AlgorithmByName("cnn-layer")
+	}
 	if err != nil {
 		return err
 	}
@@ -57,6 +78,6 @@ func run(algoName string, samples, problems int, tailBias float64, seed int64, o
 		return err
 	}
 	fmt.Printf("generated %d samples for %s in %v -> %s (%d-wide inputs, %d-wide targets)\n",
-		ds.Len(), algoName, time.Since(start).Round(time.Millisecond), out, len(ds.X[0]), len(ds.Y[0]))
+		ds.Len(), algo.Name, time.Since(start).Round(time.Millisecond), out, len(ds.X[0]), len(ds.Y[0]))
 	return nil
 }

@@ -10,7 +10,7 @@ import (
 
 func TestRunGeneratesLoadableDataset(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "ds.bin")
-	if err := run("conv1d", 200, 4, 0.5, 1, out); err != nil {
+	if err := run("conv1d", "", 200, 4, 0.5, 1, out); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -31,13 +31,19 @@ func TestRunGeneratesLoadableDataset(t *testing.T) {
 }
 
 func TestRunRejectsUnknownAlgo(t *testing.T) {
-	if err := run("gemm", 100, 4, 0, 1, filepath.Join(t.TempDir(), "x.bin")); err == nil {
+	if err := run("no-such-workload", "", 100, 4, 0, 1, filepath.Join(t.TempDir(), "x.bin")); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
+func TestRunRejectsBadEinsum(t *testing.T) {
+	if err := run("", "O[x] +=", 100, 4, 0, 1, filepath.Join(t.TempDir(), "x.bin")); err == nil {
+		t.Fatal("malformed einsum accepted")
+	}
+}
+
 func TestRunRejectsUnwritablePath(t *testing.T) {
-	if err := run("conv1d", 100, 4, 0, 1, "/nonexistent-dir/x.bin"); err == nil {
+	if err := run("conv1d", "", 100, 4, 0, 1, "/nonexistent-dir/x.bin"); err == nil {
 		t.Fatal("unwritable path accepted")
 	}
 }

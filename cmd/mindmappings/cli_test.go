@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -51,6 +53,78 @@ func TestCmdTrainSearchCompare(t *testing.T) {
 	}
 }
 
+// TestCmdGEMMEndToEnd: the gemm workload (registry-only, no hand-coded
+// constructor ever existed for it) flows train → search → compare through
+// the real command functions.
+func TestCmdGEMMEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "gemm.surrogate")
+	if err := cmdTrain([]string{
+		"-algo", "gemm", "-config", "tiny",
+		"-samples", "800", "-epochs", "4",
+		"-out", out,
+	}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := cmdSearch([]string{
+		"-algo", "gemm", "-surrogate", out,
+		"-shape", "M=64,K=64,N=64", "-evals", "60",
+	}); err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if err := cmdCompare([]string{
+		"-algo", "gemm", "-surrogate", out,
+		"-shape", "64,64,64", "-evals", "40", "-rlhidden", "16",
+	}); err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+}
+
+// TestCmdInlineEinsumEndToEnd: a workload defined entirely on the command
+// line flows train → search → compare; the surrogate's derived name makes
+// the train/search pair line up without a registry entry.
+func TestCmdInlineEinsumEndToEnd(t *testing.T) {
+	const spec = "Out[a,b] += L[a,c] * R[c,b]"
+	out := filepath.Join(t.TempDir(), "inline.surrogate")
+	if err := cmdTrain([]string{
+		"-einsum", spec, "-config", "tiny",
+		"-samples", "800", "-epochs", "4",
+		"-out", out,
+	}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := cmdSearch([]string{
+		"-einsum", spec, "-surrogate", out,
+		"-shape", "a=32,b=32,c=32", "-evals", "60",
+	}); err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if err := cmdCompare([]string{
+		"-einsum", spec, "-surrogate", out,
+		"-shape", "32,32,32", "-evals", "40", "-rlhidden", "16",
+	}); err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	// A different expression must be refused for this surrogate.
+	if err := cmdSearch([]string{
+		"-einsum", "Out[a,b] += L[a,q] * R[q,b] * S[a,b]", "-surrogate", out,
+		"-shape", "a=32,b=32,q=32", "-evals", "10",
+	}); err == nil {
+		t.Fatal("surrogate accepted for a different einsum")
+	}
+}
+
+func TestCmdAlgosListsRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeAlgos(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cnn-layer", "gemm", "attention-score", "einsum", "fingerprint", "-shape"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("algos output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
 func TestCmdSearchErrors(t *testing.T) {
 	sur := trainTinySurrogate(t)
 	if err := cmdSearch([]string{"-algo", "conv1d", "-surrogate", sur}); err == nil {
@@ -66,7 +140,7 @@ func TestCmdSearchErrors(t *testing.T) {
 }
 
 func TestCmdTrainErrors(t *testing.T) {
-	if err := cmdTrain([]string{"-algo", "gemm"}); err == nil {
+	if err := cmdTrain([]string{"-algo", "no-such-workload"}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 	if err := cmdTrain([]string{"-algo", "conv1d", "-config", "nope"}); err == nil {

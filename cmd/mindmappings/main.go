@@ -1,14 +1,21 @@
 // Command mindmappings is the command-line front end of the Mind Mappings
 // framework: train surrogates (Phase 1), search for mappings (Phase 2),
-// compare search methods, and dump cost-surface data.
+// compare search methods, list workloads, and dump cost-surface data.
 //
 // Usage:
 //
+//	mindmappings algos
 //	mindmappings train   -algo cnn-layer -config small -out cnn.surrogate
 //	mindmappings search  -algo cnn-layer -surrogate cnn.surrogate -problem ResNet_Conv_4 -evals 1000
+//	mindmappings search  -algo gemm -surrogate gemm.surrogate -shape M=512,N=512,K=512 -evals 1000
+//	mindmappings train   -einsum "O[m,n] += A[m,k] * B[k,n]" -config tiny -out inline.surrogate
 //	mindmappings compare -algo mttkrp    -surrogate mtt.surrogate -problem MTTKRP_0 -evals 1000
 //	mindmappings surface -problem ResNet_Conv_4 -out surface.dat
 //	mindmappings serve   -addr :8080 -models ./models
+//
+// Workloads resolve through the registry seeded by internal/workload
+// (-algo) or compile from an inline einsum spec (-einsum); see
+// DESIGN.md §6.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/search"
 	"mindmappings/internal/surrogate"
+	"mindmappings/internal/workload"
 )
 
 func main() {
@@ -41,6 +49,8 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "surface":
 		err = cmdSurface(os.Args[2:])
+	case "algos":
+		err = cmdAlgos(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
@@ -57,21 +67,38 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `mindmappings <command> [flags]
+	fmt.Fprintf(os.Stderr, `mindmappings <command> [flags]
 
 commands:
-  train     train a Phase-1 surrogate for an algorithm and save it
+  train     train a Phase-1 surrogate for a workload and save it
   search    run the Phase-2 gradient search for one problem
   compare   run Mind Mappings against SA/GA/RL/random on one problem
   surface   dump the Figure-3 style cost surface for a CNN problem
+  algos     list the registered workloads (dims, tensors, example shapes)
   serve     run the concurrent mapping-search HTTP service
 
+workloads are selected with -algo <name> (registered: %s) or defined
+inline with -einsum "O[m,n] += A[m,k] * B[k,n]"
+
 run "mindmappings <command> -h" for per-command flags
-`)
+`, strings.Join(workload.Names(), ", "))
 }
 
 // costModelUsage documents the -model flag shared by search and compare.
 const costModelUsage = "cost-model backend: timeloop (default, reference reuse analysis) or roofline (optimistic lower-bound model)"
+
+// defaultAlgo keeps the historical -algo default; -einsum overrides it.
+const defaultAlgo = "cnn-layer"
+
+// einsumUsage documents the -einsum flag shared by train, search, compare.
+const einsumUsage = `inline workload spec, e.g. "O[m,n] += A[m,k] * B[k,n]" (instead of -algo)`
+
+// algoUsage documents the -algo flag: the list is generated from the
+// registry, so it can never go stale.
+func algoUsage() string {
+	return "target workload: " + strings.Join(workload.Names(), ", ") +
+		" (default " + defaultAlgo + ")"
+}
 
 // surrogateConfig resolves a named Phase-1 configuration.
 func surrogateConfig(name string) (surrogate.Config, error) {
@@ -86,67 +113,92 @@ func surrogateConfig(name string) (surrogate.Config, error) {
 	return surrogate.Config{}, fmt.Errorf("unknown config %q (want tiny, small, or paper)", name)
 }
 
-// newMapper builds the mapper for an algorithm name with the matching
-// accelerator datapath.
-func newMapper(algoName string) (*core.Mapper, error) {
-	algo, err := loopnest.AlgorithmByName(algoName)
+// resolveAlgo resolves the -algo/-einsum flag pair into an algorithm: a
+// registered workload name, or an inline einsum spec. Setting both is an
+// error (the flags default to empty so an explicit -algo is never
+// silently dropped); setting neither selects defaultAlgo.
+func resolveAlgo(algoName, einsum string) (*loopnest.Algorithm, error) {
+	if algoName != "" && einsum != "" {
+		return nil, fmt.Errorf("use -algo or -einsum, not both")
+	}
+	if einsum != "" {
+		return workload.CompileInline(einsum)
+	}
+	if algoName == "" {
+		algoName = defaultAlgo
+	}
+	return loopnest.AlgorithmByName(algoName)
+}
+
+// newMapper builds the mapper for a workload with the matching accelerator
+// datapath.
+func newMapper(algoName, einsum string) (*core.Mapper, error) {
+	algo, err := resolveAlgo(algoName, einsum)
 	if err != nil {
 		return nil, err
 	}
 	return core.NewMapper(algo, arch.Default(len(algo.Tensors)-1))
 }
 
-// resolveProblem finds a Table-1 problem by name or parses an explicit
-// shape (comma-separated sizes in the algorithm's constructor order; for
-// cnn-layer: N,K,C,H,W,R,S).
-func resolveProblem(algoName, problemName, shape string) (loopnest.Problem, error) {
+// resolveProblem finds a Table-1 problem by name, or parses an explicit
+// shape: comma-separated sizes in the workload's canonical dimension order
+// (cnn-layer: N,K,C,X,Y,R,S), or name=size pairs in any order
+// (e.g. "M=256,N=256,K=512").
+func resolveProblem(algo *loopnest.Algorithm, problemName, shape string) (loopnest.Problem, error) {
 	if problemName != "" {
 		all, err := loopnest.Table1Problems()
 		if err != nil {
 			return loopnest.Problem{}, err
 		}
 		for _, p := range all {
-			if p.Name == problemName && p.Algo.Name == algoName {
+			if p.Name == problemName && p.Algo.Name == algo.Name {
 				return p, nil
 			}
 		}
-		return loopnest.Problem{}, fmt.Errorf("problem %q not found for %s (see Table 1 names)", problemName, algoName)
+		return loopnest.Problem{}, fmt.Errorf("problem %q not found for %s (see Table 1 names)", problemName, algo.Name)
 	}
 	if shape == "" {
 		return loopnest.Problem{}, fmt.Errorf("need -problem or -shape")
 	}
 	parts := strings.Split(shape, ",")
-	dims := make([]int, 0, len(parts))
+	if strings.Contains(parts[0], "=") {
+		dims := make(map[string]int, len(parts))
+		for _, p := range parts {
+			name, val, ok := strings.Cut(p, "=")
+			if !ok {
+				return loopnest.Problem{}, fmt.Errorf("bad shape element %q: want name=size", p)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil {
+				return loopnest.Problem{}, fmt.Errorf("bad shape element %q: %w", p, err)
+			}
+			dn := strings.TrimSpace(name)
+			if _, dup := dims[dn]; dup {
+				return loopnest.Problem{}, fmt.Errorf("shape sets %s twice", dn)
+			}
+			dims[dn] = v
+		}
+		return algo.ProblemFromDims("custom", dims)
+	}
+	sizes := make([]int, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
 			return loopnest.Problem{}, fmt.Errorf("bad shape element %q: %w", p, err)
 		}
-		dims = append(dims, v)
+		sizes = append(sizes, v)
 	}
-	switch algoName {
-	case "cnn-layer":
-		if len(dims) != 7 {
-			return loopnest.Problem{}, fmt.Errorf("cnn-layer shape needs N,K,C,H,W,R,S")
-		}
-		return loopnest.NewCNNProblem("custom", dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6])
-	case "mttkrp":
-		if len(dims) != 4 {
-			return loopnest.Problem{}, fmt.Errorf("mttkrp shape needs I,J,K,L")
-		}
-		return loopnest.NewMTTKRPProblem("custom", dims[0], dims[1], dims[2], dims[3])
-	case "conv1d":
-		if len(dims) != 2 {
-			return loopnest.Problem{}, fmt.Errorf("conv1d shape needs W,R")
-		}
-		return loopnest.NewConv1DProblem("custom", dims[0], dims[1])
+	if len(sizes) != algo.NumDims() {
+		return loopnest.Problem{}, fmt.Errorf("%s shape needs %d sizes in order %s",
+			algo.Name, algo.NumDims(), strings.Join(algo.DimNames, ","))
 	}
-	return loopnest.Problem{}, fmt.Errorf("unknown algorithm %q", algoName)
+	return algo.NewProblem("custom", sizes)
 }
 
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
-	algoName := fs.String("algo", "cnn-layer", "target algorithm: cnn-layer, mttkrp, conv1d")
+	algoName := fs.String("algo", "", algoUsage())
+	einsum := fs.String("einsum", "", einsumUsage)
 	cfgName := fs.String("config", "small", "phase-1 configuration: tiny, small, paper")
 	out := fs.String("out", "surrogate.bin", "output surrogate file")
 	model := fs.String("model", "", "cost-model backend that labels the training set: timeloop (default) or roofline; search with the same -model so the surrogate approximates the f it is scored against")
@@ -170,7 +222,7 @@ func cmdTrain(args []string) error {
 	cfg.Seed = *seed
 	cfg.Train.Log = os.Stderr
 
-	mp, err := newMapper(*algoName)
+	mp, err := newMapper(*algoName, *einsum)
 	if err != nil {
 		return err
 	}
@@ -188,12 +240,12 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	fmt.Printf("trained %s surrogate in %v (final train loss %.4f, test loss %.4f) -> %s\n",
-		*algoName, time.Since(start).Round(time.Second), hist.FinalTrain(), hist.FinalTest(), *out)
+		mp.Algo.Name, time.Since(start).Round(time.Second), hist.FinalTrain(), hist.FinalTest(), *out)
 	return nil
 }
 
-func loadMapperWithSurrogate(algoName, path string) (*core.Mapper, error) {
-	mp, err := newMapper(algoName)
+func loadMapperWithSurrogate(algoName, einsum, path string) (*core.Mapper, error) {
+	mp, err := newMapper(algoName, einsum)
 	if err != nil {
 		return nil, err
 	}
@@ -210,10 +262,11 @@ func loadMapperWithSurrogate(algoName, path string) (*core.Mapper, error) {
 
 func cmdSearch(args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
-	algoName := fs.String("algo", "cnn-layer", "target algorithm")
+	algoName := fs.String("algo", "", algoUsage())
+	einsum := fs.String("einsum", "", einsumUsage)
 	surPath := fs.String("surrogate", "surrogate.bin", "trained surrogate file")
 	problemName := fs.String("problem", "", "Table-1 problem name")
-	shape := fs.String("shape", "", "explicit problem shape (e.g. 16,256,256,14,14,3,3 for cnn-layer)")
+	shape := fs.String("shape", "", "explicit problem shape: sizes in canonical dim order (cnn-layer: 16,256,256,12,12,3,3) or name=size pairs (M=256,N=256,K=512)")
 	model := fs.String("model", "", costModelUsage)
 	evals := fs.Int("evals", 1000, "surrogate-query budget")
 	maxTime := fs.Duration("time", 0, "wall-clock budget (overrides -evals when set)")
@@ -228,12 +281,12 @@ func cmdSearch(args []string) error {
 	if err != nil {
 		return err
 	}
-	mp, err := loadMapperWithSurrogate(*algoName, *surPath)
+	mp, err := loadMapperWithSurrogate(*algoName, *einsum, *surPath)
 	if err != nil {
 		return err
 	}
 	mp.CostModel = *model
-	prob, err := resolveProblem(*algoName, *problemName, *shape)
+	prob, err := resolveProblem(mp.Algo, *problemName, *shape)
 	if err != nil {
 		return err
 	}
@@ -269,10 +322,11 @@ func cmdSearch(args []string) error {
 
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
-	algoName := fs.String("algo", "cnn-layer", "target algorithm")
+	algoName := fs.String("algo", "", algoUsage())
+	einsum := fs.String("einsum", "", einsumUsage)
 	surPath := fs.String("surrogate", "surrogate.bin", "trained surrogate file")
 	problemName := fs.String("problem", "", "Table-1 problem name")
-	shape := fs.String("shape", "", "explicit problem shape")
+	shape := fs.String("shape", "", "explicit problem shape (canonical sizes or name=size pairs)")
 	model := fs.String("model", "", costModelUsage)
 	evals := fs.Int("evals", 1000, "evaluation budget per method")
 	maxTime := fs.Duration("time", 0, "wall-clock budget per method (overrides -evals)")
@@ -282,12 +336,12 @@ func cmdCompare(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	mp, err := loadMapperWithSurrogate(*algoName, *surPath)
+	mp, err := loadMapperWithSurrogate(*algoName, *einsum, *surPath)
 	if err != nil {
 		return err
 	}
 	mp.CostModel = *model
-	prob, err := resolveProblem(*algoName, *problemName, *shape)
+	prob, err := resolveProblem(mp.Algo, *problemName, *shape)
 	if err != nil {
 		return err
 	}
@@ -332,7 +386,11 @@ func cmdSurface(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	prob, err := resolveProblem("cnn-layer", *problemName, "")
+	algo, err := loopnest.AlgorithmByName("cnn-layer")
+	if err != nil {
+		return err
+	}
+	prob, err := resolveProblem(algo, *problemName, "")
 	if err != nil {
 		return err
 	}

@@ -21,8 +21,8 @@ func TestSurrogateConfigNames(t *testing.T) {
 }
 
 func TestNewMapperByAlgo(t *testing.T) {
-	for _, name := range []string{"cnn-layer", "mttkrp", "conv1d"} {
-		mp, err := newMapper(name)
+	for _, name := range []string{"cnn-layer", "mttkrp", "conv1d", "gemm", "batched-matmul", "depthwise-conv", "attention-score"} {
+		mp, err := newMapper(name, "")
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -30,57 +30,91 @@ func TestNewMapperByAlgo(t *testing.T) {
 			t.Fatalf("mapper algo %q, want %q", mp.Algo.Name, name)
 		}
 	}
-	if _, err := newMapper("gemm"); err == nil {
+	if _, err := newMapper("no-such-workload", ""); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
+func TestNewMapperInlineEinsum(t *testing.T) {
+	mp, err := newMapper("", "O[m,n] += A[m,k] * B[k,n]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Algo.NumDims() != 3 || len(mp.Algo.Tensors) != 3 {
+		t.Fatalf("inline algo: %d dims, %d tensors", mp.Algo.NumDims(), len(mp.Algo.Tensors))
+	}
+	if _, err := newMapper("mttkrp", "O[m,n] += A[m,k] * B[k,n]"); err == nil {
+		t.Fatal("accepted both -algo and -einsum")
+	}
+	if _, err := newMapper("", "O[m,n] +="); err == nil {
+		t.Fatal("accepted malformed einsum")
+	}
+}
+
 func TestResolveProblemTable1(t *testing.T) {
-	p, err := resolveProblem("cnn-layer", "ResNet_Conv_4", "")
+	cnn := loopnest.MustAlgorithm("cnn-layer")
+	mtt := loopnest.MustAlgorithm("mttkrp")
+	p, err := resolveProblem(cnn, "ResNet_Conv_4", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.Shape[loopnest.CNNDimK] != 256 {
 		t.Fatalf("resolved wrong problem: %v", p.Shape)
 	}
-	if _, err := resolveProblem("mttkrp", "ResNet_Conv_4", ""); err == nil {
+	if _, err := resolveProblem(mtt, "ResNet_Conv_4", ""); err == nil {
 		t.Fatal("CNN problem resolved for MTTKRP algorithm")
 	}
-	if _, err := resolveProblem("cnn-layer", "NoSuchLayer", ""); err == nil {
+	if _, err := resolveProblem(cnn, "NoSuchLayer", ""); err == nil {
 		t.Fatal("unknown problem accepted")
 	}
 }
 
 func TestResolveProblemShapes(t *testing.T) {
-	p, err := resolveProblem("cnn-layer", "", "1, 8, 4, 14, 14, 3, 3")
+	cnn := loopnest.MustAlgorithm("cnn-layer")
+	// Canonical dimension order: sizes are the loop extents themselves.
+	p, err := resolveProblem(cnn, "", "1, 8, 4, 12, 12, 3, 3")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.Shape[loopnest.CNNDimX] != 12 {
 		t.Fatalf("X = %d, want 12", p.Shape[loopnest.CNNDimX])
 	}
-	if _, err := resolveProblem("cnn-layer", "", "1,2,3"); err == nil {
+	if _, err := resolveProblem(cnn, "", "1,2,3"); err == nil {
 		t.Fatal("short CNN shape accepted")
 	}
-	if _, err := resolveProblem("mttkrp", "", "64,128,256,128"); err != nil {
+	if _, err := resolveProblem(loopnest.MustAlgorithm("mttkrp"), "", "64,128,256,128"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := resolveProblem("conv1d", "", "1024,5"); err != nil {
+	if _, err := resolveProblem(loopnest.MustAlgorithm("conv1d"), "", "1024,5"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := resolveProblem("conv1d", "", "1024,x"); err == nil {
+	if _, err := resolveProblem(loopnest.MustAlgorithm("conv1d"), "", "1024,x"); err == nil {
 		t.Fatal("non-numeric shape accepted")
 	}
-	if _, err := resolveProblem("cnn-layer", "", ""); err == nil {
+	if _, err := resolveProblem(cnn, "", ""); err == nil {
 		t.Fatal("empty spec accepted")
 	}
-	if _, err := resolveProblem("gemm", "", "2,2"); err == nil {
-		t.Fatal("unknown algorithm accepted")
+	// Named name=size pairs work in any order.
+	g, err := resolveProblem(loopnest.MustAlgorithm("gemm"), "", "K=128,M=64,N=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MACs() != 64*32*128 {
+		t.Fatalf("gemm MACs = %v", g.MACs())
+	}
+	if _, err := resolveProblem(loopnest.MustAlgorithm("gemm"), "", "M=64,N=32"); err == nil {
+		t.Fatal("incomplete dims accepted")
+	}
+	if _, err := resolveProblem(loopnest.MustAlgorithm("gemm"), "", "M=64,N=32,Q=9,K=4"); err == nil {
+		t.Fatal("unknown dim name accepted")
+	}
+	if _, err := resolveProblem(loopnest.MustAlgorithm("gemm"), "", "M=64,M=128,N=32,K=4"); err == nil {
+		t.Fatal("duplicated dim name accepted")
 	}
 }
 
 func TestWriteSurface(t *testing.T) {
-	prob, err := resolveProblem("cnn-layer", "", "1,8,8,6,6,3,3")
+	prob, err := resolveProblem(loopnest.MustAlgorithm("cnn-layer"), "", "1,8,8,4,4,3,3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +128,7 @@ func TestWriteSurface(t *testing.T) {
 }
 
 func TestWriteSurfaceRejectsNonCNN(t *testing.T) {
-	prob, err := resolveProblem("mttkrp", "", "64,128,256,128")
+	prob, err := resolveProblem(loopnest.MustAlgorithm("mttkrp"), "", "64,128,256,128")
 	if err != nil {
 		t.Fatal(err)
 	}

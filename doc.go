@@ -16,6 +16,19 @@
 // bench_test.go regenerate every table and figure of the paper's evaluation;
 // see DESIGN.md for the per-experiment index and the layering notes.
 //
+// Workloads are a declarative layer: internal/workload compiles einsum
+// index-expression specs ("O[m,n] += A[m,k] * B[k,n]"; halo subscripts
+// like I[n,c,x+r,y+s] for convolutions) into validated loopnest.Algorithm
+// values and keeps a by-name registry seeded with the paper's three
+// workloads plus gemm, batched-matmul, depthwise-conv, and
+// attention-score. Any registered workload — or an inline spec via the
+// CLI's -einsum flag and the service's "einsum" request field — flows
+// through the whole pipeline with zero per-algorithm code, and dataset or
+// surrogate files are stamped with the workload's fingerprint so a model
+// trained for one workload refuses to serve another. `mindmappings algos`
+// lists the registry; see DESIGN.md §6 for the grammar and the
+// fingerprint contract.
+//
 // The cost function f is a pluggable layer: internal/costmodel defines the
 // Evaluator interface, a by-name backend registry, and composable
 // middleware (eval counting, query-latency emulation, memoization,

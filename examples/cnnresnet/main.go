@@ -16,6 +16,7 @@ import (
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/search"
 	"mindmappings/internal/surrogate"
+	_ "mindmappings/internal/workload" // register the built-in workloads
 )
 
 func main() {
@@ -25,7 +26,11 @@ func main() {
 }
 
 func run() error {
-	mapper, err := core.NewMapper(loopnest.CNNLayer(), arch.Default(2))
+	algo, err := loopnest.AlgorithmByName("cnn-layer")
+	if err != nil {
+		return err
+	}
+	mapper, err := core.NewMapper(algo, arch.Default(2))
 	if err != nil {
 		return err
 	}

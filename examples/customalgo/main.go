@@ -1,11 +1,12 @@
 // Custom-algorithm example: Mind Mappings is target-domain independent
 // (paper contribution 1: "we require neither expert knowledge in the target
 // application domain(s), nor any domain specific heuristics"). This example
-// shows what a downstream user does to map a brand-new algorithm — batched
-// matrix multiplication, which appears nowhere in the paper — onto the
-// accelerator: declare the loop dimensions, the tensors with their
-// footprints, and representative problem sizes; everything else (map space,
-// cost model, surrogate training, gradient search) comes for free.
+// shows what a downstream user does to map a brand-new algorithm onto the
+// accelerator: write its einsum as a one-line declarative spec — here the
+// Tucker-style tensor-times-matrix-chain contraction TTMc, which appears
+// nowhere in the paper or the built-in registry — and everything else (loop
+// dimensions, tensor footprints, map space, cost model, surrogate training,
+// gradient search) is derived for free.
 //
 // Run with: go run ./examples/customalgo
 package main
@@ -17,61 +18,10 @@ import (
 
 	"mindmappings/internal/arch"
 	"mindmappings/internal/core"
-	"mindmappings/internal/loopnest"
 	"mindmappings/internal/search"
 	"mindmappings/internal/surrogate"
+	"mindmappings/internal/workload"
 )
-
-// Batched GEMM: O[b,m,n] = Σ_k A[b,m,k] · B[b,k,n], dims (B, M, N, K).
-const (
-	dimB = iota
-	dimM
-	dimN
-	dimK
-)
-
-// newBatchedGEMM declares the algorithm. The footprint closures are the
-// only "math" a user writes; relevance sets drive the cost model's reuse
-// analysis automatically.
-func newBatchedGEMM() *loopnest.Algorithm {
-	return &loopnest.Algorithm{
-		Name:           "batched-gemm",
-		DimNames:       []string{"B", "M", "N", "K"},
-		OperandsPerMAC: 2,
-		Tensors: []loopnest.Tensor{
-			{
-				Name: "A",
-				Dims: []int{dimB, dimM, dimK},
-				Footprint: func(t []int) int64 {
-					return int64(t[dimB]) * int64(t[dimM]) * int64(t[dimK])
-				},
-			},
-			{
-				Name: "B",
-				Dims: []int{dimB, dimK, dimN},
-				Footprint: func(t []int) int64 {
-					return int64(t[dimB]) * int64(t[dimK]) * int64(t[dimN])
-				},
-			},
-			{
-				Name:   "O",
-				Dims:   []int{dimB, dimM, dimN},
-				Output: true,
-				Footprint: func(t []int) int64 {
-					return int64(t[dimB]) * int64(t[dimM]) * int64(t[dimN])
-				},
-			},
-		},
-		// Representative sizes for Phase-1 sampling: transformer-ish
-		// attention and MLP shapes.
-		SampleSpace: [][]int{
-			{1, 2, 4, 8, 16},               // B
-			{64, 128, 256, 512, 1024},      // M
-			{64, 128, 256, 512, 1024},      // N
-			{64, 128, 256, 512, 768, 1024}, // K
-		},
-	}
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -80,13 +30,37 @@ func main() {
 }
 
 func run() error {
-	algo := newBatchedGEMM()
-	mapper, err := core.NewMapper(algo, arch.Default(2))
+	// TTMc: O[i,j,k] = Σ_l Σ_m A[i,l,m]·B[l,j]·C[m,k] — a 3-operand
+	// contraction from Tucker decomposition. The spec is the whole
+	// "integration": the compiler derives dimensions (i,j,k,l,m), each
+	// tensor's relevance set and footprint, and the output tensor; the
+	// sample space guides Phase-1 problem sampling. Registering makes the
+	// workload addressable by name everywhere (CLI, HTTP service, dataset
+	// files) in this process.
+	algo, err := workload.RegisterSpec(workload.Spec{
+		Name: "ttmc",
+		Expr: "O[i,j,k] += A[i,l,m] * B[l,j] * C[m,k]",
+		SampleSpace: map[string][]int{
+			"i": {32, 64, 128, 256},
+			"j": {8, 16, 32},
+			"k": {8, 16, 32},
+			"l": {32, 64, 128, 256},
+			"m": {32, 64, 128, 256},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered %q: %d dims, %d tensors, %d operands/MAC, fingerprint %.12s…\n\n",
+		algo.Name, algo.NumDims(), len(algo.Tensors), algo.OperandsPerMAC, algo.Fingerprint())
+
+	// The TTMc datapath consumes 3 operands per MAC, like MTTKRP.
+	mapper, err := core.NewMapper(algo, arch.Default(len(algo.Tensors)-1))
 	if err != nil {
 		return err
 	}
 
-	fmt.Println("phase 1: training a surrogate for the brand-new batched-gemm algorithm...")
+	fmt.Println("phase 1: training a surrogate for the brand-new ttmc workload...")
 	cfg := surrogate.TinyConfig()
 	cfg.Samples = 5000
 	start := time.Now()
@@ -95,13 +69,11 @@ func run() error {
 	}
 	fmt.Printf("  done in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	// Target: an attention-score GEMM shape the surrogate never saw.
-	prob := loopnest.Problem{
-		Algo:  algo,
-		Name:  "attention-qk",
-		Shape: []int{8, 384, 384, 96}, // B=8, M=N=384, K=96
-	}
-	if err := prob.Validate(); err != nil {
+	// Target: a Tucker-rank shape the surrogate never saw.
+	prob, err := algo.ProblemFromDims("tucker-384", map[string]int{
+		"i": 384, "j": 24, "k": 24, "l": 96, "m": 96,
+	})
+	if err != nil {
 		return err
 	}
 	pc, err := mapper.NewProblemContext(prob)

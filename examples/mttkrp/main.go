@@ -16,6 +16,7 @@ import (
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/search"
 	"mindmappings/internal/surrogate"
+	_ "mindmappings/internal/workload" // register the built-in workloads
 )
 
 func main() {
@@ -26,7 +27,11 @@ func main() {
 
 func run() error {
 	// MTTKRP PEs consume 3 operands per cycle (§5.1.2).
-	mapper, err := core.NewMapper(loopnest.MTTKRP(), arch.Default(3))
+	algo, err := loopnest.AlgorithmByName("mttkrp")
+	if err != nil {
+		return err
+	}
+	mapper, err := core.NewMapper(algo, arch.Default(3))
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/search"
 	"mindmappings/internal/surrogate"
+	_ "mindmappings/internal/workload" // register the built-in workloads
 )
 
 func main() {
@@ -29,7 +30,11 @@ func run() error {
 	// The accelerator of §5.1.2: 256 PEs, 64 KB private / 512 KB shared
 	// buffers, 1 GHz; the 1D-conv datapath consumes 2 operands per MAC.
 	accel := arch.Default(2)
-	mapper, err := core.NewMapper(loopnest.Conv1D(), accel)
+	algo, err := loopnest.AlgorithmByName("conv1d")
+	if err != nil {
+		return err
+	}
+	mapper, err := core.NewMapper(algo, accel)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"mindmappings/internal/arch"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/surrogate"
+	_ "mindmappings/internal/workload" // register the built-in workloads
 )
 
 func main() {
@@ -27,7 +28,10 @@ func main() {
 
 func run() error {
 	cfg := surrogate.TinyConfig()
-	algo := loopnest.CNNLayer()
+	algo, err := loopnest.AlgorithmByName("cnn-layer")
+	if err != nil {
+		return err
+	}
 	accel := arch.Default(2)
 
 	fmt.Printf("generating %d samples across %d representative CNN problems...\n",

@@ -29,7 +29,7 @@ var (
 func integrationMapper(t *testing.T) *core.Mapper {
 	t.Helper()
 	integOnce.Do(func() {
-		mp, err := core.NewMapper(loopnest.Conv1D(), archpkg.Default(2))
+		mp, err := core.NewMapper(loopnest.MustAlgorithm("conv1d"), archpkg.Default(2))
 		if err != nil {
 			integErr = err
 			return
@@ -61,7 +61,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 	if err := mp.SaveSurrogate(&blob); err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := core.NewMapper(loopnest.Conv1D(), archpkg.Default(2))
+	fresh, err := core.NewMapper(loopnest.MustAlgorithm("conv1d"), archpkg.Default(2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,7 +78,10 @@ func (mp *Mapper) TrainSurrogate(cfg surrogate.Config) (*nn.History, error) {
 }
 
 // LoadSurrogate installs a previously trained surrogate, rejecting ones
-// trained for a different algorithm.
+// trained for a different algorithm — by name, and by workload fingerprint
+// when the file carries one, so a surrogate trained against one definition
+// of a workload never drives searches for a reworked definition sharing
+// the name.
 func (mp *Mapper) LoadSurrogate(r io.Reader) error {
 	sur, err := surrogate.Load(r)
 	if err != nil {
@@ -87,6 +90,10 @@ func (mp *Mapper) LoadSurrogate(r io.Reader) error {
 	if sur.AlgoName != mp.Algo.Name {
 		return fmt.Errorf("core: surrogate was trained for %q, mapper targets %q",
 			sur.AlgoName, mp.Algo.Name)
+	}
+	if sur.AlgoFP != "" && sur.AlgoFP != mp.Algo.Fingerprint() {
+		return fmt.Errorf("core: surrogate was trained for workload %q with fingerprint %.12s…, the mapper's definition has %.12s… (the workload changed since training)",
+			sur.AlgoName, sur.AlgoFP, mp.Algo.Fingerprint())
 	}
 	mp.sur = sur
 	return nil

@@ -23,7 +23,7 @@ var (
 func trainedMapper(t *testing.T) *Mapper {
 	t.Helper()
 	mapperOnce.Do(func() {
-		mp, err := NewMapper(loopnest.Conv1D(), arch.Default(2))
+		mp, err := NewMapper(loopnest.MustAlgorithm("conv1d"), arch.Default(2))
 		if err != nil {
 			mapperErr = err
 			return
@@ -51,10 +51,10 @@ func TestNewMapperValidation(t *testing.T) {
 	}
 	bad := arch.Default(2)
 	bad.NumPEs = 0
-	if _, err := NewMapper(loopnest.Conv1D(), bad); err == nil {
+	if _, err := NewMapper(loopnest.MustAlgorithm("conv1d"), bad); err == nil {
 		t.Fatal("accepted invalid arch")
 	}
-	if _, err := NewMapper(loopnest.MTTKRP(), arch.Default(2)); err == nil {
+	if _, err := NewMapper(loopnest.MustAlgorithm("mttkrp"), arch.Default(2)); err == nil {
 		t.Fatal("accepted operand mismatch (MTTKRP needs 3-operand PEs)")
 	}
 }
@@ -67,7 +67,7 @@ func TestTrainingHistory(t *testing.T) {
 }
 
 func TestFindMappingRequiresSurrogate(t *testing.T) {
-	mp, err := NewMapper(loopnest.Conv1D(), arch.Default(2))
+	mp, err := NewMapper(loopnest.MustAlgorithm("conv1d"), arch.Default(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestSurrogateSaveLoadThroughMapper(t *testing.T) {
 	if err := mp.SaveSurrogate(&buf); err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := NewMapper(loopnest.Conv1D(), arch.Default(2))
+	fresh, err := NewMapper(loopnest.MustAlgorithm("conv1d"), arch.Default(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestSurrogateSaveLoadThroughMapper(t *testing.T) {
 	if err := mp.SaveSurrogate(&buf); err != nil {
 		t.Fatal(err)
 	}
-	cnnMapper, err := NewMapper(loopnest.CNNLayer(), arch.Default(2))
+	cnnMapper, err := NewMapper(loopnest.MustAlgorithm("cnn-layer"), arch.Default(2))
 	if err != nil {
 		t.Fatal(err)
 	}

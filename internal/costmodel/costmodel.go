@@ -90,15 +90,18 @@ func orBackground(ctx context.Context) context.Context {
 
 // AppendBackendFingerprint appends the canonical evaluator identity shared
 // by all backends: the length-prefixed backend name, the accelerator
-// fingerprint, and the problem identity (length-prefixed algorithm name
-// plus shape). Backends call it from AppendFingerprint so fingerprints are
-// collision-free across backends by construction.
+// fingerprint, and the problem identity — the full workload fingerprint
+// (loopnest.Algorithm.AppendFingerprint, which covers structure, not just
+// the name: two workloads sharing a name but differing in tensors or
+// footprints never alias, which matters for runtime-defined einsum
+// workloads whose derived names are hashes) plus the shape. Backends call
+// it from AppendFingerprint so cache keys are collision-free across
+// backends, accelerators, and workloads by construction.
 func AppendBackendFingerprint(dst []byte, name string, a *arch.Spec, p *loopnest.Problem) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(name)))
 	dst = append(dst, name...)
 	dst = a.AppendFingerprint(dst)
-	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(p.Algo.Name)))
-	dst = append(dst, p.Algo.Name...)
+	dst = p.Algo.AppendFingerprint(dst)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(p.Shape)))
 	for _, s := range p.Shape {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(s))

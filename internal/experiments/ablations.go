@@ -161,7 +161,10 @@ type GeneralityResult struct {
 // generalizes over different algorithms, architectures, and target
 // problems") exercised on a second architecture with zero code changes.
 func (h *Harness) ArchGenerality(w io.Writer) (*GeneralityResult, error) {
-	algo := loopnest.CNNLayer()
+	algo, err := loopnest.AlgorithmByName("cnn-layer")
+	if err != nil {
+		return nil, err
+	}
 	a := arch.Edge(2)
 	cfg := h.opts.CNNSurrogate
 	ds, err := surrogate.Generate(algo, a, cfg)

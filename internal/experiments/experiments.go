@@ -24,6 +24,7 @@ import (
 	"mindmappings/internal/surrogate"
 
 	_ "mindmappings/internal/timeloop" // register the reference cost-model backend
+	_ "mindmappings/internal/workload" // register the built-in workloads
 )
 
 // Options scales the reproduction. The paper's full methodology (100
@@ -127,25 +128,27 @@ func (h *Harness) logf(format string, args ...any) {
 	}
 }
 
-// algoFor returns the algorithm, accelerator, and surrogate config for an
-// algorithm name. The config's CostModel follows Options.CostModel so
-// Phase-1 surrogates approximate the same f the experiments evaluate
-// against — an MM run under -costmodel roofline is guided by a
-// roofline-trained surrogate, keeping comparisons apples to apples.
+// algoFor returns the algorithm, accelerator, and surrogate config for any
+// registered workload name. The accelerator datapath is sized to the
+// workload's operand count; the surrogate config follows the per-algorithm
+// options for the paper's two headline workloads and CNNSurrogate
+// otherwise. The config's CostModel follows Options.CostModel so Phase-1
+// surrogates approximate the same f the experiments evaluate against — an
+// MM run under -costmodel roofline is guided by a roofline-trained
+// surrogate, keeping comparisons apples to apples.
 func (h *Harness) algoFor(name string) (*loopnest.Algorithm, arch.Spec, surrogate.Config, error) {
-	withBackend := func(cfg surrogate.Config) surrogate.Config {
-		if cfg.CostModel == "" {
-			cfg.CostModel = h.opts.CostModel
-		}
-		return cfg
+	algo, err := loopnest.AlgorithmByName(name)
+	if err != nil {
+		return nil, arch.Spec{}, surrogate.Config{}, fmt.Errorf("experiments: %w", err)
 	}
-	switch name {
-	case "cnn-layer":
-		return loopnest.CNNLayer(), arch.Default(2), withBackend(h.opts.CNNSurrogate), nil
-	case "mttkrp":
-		return loopnest.MTTKRP(), arch.Default(3), withBackend(h.opts.MTTKRPSurrogate), nil
+	cfg := h.opts.CNNSurrogate
+	if name == "mttkrp" {
+		cfg = h.opts.MTTKRPSurrogate
 	}
-	return nil, arch.Spec{}, surrogate.Config{}, fmt.Errorf("experiments: unknown algorithm %q", name)
+	if cfg.CostModel == "" {
+		cfg.CostModel = h.opts.CostModel
+	}
+	return algo, arch.Default(len(algo.Tensors) - 1), cfg, nil
 }
 
 // Dataset returns (generating and caching) the Phase-1 raw dataset for an

@@ -4,15 +4,23 @@
 // a Problem is a parameterized instance of an algorithm (paper §2.1: "a
 // problem is a parameterized instance of an algorithm").
 //
-// Three algorithms are provided, matching the paper: CNN-Layer (§5.1.1,
-// Equation 3), MTTKRP (Equation 4), and the pedagogical 1D-Convolution from
-// §3 (Equation 2). Table1Problems reproduces the paper's Table 1 workloads.
+// Algorithms are registered by name (RegisterAlgorithm / AlgorithmByName),
+// mirroring the costmodel backend registry. The declarative einsum
+// front-end in internal/workload compiles index-expression specs into
+// validated Algorithms and seeds the registry with the paper's three
+// workloads — CNN-Layer (§5.1.1, Equation 3), MTTKRP (Equation 4), the
+// pedagogical 1D-Convolution from §3 (Equation 2) — plus further tensor
+// workloads; import it (directly or blank) to populate the registry.
+// Table1Problems reproduces the paper's Table 1 workloads.
 package loopnest
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"strings"
+	"sync"
 )
 
 // Tensor describes one dataspace of an algorithm: which loop dimensions
@@ -151,18 +159,125 @@ func (p *Problem) AppendPID(dst []float64) []float64 {
 	return dst
 }
 
-// AlgorithmByName returns the built-in algorithm registered under name
-// ("cnn-layer", "mttkrp", or "conv1d").
-func AlgorithmByName(name string) (*Algorithm, error) {
-	switch name {
-	case "cnn-layer":
-		return CNNLayer(), nil
-	case "mttkrp":
-		return MTTKRP(), nil
-	case "conv1d":
-		return Conv1D(), nil
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Algorithm{}
+)
+
+// RegisterAlgorithm makes an algorithm resolvable by name through
+// AlgorithmByName. It panics on a nil algorithm, an empty name, or a
+// duplicate registration, like database/sql.Register and
+// costmodel.Register. The registered *Algorithm is shared by every
+// resolver, so callers must treat it as immutable.
+//
+// internal/workload registers the built-in workloads from its package
+// init; pull them in with a blank import:
+//
+//	import _ "mindmappings/internal/workload" // register the built-in workloads
+func RegisterAlgorithm(a *Algorithm) {
+	if a == nil || a.Name == "" {
+		panic("loopnest: RegisterAlgorithm with nil algorithm or empty name")
 	}
-	return nil, fmt.Errorf("loopnest: unknown algorithm %q (want cnn-layer, mttkrp, or conv1d)", name)
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[a.Name]; dup {
+		panic(fmt.Sprintf("loopnest: algorithm %q registered twice", a.Name))
+	}
+	registry[a.Name] = a
+}
+
+// AlgorithmByName returns the algorithm registered under name. Unknown
+// names report the registered alternatives.
+func AlgorithmByName(name string) (*Algorithm, error) {
+	regMu.RLock()
+	a, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		names := AlgorithmNames()
+		if len(names) == 0 {
+			return nil, fmt.Errorf("loopnest: unknown algorithm %q (no workloads registered; import mindmappings/internal/workload)", name)
+		}
+		return nil, fmt.Errorf("loopnest: unknown algorithm %q (registered: %s)",
+			name, strings.Join(names, ", "))
+	}
+	return a, nil
+}
+
+// MustAlgorithm returns the registered algorithm or panics on an unknown
+// name — for tests, examples, and fixtures where a missing registration is
+// a programming error (the workload package was not linked in).
+func MustAlgorithm(name string) *Algorithm {
+	a, err := AlgorithmByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AlgorithmRegistered reports whether name resolves through the registry.
+func AlgorithmRegistered(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// AlgorithmNames returns the registered algorithm names, sorted.
+func AlgorithmNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewProblem builds a problem of this algorithm from sizes in canonical
+// dimension order (DimNames order) and validates it.
+func (a *Algorithm) NewProblem(name string, shape []int) (Problem, error) {
+	p := Problem{Algo: a, Name: name, Shape: append([]int(nil), shape...)}
+	if err := p.Validate(); err != nil {
+		return Problem{}, err
+	}
+	return p, nil
+}
+
+// ProblemFromDims builds a problem from a dimension-name → size map — the
+// wire form the service's generic "dims" request field uses. Every
+// dimension must be present and no unknown names are allowed.
+func (a *Algorithm) ProblemFromDims(name string, dims map[string]int) (Problem, error) {
+	shape := make([]int, a.NumDims())
+	seen := 0
+	for d, dn := range a.DimNames {
+		size, ok := dims[dn]
+		if !ok {
+			return Problem{}, fmt.Errorf("loopnest: algorithm %s needs dims %s; %s is missing",
+				a.Name, strings.Join(a.DimNames, ","), dn)
+		}
+		shape[d] = size
+		seen++
+	}
+	if len(dims) != seen {
+		for dn := range dims {
+			if dimIndexOf(a.DimNames, dn) < 0 {
+				return Problem{}, fmt.Errorf("loopnest: algorithm %s has no dimension %q (dims: %s)",
+					a.Name, dn, strings.Join(a.DimNames, ","))
+			}
+		}
+	}
+	return a.NewProblem(name, shape)
+}
+
+// dimIndexOf returns the index of name in dims, or -1.
+func dimIndexOf(dims []string, name string) int {
+	for i, d := range dims {
+		if d == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // CNN dimension indices (paper Equation 3). X and Y are the output spatial
@@ -177,68 +292,18 @@ const (
 	CNNDimS
 )
 
-// CNNLayer returns the CNN-Layer algorithm: 7 dimensions (N,K,C,X,Y,R,S)
-// and 3 tensors (Weights, Inputs, Outputs). The input tensor footprint uses
-// halos: a tile covering X' outputs and R' filter taps needs X'+R'-1 input
-// columns.
-func CNNLayer() *Algorithm {
-	return &Algorithm{
-		Name:           "cnn-layer",
-		DimNames:       []string{"N", "K", "C", "X", "Y", "R", "S"},
-		OperandsPerMAC: 2,
-		Tensors: []Tensor{
-			{
-				Name: "Weights",
-				Dims: []int{CNNDimK, CNNDimC, CNNDimR, CNNDimS},
-				Footprint: func(t []int) int64 {
-					return int64(t[CNNDimK]) * int64(t[CNNDimC]) * int64(t[CNNDimR]) * int64(t[CNNDimS])
-				},
-			},
-			{
-				Name: "Inputs",
-				Dims: []int{CNNDimN, CNNDimC, CNNDimX, CNNDimY, CNNDimR, CNNDimS},
-				Footprint: func(t []int) int64 {
-					h := int64(t[CNNDimX] + t[CNNDimR] - 1)
-					w := int64(t[CNNDimY] + t[CNNDimS] - 1)
-					return int64(t[CNNDimN]) * int64(t[CNNDimC]) * h * w
-				},
-			},
-			{
-				Name:   "Outputs",
-				Dims:   []int{CNNDimN, CNNDimK, CNNDimX, CNNDimY},
-				Output: true,
-				Footprint: func(t []int) int64 {
-					return int64(t[CNNDimN]) * int64(t[CNNDimK]) * int64(t[CNNDimX]) * int64(t[CNNDimY])
-				},
-			},
-		},
-		SampleSpace: [][]int{
-			{1, 2, 4, 8, 16, 32},                 // N
-			{32, 48, 64, 96, 128, 192, 256, 512}, // K (paper: K sampled from [32,512])
-			{16, 32, 64, 96, 128, 192, 256, 384}, // C
-			{7, 12, 13, 14, 26, 27, 28, 54, 56},  // X
-			{7, 12, 13, 14, 26, 27, 28, 54, 56},  // Y
-			{1, 3, 5, 7},                         // R
-			{1, 3, 5, 7},                         // S
-		},
-	}
-}
-
 // NewCNNProblem builds a CNN-Layer problem from the input-image view used by
 // Table 1 (N, K, C, H, W, R, S at stride 1); the output resolution is
-// X=H-R+1, Y=W-S+1.
+// X=H-R+1, Y=W-S+1. The cnn-layer algorithm comes from the registry
+// (internal/workload compiles and registers it from its einsum spec).
 func NewCNNProblem(name string, n, k, c, h, w, r, s int) (Problem, error) {
-	x := h - r + 1
-	y := w - s + 1
-	p := Problem{
-		Algo:  CNNLayer(),
-		Name:  name,
-		Shape: []int{n, k, c, x, y, r, s},
-	}
-	if err := p.Validate(); err != nil {
+	algo, err := AlgorithmByName("cnn-layer")
+	if err != nil {
 		return Problem{}, err
 	}
-	return p, nil
+	x := h - r + 1
+	y := w - s + 1
+	return algo.NewProblem(name, []int{n, k, c, x, y, r, s})
 }
 
 // MTTKRP dimension indices (paper Equation 4).
@@ -249,60 +314,13 @@ const (
 	MTTKRPDimL
 )
 
-// MTTKRP returns the matricized-tensor-times-Khatri-Rao-product algorithm:
-// O[i,j] = Σ_k Σ_l A[i,k,l]·B[k,j]·C[l,j], 4 dimensions and 4 tensors.
-func MTTKRP() *Algorithm {
-	return &Algorithm{
-		Name:           "mttkrp",
-		DimNames:       []string{"I", "J", "K", "L"},
-		OperandsPerMAC: 3,
-		Tensors: []Tensor{
-			{
-				Name: "A",
-				Dims: []int{MTTKRPDimI, MTTKRPDimK, MTTKRPDimL},
-				Footprint: func(t []int) int64 {
-					return int64(t[MTTKRPDimI]) * int64(t[MTTKRPDimK]) * int64(t[MTTKRPDimL])
-				},
-			},
-			{
-				Name: "B",
-				Dims: []int{MTTKRPDimK, MTTKRPDimJ},
-				Footprint: func(t []int) int64 {
-					return int64(t[MTTKRPDimK]) * int64(t[MTTKRPDimJ])
-				},
-			},
-			{
-				Name: "C",
-				Dims: []int{MTTKRPDimL, MTTKRPDimJ},
-				Footprint: func(t []int) int64 {
-					return int64(t[MTTKRPDimL]) * int64(t[MTTKRPDimJ])
-				},
-			},
-			{
-				Name:   "O",
-				Dims:   []int{MTTKRPDimI, MTTKRPDimJ},
-				Output: true,
-				Footprint: func(t []int) int64 {
-					return int64(t[MTTKRPDimI]) * int64(t[MTTKRPDimJ])
-				},
-			},
-		},
-		SampleSpace: [][]int{
-			{64, 128, 256, 512, 1024, 2048},   // I
-			{256, 512, 1024, 2048, 4096},      // J
-			{128, 256, 512, 1024, 2048, 4096}, // K
-			{128, 256, 512, 1024, 2048, 4096}, // L
-		},
-	}
-}
-
 // NewMTTKRPProblem builds an MTTKRP problem with the given matrix shapes.
 func NewMTTKRPProblem(name string, i, j, k, l int) (Problem, error) {
-	p := Problem{Algo: MTTKRP(), Name: name, Shape: []int{i, j, k, l}}
-	if err := p.Validate(); err != nil {
+	algo, err := AlgorithmByName("mttkrp")
+	if err != nil {
 		return Problem{}, err
 	}
-	return p, nil
+	return algo.NewProblem(name, []int{i, j, k, l})
 }
 
 // Conv1D dimension indices (paper Equation 2): X is the output width, R the
@@ -312,50 +330,12 @@ const (
 	Conv1DDimR
 )
 
-// Conv1D returns the 1D convolution used as the paper's running example in
-// §3: O[x] = Σ_r I[x+r]·F[r].
-func Conv1D() *Algorithm {
-	return &Algorithm{
-		Name:           "conv1d",
-		DimNames:       []string{"X", "R"},
-		OperandsPerMAC: 2,
-		Tensors: []Tensor{
-			{
-				Name: "F",
-				Dims: []int{Conv1DDimR},
-				Footprint: func(t []int) int64 {
-					return int64(t[Conv1DDimR])
-				},
-			},
-			{
-				Name: "I",
-				Dims: []int{Conv1DDimX, Conv1DDimR},
-				Footprint: func(t []int) int64 {
-					return int64(t[Conv1DDimX] + t[Conv1DDimR] - 1)
-				},
-			},
-			{
-				Name:   "O",
-				Dims:   []int{Conv1DDimX},
-				Output: true,
-				Footprint: func(t []int) int64 {
-					return int64(t[Conv1DDimX])
-				},
-			},
-		},
-		SampleSpace: [][]int{
-			{64, 128, 256, 512, 1024, 2048, 4096}, // X
-			{2, 3, 4, 5, 7, 8, 9, 16},             // R
-		},
-	}
-}
-
 // NewConv1DProblem builds a 1D-convolution problem from the input width W
 // and filter size R (output width W-R+1).
 func NewConv1DProblem(name string, w, r int) (Problem, error) {
-	p := Problem{Algo: Conv1D(), Name: name, Shape: []int{w - r + 1, r}}
-	if err := p.Validate(); err != nil {
+	algo, err := AlgorithmByName("conv1d")
+	if err != nil {
 		return Problem{}, err
 	}
-	return p, nil
+	return algo.NewProblem(name, []int{w - r + 1, r})
 }

@@ -1,13 +1,26 @@
-package loopnest
+package loopnest_test
 
 import (
 	"math"
 	"math/rand"
 	"testing"
+
+	. "mindmappings/internal/loopnest"
+	_ "mindmappings/internal/workload" // register the built-in workloads
 )
 
+// algoByName resolves a registered algorithm, failing the test on error.
+func algoByName(t *testing.T, name string) *Algorithm {
+	t.Helper()
+	a, err := AlgorithmByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
 func TestCNNLayerStructure(t *testing.T) {
-	a := CNNLayer()
+	a := algoByName(t, "cnn-layer")
 	if a.NumDims() != 7 {
 		t.Fatalf("CNN dims = %d, want 7", a.NumDims())
 	}
@@ -23,7 +36,7 @@ func TestCNNLayerStructure(t *testing.T) {
 }
 
 func TestMTTKRPStructure(t *testing.T) {
-	a := MTTKRP()
+	a := algoByName(t, "mttkrp")
 	if a.NumDims() != 4 {
 		t.Fatalf("MTTKRP dims = %d, want 4", a.NumDims())
 	}
@@ -39,14 +52,14 @@ func TestMTTKRPStructure(t *testing.T) {
 }
 
 func TestConv1DStructure(t *testing.T) {
-	a := Conv1D()
+	a := algoByName(t, "conv1d")
 	if a.NumDims() != 2 || len(a.Tensors) != 3 {
 		t.Fatalf("Conv1D dims=%d tensors=%d", a.NumDims(), len(a.Tensors))
 	}
 }
 
 func TestTensorRelevant(t *testing.T) {
-	a := CNNLayer()
+	a := algoByName(t, "cnn-layer")
 	w := &a.Tensors[0] // Weights: K,C,R,S
 	if !w.Relevant(CNNDimK) || w.Relevant(CNNDimN) {
 		t.Fatal("Weights relevance wrong")
@@ -58,7 +71,7 @@ func TestTensorRelevant(t *testing.T) {
 }
 
 func TestCNNFootprints(t *testing.T) {
-	a := CNNLayer()
+	a := algoByName(t, "cnn-layer")
 	// tile: N=2,K=3,C=4,X=5,Y=6,R=3,S=3
 	tile := []int{2, 3, 4, 5, 6, 3, 3}
 	if fp := a.Tensors[0].Footprint(tile); fp != 3*4*3*3 {
@@ -74,7 +87,7 @@ func TestCNNFootprints(t *testing.T) {
 }
 
 func TestMTTKRPFootprints(t *testing.T) {
-	a := MTTKRP()
+	a := algoByName(t, "mttkrp")
 	tile := []int{2, 3, 4, 5} // I,J,K,L
 	wants := []int64{2 * 4 * 5, 4 * 3, 5 * 3, 2 * 3}
 	for i, want := range wants {
@@ -85,7 +98,7 @@ func TestMTTKRPFootprints(t *testing.T) {
 }
 
 func TestConv1DFootprints(t *testing.T) {
-	a := Conv1D()
+	a := algoByName(t, "conv1d")
 	tile := []int{10, 3} // X, R
 	if fp := a.Tensors[0].Footprint(tile); fp != 3 {
 		t.Fatalf("F footprint = %d", fp)
@@ -132,7 +145,7 @@ func TestProblemValidate(t *testing.T) {
 	if err := p.Validate(); err == nil {
 		t.Fatal("accepted problem without algorithm")
 	}
-	p = Problem{Algo: MTTKRP(), Shape: []int{1, 2}}
+	p = Problem{Algo: algoByName(t, "mttkrp"), Shape: []int{1, 2}}
 	if err := p.Validate(); err == nil {
 		t.Fatal("accepted wrong-arity shape")
 	}
@@ -238,7 +251,8 @@ func TestTable1ProblemsAll(t *testing.T) {
 
 func TestRandomProblemValidAndVaried(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	for _, algo := range []*Algorithm{CNNLayer(), MTTKRP(), Conv1D()} {
+	for _, name := range []string{"cnn-layer", "mttkrp", "conv1d"} {
+		algo := algoByName(t, name)
 		seen := map[string]bool{}
 		for i := 0; i < 50; i++ {
 			p := algo.RandomProblem(rng)
@@ -266,7 +280,7 @@ func TestRandomProblemValidAndVaried(t *testing.T) {
 }
 
 func TestSampleValuesIsCopy(t *testing.T) {
-	a := CNNLayer()
+	a := algoByName(t, "cnn-layer")
 	vals := a.SampleValues()
 	vals[0][0] = -99
 	if a.SampleValues()[0][0] == -99 {

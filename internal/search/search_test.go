@@ -38,7 +38,7 @@ func conv1dSurrogate(t testing.TB) *surrogate.Surrogate {
 	t.Helper()
 	searchOnce.Do(func() {
 		cfg := conv1dTestConfig()
-		ds, err := surrogate.Generate(loopnest.Conv1D(), arch.Default(2), cfg)
+		ds, err := surrogate.Generate(loopnest.MustAlgorithm("conv1d"), arch.Default(2), cfg)
 		if err != nil {
 			searchErr = err
 			return

@@ -18,6 +18,7 @@ import (
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/search"
+	"mindmappings/internal/workload"
 
 	_ "mindmappings/internal/timeloop" // register the reference cost-model backend
 )
@@ -41,13 +42,19 @@ func (s JobStatus) Terminal() bool {
 // SearchRequest is the body of POST /v1/search: which problem to map, with
 // which method, under what budget.
 type SearchRequest struct {
-	// Algo is the target algorithm: cnn-layer, mttkrp, or conv1d.
-	Algo string `json:"algo"`
-	// Problem names a Table-1 problem; Shape gives an explicit problem
-	// shape in the algorithm's constructor order instead (exactly one of
-	// the two is required).
-	Problem string `json:"problem,omitempty"`
-	Shape   []int  `json:"shape,omitempty"`
+	// Algo names any registered workload (GET /v1/models lists them, as
+	// does `mindmappings algos`). Einsum instead supplies an inline
+	// index-expression spec, e.g. "O[m,n] += A[m,k] * B[k,n]"; exactly one
+	// of the two is required.
+	Algo   string `json:"algo,omitempty"`
+	Einsum string `json:"einsum,omitempty"`
+	// The problem instance: Problem names a Table-1 problem, Shape gives
+	// sizes in the algorithm's canonical dimension order, and Dims gives
+	// them as a dimension-name → size map (exactly one of the three is
+	// required).
+	Problem string         `json:"problem,omitempty"`
+	Shape   []int          `json:"shape,omitempty"`
+	Dims    map[string]int `json:"dims,omitempty"`
 	// Searcher selects the method: mm (default, requires Model), sa, ga,
 	// rl, or random.
 	Searcher string `json:"searcher,omitempty"`
@@ -186,13 +193,46 @@ var ErrQueueFull = errors.New("service: job queue is full")
 
 var errShuttingDown = errors.New("service: shutting down")
 
+// algorithm resolves the request's workload: a registered name, or an
+// inline einsum spec compiled on the fly.
+func (req *SearchRequest) algorithm() (*loopnest.Algorithm, error) {
+	if (req.Algo == "") == (req.Einsum == "") {
+		return nil, fmt.Errorf("service: exactly one of algo or einsum is required (registered workloads: %s)",
+			strings.Join(workload.Names(), ", "))
+	}
+	if req.Einsum != "" {
+		algo, err := workload.CompileInline(req.Einsum)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		return algo, nil
+	}
+	algo, err := loopnest.AlgorithmByName(req.Algo)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	return algo, nil
+}
+
 // Validate checks a request without running it.
 func (req *SearchRequest) Validate() error {
-	if _, err := loopnest.AlgorithmByName(req.Algo); err != nil {
+	algo, err := req.algorithm()
+	if err != nil {
 		return err
 	}
-	if (req.Problem == "") == (len(req.Shape) == 0) {
-		return errors.New("service: exactly one of problem or shape is required")
+	sources := 0
+	if req.Problem != "" {
+		sources++
+	}
+	if len(req.Shape) > 0 {
+		sources++
+	}
+	if len(req.Dims) > 0 {
+		sources++
+	}
+	if sources != 1 {
+		return fmt.Errorf("service: exactly one of problem, shape, or dims is required (algorithm %s has dims %s)",
+			algo.Name, strings.Join(algo.DimNames, ","))
 	}
 	if _, err := search.ParseObjective(req.Objective); err != nil {
 		return err
@@ -262,40 +302,32 @@ func (req *SearchRequest) budget() (search.Budget, error) {
 	return b, nil
 }
 
-// resolveProblem finds the requested problem by Table-1 name or explicit
-// shape, mirroring the CLI's resolution rules.
-func (req *SearchRequest) resolveProblem() (loopnest.Problem, error) {
-	if req.Problem != "" {
+// resolveProblem builds the requested problem instance of algo: a Table-1
+// name, canonical-order sizes, or a dimension-name → size map. The
+// algorithm's own constructors do the validation, so any registered or
+// inline workload works without per-algorithm code.
+func (req *SearchRequest) resolveProblem(algo *loopnest.Algorithm) (loopnest.Problem, error) {
+	switch {
+	case req.Problem != "":
 		all, err := loopnest.Table1Problems()
 		if err != nil {
 			return loopnest.Problem{}, err
 		}
 		for _, p := range all {
-			if p.Name == req.Problem && p.Algo.Name == req.Algo {
+			if p.Name == req.Problem && p.Algo.Name == algo.Name {
 				return p, nil
 			}
 		}
-		return loopnest.Problem{}, fmt.Errorf("service: problem %q not found for %s", req.Problem, req.Algo)
+		return loopnest.Problem{}, fmt.Errorf("service: problem %q not found for %s", req.Problem, algo.Name)
+	case len(req.Shape) > 0:
+		if len(req.Shape) != algo.NumDims() {
+			return loopnest.Problem{}, fmt.Errorf("service: %s shape needs %d sizes in order %s, got %d",
+				algo.Name, algo.NumDims(), strings.Join(algo.DimNames, ","), len(req.Shape))
+		}
+		return algo.NewProblem("custom", req.Shape)
+	default:
+		return algo.ProblemFromDims("custom", req.Dims)
 	}
-	dims := req.Shape
-	switch req.Algo {
-	case "cnn-layer":
-		if len(dims) != 7 {
-			return loopnest.Problem{}, errors.New("service: cnn-layer shape needs N,K,C,H,W,R,S")
-		}
-		return loopnest.NewCNNProblem("custom", dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6])
-	case "mttkrp":
-		if len(dims) != 4 {
-			return loopnest.Problem{}, errors.New("service: mttkrp shape needs I,J,K,L")
-		}
-		return loopnest.NewMTTKRPProblem("custom", dims[0], dims[1], dims[2], dims[3])
-	case "conv1d":
-		if len(dims) != 2 {
-			return loopnest.Problem{}, errors.New("service: conv1d shape needs W,R")
-		}
-		return loopnest.NewConv1DProblem("custom", dims[0], dims[1])
-	}
-	return loopnest.Problem{}, fmt.Errorf("service: unknown algorithm %q", req.Algo)
 }
 
 // newJobID returns a random 128-bit hex job id.
@@ -557,11 +589,11 @@ func (jm *JobManager) evictTerminalLocked() {
 
 // execute runs the search described by req under ctx.
 func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.Result, *mapspace.Space, error) {
-	algo, err := loopnest.AlgorithmByName(req.Algo)
+	algo, err := req.algorithm()
 	if err != nil {
 		return nil, nil, err
 	}
-	prob, err := req.resolveProblem()
+	prob, err := req.resolveProblem(algo)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -586,7 +618,7 @@ func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.
 	if err != nil {
 		return nil, nil, err
 	}
-	searcher, err := jm.searcher(req)
+	searcher, err := jm.searcher(req, algo)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -613,17 +645,22 @@ func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.
 }
 
 // searcher builds the requested search method, pulling the shared
-// surrogate from the registry for mm.
-func (jm *JobManager) searcher(req *SearchRequest) (search.Searcher, error) {
+// surrogate from the registry for mm and checking it matches the resolved
+// workload by name and (when stamped) by fingerprint.
+func (jm *JobManager) searcher(req *SearchRequest, algo *loopnest.Algorithm) (search.Searcher, error) {
 	switch strings.ToLower(req.Searcher) {
 	case "", "mm":
 		sur, err := jm.registry.Get(req.Model)
 		if err != nil {
 			return nil, err
 		}
-		if sur.AlgoName != req.Algo {
+		if sur.AlgoName != algo.Name {
 			return nil, fmt.Errorf("service: model %q was trained for %s, request targets %s",
-				req.Model, sur.AlgoName, req.Algo)
+				req.Model, sur.AlgoName, algo.Name)
+		}
+		if sur.AlgoFP != "" && sur.AlgoFP != algo.Fingerprint() {
+			return nil, fmt.Errorf("service: model %q was trained for workload %s with fingerprint %.12s…, the requested definition has %.12s…",
+				req.Model, sur.AlgoName, sur.AlgoFP, algo.Fingerprint())
 		}
 		return search.MindMappings{Surrogate: sur}, nil
 	case "sa":

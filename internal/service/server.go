@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"mindmappings/internal/workload"
 )
 
 // Server assembles the HTTP JSON API over a JobManager, ModelRegistry, and
@@ -18,7 +20,8 @@ import (
 //	GET    /v1/jobs       list all jobs
 //	GET    /v1/jobs/{id}  job status, result, best-EDP trajectory
 //	DELETE /v1/jobs/{id}  cancel a queued or in-flight job
-//	GET    /v1/models     surrogate files the registry can serve
+//	GET    /v1/models     surrogate files the registry can serve, plus the
+//	                      registered workloads (name, einsum, dims, example)
 //	GET    /v1/metrics    job, cache, and registry counters
 //	GET    /healthz       liveness probe
 type Server struct {
@@ -127,7 +130,12 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	if models == nil {
 		models = []ModelInfo{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"models": models})
+	// The workload list is generated from the registry, so the API surface
+	// can never drift from the algorithms the binary actually serves.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":    models,
+		"workloads": workload.List(),
+	})
 }
 
 // Metrics is the GET /v1/metrics body.

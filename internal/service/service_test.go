@@ -30,7 +30,7 @@ func surrogateBytes(t testing.TB) []byte {
 		cfg.Samples = 2000
 		cfg.Problems = 6
 		cfg.Train.Epochs = 12
-		ds, err := surrogate.Generate(loopnest.Conv1D(), arch.Default(2), cfg)
+		ds, err := surrogate.Generate(loopnest.MustAlgorithm("conv1d"), arch.Default(2), cfg)
 		if err != nil {
 			surErr = err
 			return
@@ -115,8 +115,15 @@ func TestRequestValidation(t *testing.T) {
 }
 
 func TestResolveProblemTable1AndShapes(t *testing.T) {
+	resolve := func(req SearchRequest) (loopnest.Problem, error) {
+		algo, err := req.algorithm()
+		if err != nil {
+			return loopnest.Problem{}, err
+		}
+		return req.resolveProblem(algo)
+	}
 	req := SearchRequest{Algo: "cnn-layer", Problem: "ResNet_Conv_4"}
-	p, err := req.resolveProblem()
+	p, err := resolve(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,16 +131,28 @@ func TestResolveProblemTable1AndShapes(t *testing.T) {
 		t.Fatalf("resolved %q", p.Name)
 	}
 	req = SearchRequest{Algo: "mttkrp", Shape: []int{64, 64, 64, 64}}
-	if _, err := req.resolveProblem(); err != nil {
+	if _, err := resolve(req); err != nil {
 		t.Fatal(err)
 	}
 	req = SearchRequest{Algo: "mttkrp", Shape: []int{64}}
-	if _, err := req.resolveProblem(); err == nil {
+	if _, err := resolve(req); err == nil {
 		t.Fatal("accepted short shape")
 	}
 	req = SearchRequest{Algo: "cnn-layer", Problem: "MTTKRP_0"}
-	if _, err := req.resolveProblem(); err == nil {
+	if _, err := resolve(req); err == nil {
 		t.Fatal("resolved a problem of another algorithm")
+	}
+	req = SearchRequest{Algo: "gemm", Dims: map[string]int{"M": 64, "N": 64, "K": 64}}
+	if p, err := resolve(req); err != nil || p.MACs() != 64*64*64 {
+		t.Fatalf("gemm dims map: %v %v", p, err)
+	}
+	req = SearchRequest{Algo: "gemm", Dims: map[string]int{"M": 64, "N": 64}}
+	if _, err := resolve(req); err == nil {
+		t.Fatal("accepted incomplete dims map")
+	}
+	req = SearchRequest{Einsum: "O[a,b] += A[a,c] * B[c,b]", Dims: map[string]int{"a": 32, "b": 32, "c": 32}}
+	if p, err := resolve(req); err != nil || p.MACs() != 32*32*32 {
+		t.Fatalf("inline einsum: %v %v", p, err)
 	}
 }
 

@@ -28,7 +28,7 @@ func batchFixture(t testing.TB) (*Surrogate, [][]float64) {
 		cfg.Samples = 1500
 		cfg.Problems = 4
 		cfg.Train.Epochs = 8
-		ds, err := Generate(loopnest.Conv1D(), arch.Default(2), cfg)
+		ds, err := Generate(loopnest.MustAlgorithm("conv1d"), arch.Default(2), cfg)
 		if err != nil {
 			batchErr = err
 			return

@@ -7,15 +7,26 @@ import (
 
 	"mindmappings/internal/arch"
 	"mindmappings/internal/loopnest"
+	"mindmappings/internal/workload"
 )
 
 // savedDataset is the on-disk representation of a generated training set,
 // so the expensive cost-model sampling pass (cmd/datagen) can be decoupled
 // from training runs.
+//
+// AlgoFP stamps the workload identity (loopnest.Algorithm.Fingerprint) the
+// samples were generated for; loading verifies it against the resolved
+// algorithm so a dataset never silently trains a surrogate for a workload
+// whose registered definition has changed. Spec carries the einsum spec of
+// registry-known workloads (and of runtime-registered ones), letting a
+// dataset for a workload absent from the loading binary's registry be
+// recompiled from the file alone.
 type savedDataset struct {
 	Magic    string
 	Version  int
 	AlgoName string
+	AlgoFP   string
+	Spec     workload.Spec
 	Arch     arch.Spec
 	Mode     OutputMode
 	X        [][]float64
@@ -24,7 +35,7 @@ type savedDataset struct {
 
 const (
 	datasetMagic   = "mindmappings-dataset"
-	datasetVersion = 1
+	datasetVersion = 2
 )
 
 // Save serializes the raw dataset to w.
@@ -36,10 +47,14 @@ func (d *RawDataset) Save(w io.Writer) error {
 		Magic:    datasetMagic,
 		Version:  datasetVersion,
 		AlgoName: d.Algo.Name,
+		AlgoFP:   d.Algo.Fingerprint(),
 		Arch:     d.Arch,
 		Mode:     d.Mode,
 		X:        d.X,
 		Y:        d.Y,
+	}
+	if spec, ok := workload.Lookup(d.Algo.Name); ok {
+		blob.Spec = spec
 	}
 	if err := gob.NewEncoder(w).Encode(&blob); err != nil {
 		return fmt.Errorf("surrogate: dataset save: %w", err)
@@ -47,8 +62,10 @@ func (d *RawDataset) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadDataset deserializes a dataset written by Save, resolving the
-// algorithm by name and validating row shapes.
+// LoadDataset deserializes a dataset written by Save: the algorithm is
+// resolved from the workload registry (or recompiled from the stored spec
+// when the name is not registered), the stamped fingerprint is verified,
+// and row shapes are validated.
 func LoadDataset(r io.Reader) (*RawDataset, error) {
 	var blob savedDataset
 	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
@@ -57,10 +74,10 @@ func LoadDataset(r io.Reader) (*RawDataset, error) {
 	if blob.Magic != datasetMagic {
 		return nil, fmt.Errorf("surrogate: dataset load: bad magic %q", blob.Magic)
 	}
-	if blob.Version != datasetVersion {
+	if blob.Version < 1 || blob.Version > datasetVersion {
 		return nil, fmt.Errorf("surrogate: dataset load: unsupported version %d", blob.Version)
 	}
-	algo, err := loopnest.AlgorithmByName(blob.AlgoName)
+	algo, err := resolveAlgorithm(blob.AlgoName, blob.AlgoFP, blob.Spec)
 	if err != nil {
 		return nil, fmt.Errorf("surrogate: dataset load: %w", err)
 	}
@@ -75,4 +92,33 @@ func LoadDataset(r io.Reader) (*RawDataset, error) {
 		}
 	}
 	return &RawDataset{Algo: algo, Arch: blob.Arch, X: blob.X, Y: blob.Y, Mode: blob.Mode}, nil
+}
+
+// resolveAlgorithm maps a stored (name, fingerprint, spec) triple back to a
+// live algorithm: registry first, stored einsum spec as the fallback, with
+// the fingerprint contract enforced whenever the file carries one.
+func resolveAlgorithm(name, fp string, spec workload.Spec) (*loopnest.Algorithm, error) {
+	var algo *loopnest.Algorithm
+	if loopnest.AlgorithmRegistered(name) {
+		a, err := loopnest.AlgorithmByName(name)
+		if err != nil {
+			return nil, err
+		}
+		algo = a
+	} else if spec.Expr != "" {
+		spec.Name = name
+		a, err := workload.Compile(spec)
+		if err != nil {
+			return nil, fmt.Errorf("recompiling stored spec for %q: %w", name, err)
+		}
+		algo = a
+	} else {
+		_, err := loopnest.AlgorithmByName(name)
+		return nil, fmt.Errorf("%w (and the file carries no einsum spec to recompile)", err)
+	}
+	if fp != "" && algo.Fingerprint() != fp {
+		return nil, fmt.Errorf("workload %q fingerprint mismatch: file has %.12s…, resolved algorithm is %.12s… (the workload definition changed since this file was written)",
+			name, fp, algo.Fingerprint())
+	}
+	return algo, nil
 }

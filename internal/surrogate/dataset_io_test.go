@@ -70,7 +70,7 @@ func TestLoadDatasetValidation(t *testing.T) {
 	cases := map[string]func(d *savedDataset){
 		"bad magic":    func(d *savedDataset) { d.Magic = "nope" },
 		"bad version":  func(d *savedDataset) { d.Version = 99 },
-		"bad algo":     func(d *savedDataset) { d.AlgoName = "gemm" },
+		"bad algo":     func(d *savedDataset) { d.AlgoName = "no-such-workload" },
 		"empty":        func(d *savedDataset) { d.X, d.Y = nil, nil },
 		"len mismatch": func(d *savedDataset) { d.Y = append(d.Y, []float64{2}) },
 		"ragged X":     func(d *savedDataset) { d.X = [][]float64{{1, 2}, {1}}; d.Y = [][]float64{{1}, {1}} },

@@ -1,0 +1,140 @@
+package surrogate
+
+// Fingerprint-contract tests: datasets and surrogates are stamped with the
+// workload identity they were generated/trained for, and loading refuses a
+// workload whose definition has drifted — even when the name matches.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/workload"
+)
+
+// decodeDSBlob decodes a gob-serialized dataset blob for tampering.
+func decodeDSBlob(data []byte, blob *savedDataset) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(blob)
+}
+
+func tinyGenConfig() Config {
+	cfg := TinyConfig()
+	cfg.Samples = 120
+	cfg.Problems = 3
+	cfg.Train.Epochs = 2
+	return cfg
+}
+
+func TestDatasetRoundTripCarriesFingerprint(t *testing.T) {
+	algo := loopnest.MustAlgorithm("conv1d")
+	ds, err := Generate(algo, arch.Default(2), tinyGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDataset(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Algo.Fingerprint() != algo.Fingerprint() {
+		t.Fatal("round-tripped dataset resolves a different workload")
+	}
+}
+
+func TestDatasetRefusesDriftedWorkload(t *testing.T) {
+	algo := loopnest.MustAlgorithm("conv1d")
+	ds, err := Generate(algo, arch.Default(2), tinyGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with a tampered fingerprint, simulating a registry whose
+	// conv1d definition changed after the dataset was written.
+	var blob savedDataset
+	if err := decodeDSBlob(buf.Bytes(), &blob); err != nil {
+		t.Fatal(err)
+	}
+	blob.AlgoFP = strings.Repeat("00", 32)
+	if _, err := LoadDataset(encodeDS(t, blob)); err == nil {
+		t.Fatal("accepted a dataset whose workload fingerprint mismatches")
+	} else if !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestDatasetRecompilesUnregisteredSpec(t *testing.T) {
+	// An inline/runtime workload: registered in the writing process only.
+	algo, err := workload.Compile(workload.Spec{
+		Name:        "test-io-ttm",
+		Expr:        "O[i,j,k] += A[i,l] * B[l,j,k]",
+		SampleSpace: map[string][]int{"i": {8, 16}, "j": {8, 16}, "k": {8, 16}, "l": {8, 16}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Generate(algo, arch.Default(2), tinyGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The workload is NOT in the loading binary's registry; Save found no
+	// spec to stamp either, so the load must fail with a useful error.
+	if _, err := LoadDataset(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("accepted a dataset for an unregistered spec-less workload")
+	}
+	// Stamp the spec the way a RegisterSpec'd workload would carry it:
+	// then loading recompiles the workload from the file alone.
+	var blob savedDataset
+	if err := decodeDSBlob(buf.Bytes(), &blob); err != nil {
+		t.Fatal(err)
+	}
+	blob.Spec = workload.Spec{
+		Expr:        "O[i,j,k] += A[i,l] * B[l,j,k]",
+		SampleSpace: map[string][]int{"i": {8, 16}, "j": {8, 16}, "k": {8, 16}, "l": {8, 16}},
+	}
+	loaded, err := LoadDataset(encodeDS(t, blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Algo.Fingerprint() != algo.Fingerprint() {
+		t.Fatal("recompiled workload differs from the original")
+	}
+}
+
+func TestSurrogateLoadCarriesFingerprint(t *testing.T) {
+	algo := loopnest.MustAlgorithm("conv1d")
+	ds, err := Generate(algo, arch.Default(2), tinyGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sur, _, err := Train(ds, tinyGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sur.AlgoFP != algo.Fingerprint() {
+		t.Fatal("trained surrogate not stamped with the workload fingerprint")
+	}
+	var buf bytes.Buffer
+	if err := sur.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.AlgoFP != sur.AlgoFP {
+		t.Fatal("fingerprint lost in serialization")
+	}
+}

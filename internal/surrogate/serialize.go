@@ -18,6 +18,7 @@ type savedSurrogate struct {
 	Magic      string
 	Version    int
 	AlgoName   string
+	AlgoFP     string
 	Arch       arch.Spec
 	Mode       OutputMode
 	LogOutputs bool
@@ -44,6 +45,7 @@ func (s *Surrogate) Save(w io.Writer) error {
 		Magic:      surrogateMagic,
 		Version:    surrogateVersion,
 		AlgoName:   s.AlgoName,
+		AlgoFP:     s.AlgoFP,
 		Arch:       s.Arch,
 		Mode:       s.Mode,
 		LogOutputs: s.LogOutputs,
@@ -94,6 +96,7 @@ func Load(r io.Reader) (*Surrogate, error) {
 	}
 	return &Surrogate{
 		AlgoName:   blob.AlgoName,
+		AlgoFP:     blob.AlgoFP,
 		Arch:       blob.Arch,
 		Net:        net,
 		InNorm:     &stats.Normalizer{Mean: blob.InMean, Std: blob.InStd},

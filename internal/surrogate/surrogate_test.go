@@ -30,7 +30,7 @@ func cnnFixture(t *testing.T) (*RawDataset, *Surrogate, *nn.History) {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		cfg := TinyConfig()
-		ds, err := Generate(loopnest.CNNLayer(), arch.Default(2), cfg)
+		ds, err := Generate(loopnest.MustAlgorithm("cnn-layer"), arch.Default(2), cfg)
 		if err != nil {
 			fixtureErr = err
 			return
@@ -297,7 +297,7 @@ func TestDirectEDPMode(t *testing.T) {
 	cfg.Mode = OutputDirectEDP
 	cfg.Samples = 800
 	cfg.Train.Epochs = 6
-	ds, err := Generate(loopnest.Conv1D(), arch.Default(2), cfg)
+	ds, err := Generate(loopnest.MustAlgorithm("conv1d"), arch.Default(2), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,5 +392,5 @@ func TestMetaIndices(t *testing.T) {
 }
 
 // Fixture helpers shared with dataset_io_test.go.
-func fixtureAlgoConv1D() *loopnest.Algorithm { return loopnest.Conv1D() }
+func fixtureAlgoConv1D() *loopnest.Algorithm { return loopnest.MustAlgorithm("conv1d") }
 func fixtureArch2() arch.Spec                { return arch.Default(2) }

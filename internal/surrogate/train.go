@@ -22,7 +22,12 @@ import (
 // come from an internal pool, so one loaded surrogate can serve many search
 // jobs at once.
 type Surrogate struct {
-	AlgoName   string
+	AlgoName string
+	// AlgoFP is the workload fingerprint (loopnest.Algorithm.Fingerprint)
+	// the surrogate was trained for; loaders refuse algorithms whose
+	// fingerprint differs, so a surrogate never drives a search for a
+	// workload other than its own. Empty on legacy files.
+	AlgoFP     string
 	Arch       arch.Spec
 	Net        *nn.MLP
 	InNorm     *stats.Normalizer
@@ -108,6 +113,7 @@ func Train(ds *RawDataset, cfg Config) (*Surrogate, *nn.History, error) {
 
 	s := &Surrogate{
 		AlgoName:   ds.Algo.Name,
+		AlgoFP:     ds.Algo.Fingerprint(),
 		Arch:       ds.Arch,
 		Net:        net,
 		InNorm:     inNorm,

@@ -1,0 +1,105 @@
+package workload
+
+// The built-in workload registry. The first three specs re-express the
+// paper's hand-coded algorithms; their compiled forms are pinned by
+// property tests to be fingerprint- and cost-identical to the constructors
+// they replaced (identity_test.go). The remaining four extend coverage to
+// the workload families the follow-on literature evaluates mappers on:
+// plain and batched GEMM (GOMA targets GEMM specifically), depthwise
+// convolution, and the attention score matmul — per "Demystifying Map
+// Space Exploration for NPUs" (Kao et al.), mapper conclusions only hold
+// when checked across diverse workloads.
+func init() {
+	// CNN-Layer (paper §5.1.1, Equation 3): 7 dimensions, halo input
+	// footprint (a tile of X' outputs and R' taps reads X'+R'-1 columns).
+	Register(Spec{
+		Name: "cnn-layer",
+		Expr: "Outputs[N,K,X,Y] += Weights[K,C,R,S] * Inputs[N,C,X+R,Y+S]",
+		Dims: []string{"N", "K", "C", "X", "Y", "R", "S"},
+		SampleSpace: map[string][]int{
+			"N": {1, 2, 4, 8, 16, 32},
+			"K": {32, 48, 64, 96, 128, 192, 256, 512}, // paper: K sampled from [32,512]
+			"C": {16, 32, 64, 96, 128, 192, 256, 384},
+			"X": {7, 12, 13, 14, 26, 27, 28, 54, 56},
+			"Y": {7, 12, 13, 14, 26, 27, 28, 54, 56},
+			"R": {1, 3, 5, 7},
+			"S": {1, 3, 5, 7},
+		},
+	})
+
+	// MTTKRP (paper Equation 4): O[i,j] = Σ_k Σ_l A[i,k,l]·B[k,j]·C[l,j].
+	Register(Spec{
+		Name: "mttkrp",
+		Expr: "O[I,J] += A[I,K,L] * B[K,J] * C[L,J]",
+		SampleSpace: map[string][]int{
+			"I": {64, 128, 256, 512, 1024, 2048},
+			"J": {256, 512, 1024, 2048, 4096},
+			"K": {128, 256, 512, 1024, 2048, 4096},
+			"L": {128, 256, 512, 1024, 2048, 4096},
+		},
+	})
+
+	// 1D convolution, the paper's §3 running example: O[x] = Σ_r I[x+r]·F[r].
+	Register(Spec{
+		Name: "conv1d",
+		Expr: "O[X] += F[R] * I[X+R]",
+		SampleSpace: map[string][]int{
+			"X": {64, 128, 256, 512, 1024, 2048, 4096},
+			"R": {2, 3, 4, 5, 7, 8, 9, 16},
+		},
+	})
+
+	// Plain GEMM: the workload GOMA optimizes mappings for.
+	Register(Spec{
+		Name: "gemm",
+		Expr: "O[M,N] += A[M,K] * B[K,N]",
+		SampleSpace: map[string][]int{
+			"M": {64, 128, 256, 512, 1024, 2048},
+			"N": {64, 128, 256, 512, 1024, 2048},
+			"K": {64, 128, 256, 512, 768, 1024},
+		},
+	})
+
+	// Batched matrix multiplication: transformer FFN / projection shapes.
+	Register(Spec{
+		Name: "batched-matmul",
+		Expr: "O[B,M,N] += A[B,M,K] * W[B,K,N]",
+		SampleSpace: map[string][]int{
+			"B": {1, 2, 4, 8, 16},
+			"M": {64, 128, 256, 512, 1024},
+			"N": {64, 128, 256, 512, 1024},
+			"K": {64, 128, 256, 512, 768, 1024},
+		},
+	})
+
+	// Depthwise convolution: each channel convolves with its own filter —
+	// no cross-channel reduction, so C appears in every tensor and the
+	// only reduction dimensions are the window offsets R and S.
+	Register(Spec{
+		Name: "depthwise-conv",
+		Expr: "O[N,C,X,Y] += W[C,R,S] * I[N,C,X+R,Y+S]",
+		Dims: []string{"N", "C", "X", "Y", "R", "S"},
+		SampleSpace: map[string][]int{
+			"N": {1, 2, 4, 8, 16},
+			"C": {16, 32, 64, 96, 128, 192, 256, 384},
+			"X": {7, 12, 13, 14, 26, 27, 28, 54, 56},
+			"Y": {7, 12, 13, 14, 26, 27, 28, 54, 56},
+			"R": {1, 3, 5, 7},
+			"S": {1, 3, 5, 7},
+		},
+	})
+
+	// Attention score: S[b,h,i,j] = Σ_d Q[b,h,i,d]·K[b,h,j,d] — the
+	// quadratic-in-sequence-length matmul of self-attention.
+	Register(Spec{
+		Name: "attention-score",
+		Expr: "S[B,H,I,J] += Q[B,H,I,D] * K[B,H,J,D]",
+		SampleSpace: map[string][]int{
+			"B": {1, 2, 4, 8},
+			"H": {4, 8, 12, 16},
+			"I": {64, 128, 256, 512, 1024},
+			"J": {64, 128, 256, 512, 1024},
+			"D": {32, 64, 96, 128},
+		},
+	})
+}

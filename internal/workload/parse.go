@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+)
+
+// The einsum spec grammar (whitespace is free between tokens):
+//
+//	spec    := tensor '+=' product
+//	product := tensor ('*' tensor)*
+//	tensor  := name '[' term (',' term)* ']'
+//	term    := index ('+' index)*
+//	name    := letter (letter | digit | '_' | '-')*
+//	index   := letter (letter | digit | '_')*
+//
+// The left-hand tensor is the computation's output; each right-hand tensor
+// is an input operand. A multi-index term like X+R is a halo subscript: the
+// tensor extent along that axis is the sum of the tile sizes minus
+// (#indices - 1), the sliding-window footprint of a convolution input.
+// Every parse error carries the 1-based byte position it was detected at.
+
+// parsedTerm is one subscript axis: a single index, or a halo sum of them.
+type parsedTerm struct {
+	pos     int // 1-based byte position of the term's first index
+	indices []string
+}
+
+// parsedTensor is one tensor reference with its subscript terms.
+type parsedTensor struct {
+	name  string
+	pos   int // 1-based byte position of the tensor name
+	terms []parsedTerm
+}
+
+// parser is a hand-rolled recursive-descent scanner over the spec string.
+type parser struct {
+	src string
+	i   int // byte offset of the next unconsumed byte
+}
+
+// errAt reports a parse error anchored at 1-based position pos.
+func errAt(pos int, format string, args ...any) error {
+	return fmt.Errorf("pos %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) pos() int { return p.i + 1 }
+
+func (p *parser) skipSpace() {
+	for p.i < len(p.src) {
+		switch p.src[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentByte(c byte, dashOK bool) bool {
+	return isLetter(c) || c >= '0' && c <= '9' || c == '_' || dashOK && c == '-'
+}
+
+// ident consumes an identifier; dashOK admits '-' (tensor and workload
+// names use it, indices do not).
+func (p *parser) ident(what string, dashOK bool) (string, int, error) {
+	p.skipSpace()
+	start := p.i
+	if start >= len(p.src) || !isLetter(p.src[start]) {
+		return "", p.pos(), errAt(p.pos(), "expected %s", what)
+	}
+	for p.i < len(p.src) && isIdentByte(p.src[p.i], dashOK) {
+		p.i++
+	}
+	return p.src[start:p.i], start + 1, nil
+}
+
+// expect consumes the literal token tok.
+func (p *parser) expect(tok string) error {
+	p.skipSpace()
+	if len(p.src)-p.i < len(tok) || p.src[p.i:p.i+len(tok)] != tok {
+		return errAt(p.pos(), "expected %q", tok)
+	}
+	p.i += len(tok)
+	return nil
+}
+
+// peek reports whether the next non-space byte is c, without consuming.
+func (p *parser) peek(c byte) bool {
+	p.skipSpace()
+	return p.i < len(p.src) && p.src[p.i] == c
+}
+
+// term parses index ('+' index)*.
+func (p *parser) term() (parsedTerm, error) {
+	name, pos, err := p.ident("an index name", false)
+	if err != nil {
+		return parsedTerm{}, err
+	}
+	t := parsedTerm{pos: pos, indices: []string{name}}
+	for p.peek('+') {
+		p.i++
+		name, _, err := p.ident("an index name after '+'", false)
+		if err != nil {
+			return parsedTerm{}, err
+		}
+		t.indices = append(t.indices, name)
+	}
+	return t, nil
+}
+
+// tensor parses name '[' term (',' term)* ']'.
+func (p *parser) tensor() (parsedTensor, error) {
+	name, pos, err := p.ident("a tensor name", true)
+	if err != nil {
+		return parsedTensor{}, err
+	}
+	t := parsedTensor{name: name, pos: pos}
+	if err := p.expect("["); err != nil {
+		return parsedTensor{}, err
+	}
+	for {
+		term, err := p.term()
+		if err != nil {
+			return parsedTensor{}, err
+		}
+		t.terms = append(t.terms, term)
+		if p.peek(',') {
+			p.i++
+			continue
+		}
+		break
+	}
+	if err := p.expect("]"); err != nil {
+		return parsedTensor{}, err
+	}
+	return t, nil
+}
+
+// parseExpr parses a full spec expression into the output tensor and the
+// input tensors, in source order.
+func parseExpr(src string) (parsedTensor, []parsedTensor, error) {
+	p := &parser{src: src}
+	out, err := p.tensor()
+	if err != nil {
+		return parsedTensor{}, nil, err
+	}
+	if err := p.expect("+="); err != nil {
+		return parsedTensor{}, nil, err
+	}
+	var ins []parsedTensor
+	for {
+		in, err := p.tensor()
+		if err != nil {
+			return parsedTensor{}, nil, err
+		}
+		ins = append(ins, in)
+		if p.peek('*') {
+			p.i++
+			continue
+		}
+		break
+	}
+	p.skipSpace()
+	if p.i != len(p.src) {
+		return parsedTensor{}, nil, errAt(p.pos(), "unexpected trailing input %q", p.src[p.i:])
+	}
+	return out, ins, nil
+}
