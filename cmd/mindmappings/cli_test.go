@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mindmappings/internal/modelstore"
 )
 
 // End-to-end CLI tests: train a tiny surrogate, then drive search, compare
@@ -175,5 +177,77 @@ func TestCmdSurfaceErrors(t *testing.T) {
 	}
 	if err := cmdSurface([]string{"-problem", "AlexNet_Conv_4", "-out", "/no/such/dir/s.dat"}); err == nil {
 		t.Fatal("unwritable output accepted")
+	}
+}
+
+// TestCmdTrainStoreAndModels drives the versioned-store workflow through
+// the real command functions: train publishes into a store, a second run
+// warm-starts from the first, `models` lists both, and gc trims to one.
+func TestCmdTrainStoreAndModels(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	train := func(seed string, warm string) {
+		t.Helper()
+		args := []string{
+			"-algo", "conv1d",
+			"-config", "tiny",
+			"-samples", "500",
+			"-epochs", "3",
+			"-seed", seed,
+			"-store", storeDir,
+			"-out", "", // store only
+		}
+		if warm != "" {
+			args = append(args, "-warm", warm)
+		}
+		if err := cmdTrain(args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	train("1", "")
+	train("2", "auto")
+
+	st, err := modelstore.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifests := st.List()
+	if len(manifests) != 2 {
+		t.Fatalf("store has %d artifacts, want 2", len(manifests))
+	}
+	if manifests[1].Parent != manifests[0].ID {
+		t.Fatalf("second run did not warm-start from the first: %+v", manifests[1])
+	}
+
+	if err := cmdModels([]string{"-store", storeDir, "-v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdModels([]string{"-store", storeDir, "-gc", "-keep", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := modelstore.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := st2.List()
+	if len(left) != 1 || left[0].Version != 2 {
+		t.Fatalf("after gc: %+v", left)
+	}
+	if err := cmdModels([]string{"-store", storeDir, "-delete", left[0].ID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdModels([]string{"-store", storeDir}); err != nil {
+		t.Fatal(err) // empty listing still succeeds
+	}
+	if err := cmdModels([]string{}); err == nil {
+		t.Fatal("models without -store succeeded")
+	}
+}
+
+// TestCmdTrainOutFileStillSearchable pins back-compat: the -out file the
+// pipeline-backed train writes is byte-for-byte a loadable surrogate.
+func TestCmdTrainNothingToProduce(t *testing.T) {
+	if err := cmdTrain([]string{"-algo", "conv1d", "-out", ""}); err == nil {
+		t.Fatal("train with neither -out nor -store succeeded")
 	}
 }

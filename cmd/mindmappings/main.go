@@ -6,6 +6,8 @@
 //
 //	mindmappings algos
 //	mindmappings train   -algo cnn-layer -config small -out cnn.surrogate
+//	mindmappings train   -algo cnn-layer -store ./models/store -warm auto
+//	mindmappings models  -store ./models/store
 //	mindmappings search  -algo cnn-layer -surrogate cnn.surrogate -problem ResNet_Conv_4 -evals 1000
 //	mindmappings search  -algo gemm -surrogate gemm.surrogate -shape M=512,N=512,K=512 -evals 1000
 //	mindmappings train   -einsum "O[m,n] += A[m,k] * B[k,n]" -config tiny -out inline.surrogate
@@ -19,18 +21,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"mindmappings/internal/arch"
 	"mindmappings/internal/core"
 	"mindmappings/internal/loopnest"
+	"mindmappings/internal/modelstore"
 	"mindmappings/internal/search"
-	"mindmappings/internal/surrogate"
+	"mindmappings/internal/trainer"
 	"mindmappings/internal/workload"
 )
 
@@ -51,6 +57,8 @@ func main() {
 		err = cmdSurface(os.Args[2:])
 	case "algos":
 		err = cmdAlgos(os.Args[2:])
+	case "models":
+		err = cmdModels(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
@@ -75,7 +83,8 @@ commands:
   compare   run Mind Mappings against SA/GA/RL/random on one problem
   surface   dump the Figure-3 style cost surface for a CNN problem
   algos     list the registered workloads (dims, tensors, example shapes)
-  serve     run the concurrent mapping-search HTTP service
+  models    list, gc, or delete artifacts in a versioned model store
+  serve     run the concurrent mapping-search + training HTTP service
 
 workloads are selected with -algo <name> (registered: %s) or defined
 inline with -einsum "O[m,n] += A[m,k] * B[k,n]"
@@ -98,19 +107,6 @@ const einsumUsage = `inline workload spec, e.g. "O[m,n] += A[m,k] * B[k,n]" (ins
 func algoUsage() string {
 	return "target workload: " + strings.Join(workload.Names(), ", ") +
 		" (default " + defaultAlgo + ")"
-}
-
-// surrogateConfig resolves a named Phase-1 configuration.
-func surrogateConfig(name string) (surrogate.Config, error) {
-	switch name {
-	case "tiny":
-		return surrogate.TinyConfig(), nil
-	case "small":
-		return surrogate.SmallConfig(), nil
-	case "paper":
-		return surrogate.PaperConfig(), nil
-	}
-	return surrogate.Config{}, fmt.Errorf("unknown config %q (want tiny, small, or paper)", name)
 }
 
 // resolveAlgo resolves the -algo/-einsum flag pair into an algorithm: a
@@ -195,53 +191,140 @@ func resolveProblem(algo *loopnest.Algorithm, problemName, shape string) (loopne
 	return algo.NewProblem("custom", sizes)
 }
 
+// cmdTrain runs Phase 1 through the same trainer.Pipeline the service
+// uses: generate → train (warm-started when asked) → publish into a
+// versioned artifact store. Without -store the artifact lands in a
+// temporary store and only the -out file survives; with -store the run is
+// versioned, warm-startable, and resolvable by `"model":"auto"` searches.
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	algoName := fs.String("algo", "", algoUsage())
 	einsum := fs.String("einsum", "", einsumUsage)
 	cfgName := fs.String("config", "small", "phase-1 configuration: tiny, small, paper")
-	out := fs.String("out", "surrogate.bin", "output surrogate file")
+	out := fs.String("out", "surrogate.bin", `output surrogate file ("" to skip and only publish to -store)`)
+	storeDir := fs.String("store", "", "publish into this versioned artifact store (the directory `mindmappings serve -store` and `mindmappings models` use)")
+	warm := fs.String("warm", "", `warm-start parent: "auto" (best stored artifact of this workload), an artifact ID, or empty for a cold start; needs -store`)
+	label := fs.String("name", "", "artifact label recorded in the store manifest")
 	model := fs.String("model", "", "cost-model backend that labels the training set: timeloop (default) or roofline; search with the same -model so the surrogate approximates the f it is scored against")
 	samples := fs.Int("samples", 0, "override training-set size")
 	epochs := fs.Int("epochs", 0, "override training epochs")
-	seed := fs.Int64("seed", 1, "random seed")
+	seed := fs.Int64("seed", 1, "random seed (0 keeps the named config's default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := surrogateConfig(*cfgName)
+	if *out == "" && *storeDir == "" {
+		return fmt.Errorf("train: nothing to produce — set -out, -store, or both")
+	}
+	if *warm != "" && *storeDir == "" {
+		return fmt.Errorf("train: -warm needs -store (the parent artifact lives there)")
+	}
+	dir := *storeDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "mindmappings-store-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	store, err := modelstore.Open(dir)
 	if err != nil {
 		return err
 	}
-	if *samples > 0 {
-		cfg.Samples = *samples
+	req := trainer.Request{
+		Algo:      *algoName,
+		Einsum:    *einsum,
+		Config:    *cfgName,
+		Samples:   *samples,
+		Epochs:    *epochs,
+		CostModel: *model,
+		Seed:      *seed,
+		Name:      *label,
+		Warm:      *warm,
 	}
-	if *epochs > 0 {
-		cfg.Train.Epochs = *epochs
+	if req.Algo == "" && req.Einsum == "" {
+		req.Algo = defaultAlgo
 	}
-	cfg.CostModel = *model
-	cfg.Seed = *seed
-	cfg.Train.Log = os.Stderr
-
-	mp, err := newMapper(*algoName, *einsum)
+	job, err := runTrainingJob(store, req)
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	hist, err := mp.TrainSurrogate(cfg)
-	if err != nil {
-		return err
+	m := job.Artifact
+	lineage := "cold start"
+	if m.Parent != "" {
+		lineage = "warm-started from " + m.Parent
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
+	fmt.Printf("trained %s surrogate in %v (final train loss %.4f, test loss %.4f, %s)\n",
+		m.Algo, time.Duration(m.TrainSeconds*float64(time.Second)).Round(time.Second), m.FinalTrain, m.FinalTest, lineage)
+	if *storeDir != "" {
+		fmt.Printf("published artifact %s (version %d) -> %s\n", m.ID, m.Version, dir)
 	}
-	defer f.Close()
-	if err := mp.SaveSurrogate(f); err != nil {
-		return err
+	if *out != "" {
+		blob, err := os.ReadFile(store.BlobPath(m.ID))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
-	fmt.Printf("trained %s surrogate in %v (final train loss %.4f, test loss %.4f) -> %s\n",
-		mp.Algo.Name, time.Since(start).Round(time.Second), hist.FinalTrain(), hist.FinalTest(), *out)
 	return nil
+}
+
+// runTrainingJob drives one request through a single-worker pipeline,
+// mirroring the job's live progress to stderr and cancelling it cleanly on
+// SIGINT/SIGTERM.
+func runTrainingJob(store *modelstore.Store, req trainer.Request) (trainer.Job, error) {
+	pipeline := trainer.New(store, 1, 1)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		pipeline.Shutdown(ctx)
+	}()
+	job, err := pipeline.Submit(req)
+	if err != nil {
+		return trainer.Job{}, err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		pipeline.Cancel(job.ID)
+	}()
+	go func() {
+		var last trainer.Progress
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for range tick.C {
+			snap, ok := pipeline.Get(job.ID)
+			if !ok || snap.Status.Terminal() {
+				return
+			}
+			pr := snap.Progress
+			switch {
+			case pr.Phase == trainer.PhaseGenerate && pr.SamplesDone != last.SamplesDone:
+				fmt.Fprintf(os.Stderr, "generate  %d/%d samples\n", pr.SamplesDone, pr.Samples)
+			case pr.Phase == trainer.PhaseTrain && pr.Epoch != last.Epoch:
+				fmt.Fprintf(os.Stderr, "epoch %3d/%d  train %.6f  test %.6f\n",
+					pr.Epoch, pr.Epochs, pr.TrainLoss, pr.TestLoss)
+			}
+			last = pr
+		}
+	}()
+	done, err := pipeline.Wait(context.Background(), job.ID)
+	if err != nil {
+		return trainer.Job{}, err
+	}
+	switch done.Status {
+	case trainer.StatusDone:
+		return done, nil
+	case trainer.StatusCancelled:
+		return trainer.Job{}, fmt.Errorf("training interrupted at %s (epoch %d/%d)",
+			done.Progress.Phase, done.Progress.Epoch, done.Progress.Epochs)
+	default:
+		return trainer.Job{}, fmt.Errorf("training failed: %s", done.Error)
+	}
 }
 
 func loadMapperWithSurrogate(algoName, einsum, path string) (*core.Mapper, error) {

@@ -7,15 +7,17 @@ import (
 
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/search"
+	"mindmappings/internal/trainer"
 )
 
 func TestSurrogateConfigNames(t *testing.T) {
-	for _, name := range []string{"tiny", "small", "paper"} {
-		if _, err := surrogateConfig(name); err != nil {
-			t.Fatalf("%s: %v", name, err)
+	// The CLI resolves -config through the trainer pipeline's registry.
+	for _, name := range []string{"", "tiny", "small", "paper"} {
+		if _, err := trainer.NamedConfig(name); err != nil {
+			t.Fatalf("%q: %v", name, err)
 		}
 	}
-	if _, err := surrogateConfig("huge"); err == nil {
+	if _, err := trainer.NamedConfig("huge"); err == nil {
 		t.Fatal("unknown config accepted")
 	}
 }

@@ -8,21 +8,35 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"mindmappings/internal/modelstore"
 	"mindmappings/internal/service"
+	"mindmappings/internal/trainer"
 )
 
 // cmdServe runs the long-lived mapping-search service: an HTTP JSON API
-// backed by a worker pool, a shared surrogate registry, and a shared
-// cost-model evaluation cache. See internal/service for the API surface.
+// backed by a search worker pool, a separate training pipeline publishing
+// into a versioned artifact store, a shared surrogate registry, and a
+// shared cost-model evaluation cache. See internal/service for the API
+// surface.
+//
+// On SIGINT/SIGTERM the server drains gracefully: the listener stops
+// accepting, in-flight search jobs and training runs are cancelled (training
+// checkpoints are kept in memory per job, but the process is exiting — the
+// durable state is whatever the store committed), and the process exits
+// once both pools have stopped or the grace period expires.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	modelDir := fs.String("models", ".", "directory of trained surrogate files served by /v1/models")
+	storeDir := fs.String("store", "", "versioned artifact store directory (default <models>/store); training over HTTP publishes here")
 	workers := fs.Int("workers", 0, "search worker pool size (default: runtime.NumCPU())")
 	queueCap := fs.Int("queue", 64, "pending-job queue capacity")
+	trainWorkers := fs.Int("trainworkers", 2, "training pipeline worker count (separate pool from search workers)")
+	trainQueue := fs.Int("trainqueue", 16, "pending-training-job queue capacity")
 	cacheCap := fs.Int("cache", service.DefaultEvalCacheCapacity, "eval-cache capacity in entries")
 	regCap := fs.Int("maxmodels", service.DefaultRegistryCapacity, "max surrogates resident in memory (LRU beyond this)")
 	shutdownGrace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
@@ -32,13 +46,21 @@ func cmdServe(args []string) error {
 	if fi, err := os.Stat(*modelDir); err != nil || !fi.IsDir() {
 		return fmt.Errorf("serve: -models %q is not a directory", *modelDir)
 	}
+	if *storeDir == "" {
+		*storeDir = filepath.Join(*modelDir, "store")
+	}
 
+	store, err := modelstore.Open(*storeDir)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
 	registry := service.NewModelRegistry(*modelDir, *regCap)
 	cache := service.NewEvalCache(*cacheCap)
 	jobs := service.NewJobManager(registry, cache, *workers, *queueCap)
+	pipeline := trainer.New(store, *trainWorkers, *trainQueue)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewServer(jobs, registry, cache).Handler(),
+		Handler:           service.NewServer(jobs, registry, cache).WithTraining(store, pipeline).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -47,8 +69,8 @@ func cmdServe(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "mindmappings serve: listening on %s (models: %s, workers: %d)\n",
-			*addr, *modelDir, jobs.Workers())
+		fmt.Fprintf(os.Stderr, "mindmappings serve: listening on %s (models: %s, store: %s, workers: %d, train workers: %d)\n",
+			*addr, *modelDir, *storeDir, jobs.Workers(), pipeline.Workers())
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -62,8 +84,12 @@ func cmdServe(args []string) error {
 	defer cancel()
 	httpErr := srv.Shutdown(grace)
 	jobErr := jobs.Shutdown(grace)
+	trainErr := pipeline.Shutdown(grace)
 	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
 		return httpErr
 	}
-	return jobErr
+	if jobErr != nil {
+		return jobErr
+	}
+	return trainErr
 }

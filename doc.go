@@ -43,10 +43,28 @@
 // Beyond the one-shot CLI, internal/service turns the library into a
 // long-running concurrent mapping-search server (`mindmappings serve`): an
 // HTTP JSON API backed by a worker pool, a registry that loads trained
-// surrogates once and shares them across jobs, and an LRU cache that
-// memoizes reference-cost-model evaluations across jobs working on the
-// same problem. See README.md for a quickstart and an example curl
-// session.
+// surrogates once and shares them across jobs (reloading raw files that
+// are republished in place), and an LRU cache that memoizes
+// reference-cost-model evaluations across jobs working on the same
+// problem. See README.md for a quickstart and an example curl session.
+//
+// Phase 1 is online too: internal/trainer runs dataset generation →
+// supervised training → publication as cancellable, resumable jobs on a
+// worker pool separate from the search pool (POST /v1/train, `mindmappings
+// train`), with per-epoch checkpoints and live phase/epoch/loss progress.
+// Finished surrogates land in internal/modelstore — a content-addressed,
+// versioned artifact store with atomic-rename commits, JSON manifests
+// (workload/arch/cost-model fingerprints, training config, loss
+// trajectories, warm-start lineage), an index keyed by workload
+// fingerprint, and GC of superseded versions. Searches can name a model as
+// "auto" to resolve the best stored artifact for their workload — or set
+// train_on_miss to train one on the spot — and new training runs can
+// warm-start from a stored parent of the same workload, reaching the cold
+// run's final loss in a fraction of the epochs (the BENCH_search.json
+// warm-vs-cold row). `mindmappings serve` drains searches, training jobs,
+// and the HTTP listener gracefully on SIGINT/SIGTERM. See DESIGN.md §7 for
+// the store layout, the manifest schema, and the auto-resolution and
+// warm-start rules.
 //
 // The evaluation hot path is batched and allocation-free: surrogate
 // queries run through batch GEMM kernels (surrogate.PredictBatch /

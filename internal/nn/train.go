@@ -1,9 +1,11 @@
 package nn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 )
 
@@ -84,6 +86,32 @@ type TrainConfig struct {
 	Seed          int64
 	GradClip      float64   // 0 disables clipping
 	Log           io.Writer // optional per-epoch progress log
+	// Ctx, when non-nil, is checked between mini-batches: once it is done,
+	// Train stops and returns ctx.Err() along with the history recorded so
+	// far, so a cancelled run still reports its completed epochs.
+	Ctx context.Context
+	// StartEpoch resumes an interrupted run at this epoch: the schedule
+	// (learning-rate decays and the per-epoch shuffle stream) is replayed
+	// for the skipped epochs so a resumed run visits the remaining data in
+	// the exact order the uninterrupted run would have. The returned
+	// history covers only the epochs actually executed; callers splice it
+	// onto the prior run's history. Optimizer state (momentum velocity) is
+	// not part of the checkpoint and restarts at zero.
+	StartEpoch int
+	// OnEpoch, when set, is called after each completed epoch. Returning a
+	// non-nil error stops training and surfaces that error with the partial
+	// history — the hook for progress reporting and checkpointing in
+	// long-running training services.
+	OnEpoch func(EpochStats) error
+}
+
+// EpochStats is the per-epoch progress report passed to TrainConfig.OnEpoch.
+type EpochStats struct {
+	Epoch     int // 0-based absolute epoch index just completed
+	Epochs    int // total epochs configured
+	LR        float64
+	TrainLoss float64
+	TestLoss  float64 // NaN when no test set was provided
 }
 
 // PaperTrainConfig returns the exact training hyper-parameters reported in
@@ -147,7 +175,8 @@ func (h *History) FinalTest() float64 {
 
 // Train fits net on train with mini-batch gradient descent, evaluating loss
 // on test after each epoch. test may be nil, in which case only training
-// loss is recorded.
+// loss is recorded. On cancellation (cfg.Ctx) or an OnEpoch abort the
+// partial history is returned alongside the error.
 func Train(net *MLP, train, test *Dataset, cfg TrainConfig) (*History, error) {
 	cfg.fillDefaults()
 	if err := train.Validate(net.InDim(), net.OutDim()); err != nil {
@@ -157,6 +186,13 @@ func Train(net *MLP, train, test *Dataset, cfg TrainConfig) (*History, error) {
 		if err := test.Validate(net.InDim(), net.OutDim()); err != nil {
 			return nil, fmt.Errorf("nn: test set: %w", err)
 		}
+	}
+	if cfg.StartEpoch < 0 || cfg.StartEpoch > cfg.Epochs {
+		return nil, fmt.Errorf("nn: start epoch %d out of [0,%d]", cfg.StartEpoch, cfg.Epochs)
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	opt := cfg.Optimizer
@@ -174,7 +210,17 @@ func Train(net *MLP, train, test *Dataset, cfg TrainConfig) (*History, error) {
 		idx[i] = i
 	}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	// Replay the schedule for epochs a resumed run skips: the LR decays
+	// land where they would have, and burning the shuffles keeps the data
+	// order of the remaining epochs identical to an uninterrupted run.
+	for epoch := 0; epoch < cfg.StartEpoch; epoch++ {
+		if cfg.LRDecayEvery > 0 && epoch > 0 && epoch%cfg.LRDecayEvery == 0 {
+			opt.SetLR(opt.LR() * cfg.LRDecayFactor)
+		}
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+
+	for epoch := cfg.StartEpoch; epoch < cfg.Epochs; epoch++ {
 		if cfg.LRDecayEvery > 0 && epoch > 0 && epoch%cfg.LRDecayEvery == 0 {
 			opt.SetLR(opt.LR() * cfg.LRDecayFactor)
 		}
@@ -182,6 +228,9 @@ func Train(net *MLP, train, test *Dataset, cfg TrainConfig) (*History, error) {
 
 		epochLoss := 0.0
 		for start := 0; start < n; start += cfg.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return hist, err
+			}
 			end := start + cfg.BatchSize
 			if end > n {
 				end = n
@@ -202,16 +251,30 @@ func Train(net *MLP, train, test *Dataset, cfg TrainConfig) (*History, error) {
 			epochLoss += batchLoss
 		}
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(n))
+		testLoss := math.NaN()
 		if test != nil {
-			hist.TestLoss = append(hist.TestLoss, Evaluate(net, test, cfg.Loss))
+			testLoss = Evaluate(net, test, cfg.Loss)
+			hist.TestLoss = append(hist.TestLoss, testLoss)
 		}
 		if cfg.Log != nil {
 			if test != nil {
 				fmt.Fprintf(cfg.Log, "epoch %3d  lr %.2e  train %.6f  test %.6f\n",
-					epoch, opt.LR(), hist.TrainLoss[epoch], hist.TestLoss[epoch])
+					epoch, opt.LR(), hist.FinalTrain(), hist.FinalTest())
 			} else {
 				fmt.Fprintf(cfg.Log, "epoch %3d  lr %.2e  train %.6f\n",
-					epoch, opt.LR(), hist.TrainLoss[epoch])
+					epoch, opt.LR(), hist.FinalTrain())
+			}
+		}
+		if cfg.OnEpoch != nil {
+			stats := EpochStats{
+				Epoch:     epoch,
+				Epochs:    cfg.Epochs,
+				LR:        opt.LR(),
+				TrainLoss: hist.FinalTrain(),
+				TestLoss:  testLoss,
+			}
+			if err := cfg.OnEpoch(stats); err != nil {
+				return hist, err
 			}
 		}
 	}

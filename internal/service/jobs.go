@@ -16,8 +16,10 @@ import (
 	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
+	"mindmappings/internal/modelstore"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/search"
+	"mindmappings/internal/trainer"
 	"mindmappings/internal/workload"
 
 	_ "mindmappings/internal/timeloop" // register the reference cost-model backend
@@ -58,9 +60,20 @@ type SearchRequest struct {
 	// Searcher selects the method: mm (default, requires Model), sa, ga,
 	// rl, or random.
 	Searcher string `json:"searcher,omitempty"`
-	// Model names a surrogate file in the server's model directory;
-	// required for the mm searcher, ignored otherwise.
+	// Model names a surrogate for the mm searcher (ignored otherwise): a
+	// store artifact ID, a file in the server's model directory, or "auto"
+	// to resolve the best published artifact for the request's workload by
+	// fingerprint. Required for mm.
 	Model string `json:"model,omitempty"`
+	// TrainOnMiss, valid only with Model "auto", trains and publishes a
+	// surrogate through the training pipeline when the store has none for
+	// the workload — the HTTP-only cold-start path. Workload and cost
+	// model are taken from the search request; equivalent concurrent
+	// misses share one training run. The search job waits for training,
+	// so budget its client timeout accordingly; cancelling the search
+	// stops only the wait — the (shared) training run keeps going and
+	// stays visible under GET /v1/train.
+	TrainOnMiss *trainer.Request `json:"train_on_miss,omitempty"`
 	// CostModel selects the registered cost-model backend that evaluates
 	// (and, for black-box searchers, drives) the search: "timeloop"
 	// (default) or "roofline". Per-backend eval totals are reported by
@@ -133,6 +146,10 @@ type Job struct {
 type JobManager struct {
 	registry *ModelRegistry
 	cache    *EvalCache
+	// store and trainPipe, when set via EnableTraining, activate
+	// "model":"auto" fingerprint resolution and train-on-miss.
+	store     *modelstore.Store
+	trainPipe *trainer.Pipeline
 
 	queue   chan *Job
 	baseCtx context.Context
@@ -185,6 +202,22 @@ func NewJobManager(registry *ModelRegistry, cache *EvalCache, workers, queueCap 
 		go jm.worker()
 	}
 	return jm
+}
+
+// EnableTraining attaches the versioned artifact store and the training
+// pipeline, activating "model":"auto" resolution (best published artifact
+// for the request's workload fingerprint) and train_on_miss.
+func (jm *JobManager) EnableTraining(store *modelstore.Store, tp *trainer.Pipeline) {
+	jm.mu.Lock()
+	jm.store = store
+	jm.trainPipe = tp
+	jm.mu.Unlock()
+}
+
+func (jm *JobManager) training() (*modelstore.Store, *trainer.Pipeline) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.store, jm.trainPipe
 }
 
 // ErrQueueFull is returned by Submit when the pending queue is at
@@ -251,7 +284,7 @@ func (req *SearchRequest) Validate() error {
 	switch name {
 	case "", "mm":
 		if req.Model == "" {
-			return errors.New("service: the mm searcher needs a model (or pick sa/ga/rl/random)")
+			return errors.New("service: the mm searcher needs a model (an artifact ID, a file name, or \"auto\") or pick sa/ga/rl/random")
 		}
 		if err := validName(req.Model); err != nil {
 			return err
@@ -260,7 +293,31 @@ func (req *SearchRequest) Validate() error {
 	default:
 		return fmt.Errorf("service: unknown searcher %q (want mm, sa, ga, rl, random)", req.Searcher)
 	}
+	if req.TrainOnMiss != nil {
+		if req.Model != "auto" {
+			return errors.New("service: train_on_miss requires \"model\": \"auto\"")
+		}
+		treq := req.trainRequest()
+		if err := treq.Validate(); err != nil {
+			return fmt.Errorf("service: train_on_miss: %w", err)
+		}
+	}
 	return nil
+}
+
+// trainRequest synthesizes the pipeline request for a train-on-miss: the
+// workload and cost model come from the search request (the surrogate must
+// approximate the f the search is scored against), the recipe from the
+// TrainOnMiss body, and warm-starting defaults to "auto".
+func (req *SearchRequest) trainRequest() trainer.Request {
+	treq := *req.TrainOnMiss
+	treq.Algo = req.Algo
+	treq.Einsum = req.Einsum
+	treq.CostModel = req.CostModel
+	if treq.Warm == "" {
+		treq.Warm = "auto"
+	}
+	return treq
 }
 
 // maxTrajectorySamples bounds how many non-improving trajectory points a
@@ -618,7 +675,7 @@ func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.
 	if err != nil {
 		return nil, nil, err
 	}
-	searcher, err := jm.searcher(req, algo)
+	searcher, err := jm.searcher(ctx, req, algo)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -646,21 +703,31 @@ func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.
 
 // searcher builds the requested search method, pulling the shared
 // surrogate from the registry for mm and checking it matches the resolved
-// workload by name and (when stamped) by fingerprint.
-func (jm *JobManager) searcher(req *SearchRequest, algo *loopnest.Algorithm) (search.Searcher, error) {
+// workload by name and (when stamped) by fingerprint. "auto" models
+// resolve through the store by workload fingerprint, training on a miss
+// when the request asks for it.
+func (jm *JobManager) searcher(ctx context.Context, req *SearchRequest, algo *loopnest.Algorithm) (search.Searcher, error) {
 	switch strings.ToLower(req.Searcher) {
 	case "", "mm":
-		sur, err := jm.registry.Get(req.Model)
+		name := req.Model
+		if name == "auto" {
+			id, err := jm.resolveAuto(ctx, req, algo)
+			if err != nil {
+				return nil, err
+			}
+			name = id
+		}
+		sur, err := jm.registry.Get(name)
 		if err != nil {
 			return nil, err
 		}
 		if sur.AlgoName != algo.Name {
 			return nil, fmt.Errorf("service: model %q was trained for %s, request targets %s",
-				req.Model, sur.AlgoName, algo.Name)
+				name, sur.AlgoName, algo.Name)
 		}
 		if sur.AlgoFP != "" && sur.AlgoFP != algo.Fingerprint() {
 			return nil, fmt.Errorf("service: model %q was trained for workload %s with fingerprint %.12s…, the requested definition has %.12s…",
-				req.Model, sur.AlgoName, sur.AlgoFP, algo.Fingerprint())
+				name, sur.AlgoName, sur.AlgoFP, algo.Fingerprint())
 		}
 		return search.MindMappings{Surrogate: sur}, nil
 	case "sa":
@@ -673,6 +740,48 @@ func (jm *JobManager) searcher(req *SearchRequest, algo *loopnest.Algorithm) (se
 		return search.RandomSearch{}, nil
 	}
 	return nil, fmt.Errorf("service: unknown searcher %q", req.Searcher)
+}
+
+// resolveAuto maps "model":"auto" to a store artifact ID: the best stored
+// version whose workload fingerprint, labeling cost model, AND accelerator
+// fingerprint all match the search — a surrogate approximates one specific
+// f, so an artifact trained against a different backend or arch must never
+// be served silently. On a miss, train_on_miss drives an on-demand
+// training run (deduplicated with any equivalent run already in flight,
+// and cancelled along with the search job's context) that trains against
+// the request's own cost model.
+func (jm *JobManager) resolveAuto(ctx context.Context, req *SearchRequest, algo *loopnest.Algorithm) (string, error) {
+	store, pipe := jm.training()
+	if store == nil {
+		return "", errors.New(`service: "model":"auto" needs a model store (serve with -store)`)
+	}
+	wantCM := req.CostModel
+	if wantCM == "" {
+		wantCM = costmodel.DefaultBackend
+	}
+	wantArch := modelstore.ArchFingerprint(arch.Default(len(algo.Tensors) - 1))
+	match := func(m modelstore.Manifest) bool {
+		return m.CostModel == wantCM && m.ArchFP == wantArch
+	}
+	if m, ok := store.ResolveMatching(algo.Fingerprint(), match); ok {
+		return m.ID, nil
+	}
+	if req.TrainOnMiss == nil || pipe == nil {
+		return "", fmt.Errorf("service: no stored model for workload %s (fingerprint %.12s…) trained against cost model %q; POST /v1/train, or set train_on_miss",
+			algo.Name, algo.Fingerprint(), wantCM)
+	}
+	job, err := pipe.Ensure(req.trainRequest())
+	if err != nil {
+		return "", fmt.Errorf("service: train-on-miss: %w", err)
+	}
+	done, err := pipe.Wait(ctx, job.ID)
+	if err != nil {
+		return "", fmt.Errorf("service: train-on-miss: %w", err)
+	}
+	if done.Status != trainer.StatusDone {
+		return "", fmt.Errorf("service: train-on-miss job %s finished %s: %s", done.ID, done.Status, done.Error)
+	}
+	return done.Artifact.ID, nil
 }
 
 // buildResult converts a search result into its wire form. A run that

@@ -8,7 +8,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"mindmappings/internal/modelstore"
 	"mindmappings/internal/surrogate"
 )
 
@@ -24,12 +26,17 @@ import (
 type ModelRegistry struct {
 	dir      string
 	capacity int
+	// store, when attached, serves content-addressed artifacts: a Get
+	// whose name matches a store artifact ID loads the immutable blob
+	// through the store instead of scanning the raw directory.
+	store *modelstore.Store
 
-	mu      sync.RWMutex
-	loaded  map[string]*regEntry
-	useSeq  atomic.Uint64 // monotonic use clock for LRU ordering
-	loads   uint64        // disk loads performed, guarded by mu (write path only)
-	evicted uint64
+	mu       sync.RWMutex
+	loaded   map[string]*regEntry
+	useSeq   atomic.Uint64 // monotonic use clock for LRU ordering
+	loads    uint64        // disk loads performed, guarded by mu (write path only)
+	evicted  uint64
+	reloaded uint64 // stale raw files detected and dropped for reload
 
 	loadMu  sync.Mutex // guards loading; never held during disk I/O
 	loading map[string]*loadCall
@@ -47,6 +54,14 @@ type loadCall struct {
 type regEntry struct {
 	sur  *surrogate.Surrogate
 	used atomic.Uint64 // useSeq at last Get; atomic so hits stay on the read lock
+	// Raw-file staleness detection: the file identity at load time. A
+	// model republished under the same name (new mtime or size) is
+	// detected on the next Get and reloaded instead of being served from
+	// the old in-memory copy forever. Store-backed entries are
+	// content-addressed and immutable, so they skip the check.
+	immutable bool
+	mtime     time.Time
+	size      int64
 }
 
 // DefaultRegistryCapacity bounds the number of simultaneously loaded
@@ -77,8 +92,26 @@ func validName(name string) error {
 	return nil
 }
 
-// Get returns the surrogate stored under name (a file name inside the
-// registry directory), loading it from disk on first use.
+// AttachStore connects a versioned artifact store: names matching store
+// artifact IDs resolve through it (immutable, no staleness checks), with
+// raw files in the registry directory still served as before.
+func (r *ModelRegistry) AttachStore(st *modelstore.Store) {
+	r.mu.Lock()
+	r.store = st
+	r.mu.Unlock()
+}
+
+// Store returns the attached artifact store, or nil.
+func (r *ModelRegistry) Store() *modelstore.Store {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.store
+}
+
+// Get returns the surrogate stored under name — a store artifact ID when a
+// store is attached and has one, otherwise a file name inside the registry
+// directory — loading it on first use and reloading raw files whose bytes
+// changed on disk since.
 func (r *ModelRegistry) Get(name string) (*surrogate.Surrogate, error) {
 	if err := validName(name); err != nil {
 		return nil, err
@@ -103,9 +136,11 @@ func (r *ModelRegistry) Get(name string) (*surrogate.Surrogate, error) {
 	r.loading[name] = c
 	r.loadMu.Unlock()
 
-	c.sur, c.err = r.loadFromDisk(name)
+	var entry *regEntry
+	entry, c.err = r.loadFromDisk(name)
 	if c.err == nil {
-		r.insert(name, c.sur)
+		c.sur = entry.sur
+		r.insert(name, entry)
 	}
 	r.loadMu.Lock()
 	delete(r.loading, name)
@@ -115,36 +150,86 @@ func (r *ModelRegistry) Get(name string) (*surrogate.Surrogate, error) {
 }
 
 // lookup returns a warm model under the read lock, bumping its LRU clock.
+// Mutable (raw-file) entries are stat-checked against the disk: a changed
+// mtime or size drops the entry so the caller falls through to a fresh
+// load — the republish-staleness fix.
 func (r *ModelRegistry) lookup(name string) (*surrogate.Surrogate, bool) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if e, ok := r.loaded[name]; ok {
-		e.used.Store(r.useSeq.Add(1))
-		return e.sur, true
+	e, ok := r.loaded[name]
+	if ok && !e.immutable {
+		if fi, err := os.Stat(filepath.Join(r.dir, name)); err != nil || !fi.ModTime().Equal(e.mtime) || fi.Size() != e.size {
+			r.mu.RUnlock()
+			r.invalidate(name, e)
+			return nil, false
+		}
 	}
-	return nil, false
+	if ok {
+		e.used.Store(r.useSeq.Add(1))
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return e.sur, true
 }
 
-// loadFromDisk deserializes one surrogate file. No locks are held.
-func (r *ModelRegistry) loadFromDisk(name string) (*surrogate.Surrogate, error) {
-	f, err := os.Open(filepath.Join(r.dir, name))
+// invalidate drops a stale entry (only if it is still the same entry, so a
+// concurrent reload is never clobbered).
+func (r *ModelRegistry) invalidate(name string, stale *regEntry) {
+	r.mu.Lock()
+	if cur, ok := r.loaded[name]; ok && cur == stale {
+		delete(r.loaded, name)
+		r.reloaded++
+	}
+	r.mu.Unlock()
+}
+
+// Invalidate drops any cached entry for name, so the next Get reloads (or
+// fails) against the current disk state. Callers that remove store
+// artifacts (DELETE /v1/models, GC) use it to keep the registry from
+// serving deleted models out of memory.
+func (r *ModelRegistry) Invalidate(name string) {
+	r.mu.Lock()
+	delete(r.loaded, name)
+	r.mu.Unlock()
+}
+
+// loadFromDisk deserializes one model: a store artifact when the attached
+// store knows the name, else a raw surrogate file in the registry
+// directory (whose identity is recorded for staleness detection). No
+// registry locks are held during I/O.
+func (r *ModelRegistry) loadFromDisk(name string) (*regEntry, error) {
+	if st := r.Store(); st != nil {
+		if _, ok := st.Get(name); ok {
+			sur, err := st.Load(name)
+			if err != nil {
+				return nil, fmt.Errorf("service: %w", err)
+			}
+			return &regEntry{sur: sur, immutable: true}, nil
+		}
+	}
+	path := filepath.Join(r.dir, name)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("service: model %q: %w", name, err)
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("service: model %q: %w", name, err)
+	}
 	sur, err := surrogate.Load(f)
 	if err != nil {
 		return nil, fmt.Errorf("service: model %q: %w", name, err)
 	}
-	return sur, nil
+	return &regEntry{sur: sur, mtime: fi.ModTime(), size: fi.Size()}, nil
 }
 
 // insert registers a freshly loaded model and evicts beyond capacity.
-func (r *ModelRegistry) insert(name string, sur *surrogate.Surrogate) {
+func (r *ModelRegistry) insert(name string, e *regEntry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.loads++
-	e := &regEntry{sur: sur}
 	e.used.Store(r.useSeq.Add(1))
 	r.loaded[name] = e
 	for len(r.loaded) > r.capacity {
@@ -209,11 +294,14 @@ type RegistryStats struct {
 	Capacity int    `json:"capacity"`
 	Loads    uint64 `json:"disk_loads"`
 	Evicted  uint64 `json:"evicted"`
+	// Reloaded counts raw files detected as republished (changed mtime or
+	// size) and dropped for a fresh load.
+	Reloaded uint64 `json:"reloaded"`
 }
 
 // Stats snapshots load/eviction counters.
 func (r *ModelRegistry) Stats() RegistryStats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return RegistryStats{Loaded: len(r.loaded), Capacity: r.capacity, Loads: r.loads, Evicted: r.evicted}
+	return RegistryStats{Loaded: len(r.loaded), Capacity: r.capacity, Loads: r.loads, Evicted: r.evicted, Reloaded: r.reloaded}
 }

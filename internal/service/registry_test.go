@@ -1,10 +1,14 @@
 package service
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"mindmappings/internal/modelstore"
+	"mindmappings/internal/surrogate"
 )
 
 func TestRegistryLoadsOnceAndShares(t *testing.T) {
@@ -114,5 +118,89 @@ func TestRegistryList(t *testing.T) {
 	}
 	if models[1].Name != "b.surrogate" || models[1].Loaded {
 		t.Fatalf("b: %+v", models[1])
+	}
+}
+
+// TestRegistryReloadsRepublishedModel is the staleness fix's regression
+// test: a model republished under the same name (changed bytes on disk)
+// must be reloaded on the next Get instead of being served from the old
+// in-memory copy forever.
+func TestRegistryReloadsRepublishedModel(t *testing.T) {
+	dir := modelDir(t, "m.surrogate")
+	r := NewModelRegistry(dir, 4)
+	first, err := r.Get("m.surrogate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Republish: same gob payload plus trailing bytes (the decoder ignores
+	// them), so the file has a new size — and typically a new mtime.
+	blob := surrogateBytes(t)
+	republished := append(append([]byte(nil), blob...), "republished"...)
+	if err := os.WriteFile(filepath.Join(dir, "m.surrogate"), republished, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Get("m.surrogate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second == first {
+		t.Fatal("republished model served from the stale in-memory copy")
+	}
+	st := r.Stats()
+	if st.Loads != 2 || st.Reloaded != 1 {
+		t.Fatalf("stats %+v, want 2 loads and 1 reload", st)
+	}
+	// Steady state: unchanged files are NOT reloaded on every Get.
+	third, err := r.Get("m.surrogate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third != second {
+		t.Fatal("unchanged file reloaded")
+	}
+	if st := r.Stats(); st.Loads != 2 {
+		t.Fatalf("loads %d after warm Get, want 2", st.Loads)
+	}
+}
+
+// TestRegistryServesStoreArtifacts checks the store-backed path: artifact
+// IDs resolve through the attached store, stay immutable (no stat
+// invalidation), and coexist with raw files.
+func TestRegistryServesStoreArtifacts(t *testing.T) {
+	store, err := modelstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sur, err := surrogate.Load(bytes.NewReader(surrogateBytes(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.Publish(sur, modelstore.PublishMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := modelDir(t, "raw.surrogate")
+	r := NewModelRegistry(dir, 4)
+	r.AttachStore(store)
+
+	fromStore, err := r.Get(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromStore.AlgoName != "conv1d" {
+		t.Fatalf("store-backed load: %s", fromStore.AlgoName)
+	}
+	again, err := r.Get(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != fromStore {
+		t.Fatal("immutable store artifact was reloaded")
+	}
+	if _, err := r.Get("raw.surrogate"); err != nil {
+		t.Fatalf("raw file alongside store: %v", err)
+	}
+	if st := r.Stats(); st.Loads != 2 || st.Reloaded != 0 {
+		t.Fatalf("stats %+v", st)
 	}
 }

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"mindmappings/internal/modelstore"
+	"mindmappings/internal/trainer"
 	"mindmappings/internal/workload"
 )
 
@@ -16,24 +19,48 @@ import (
 //
 // Endpoints:
 //
-//	POST   /v1/search     enqueue a search job (202 + job snapshot)
-//	GET    /v1/jobs       list all jobs
-//	GET    /v1/jobs/{id}  job status, result, best-EDP trajectory
-//	DELETE /v1/jobs/{id}  cancel a queued or in-flight job
-//	GET    /v1/models     surrogate files the registry can serve, plus the
-//	                      registered workloads (name, einsum, dims, example)
-//	GET    /v1/metrics    job, cache, and registry counters
-//	GET    /healthz       liveness probe
+//	POST   /v1/search             enqueue a search job (202 + job snapshot)
+//	GET    /v1/jobs               list all jobs
+//	GET    /v1/jobs/{id}          job status, result, best-EDP trajectory
+//	DELETE /v1/jobs/{id}          cancel a queued or in-flight job
+//	POST   /v1/train              enqueue a training job (202 + job snapshot)
+//	GET    /v1/train              list training jobs
+//	GET    /v1/train/{id}         training status: phase, samples, epoch, losses
+//	DELETE /v1/train/{id}         cancel a training job (checkpoint retained)
+//	POST   /v1/train/{id}/resume  continue a cancelled/failed job from its checkpoint
+//	GET    /v1/models             store artifacts (manifests), raw surrogate files,
+//	                              and the registered workloads
+//	DELETE /v1/models/{id}        delete a store artifact
+//	POST   /v1/models/gc          drop superseded versions (?keep=N, default 2)
+//	GET    /v1/metrics            job, trainer, cache, registry, and store counters
+//	GET    /healthz               liveness probe
+//
+// The training endpoints answer 503 until WithTraining attaches a store
+// and pipeline.
 type Server struct {
 	jobs     *JobManager
 	registry *ModelRegistry
 	cache    *EvalCache
+	store    *modelstore.Store
+	trainer  *trainer.Pipeline
 	started  time.Time
 }
 
 // NewServer wires the service components into an HTTP front end.
 func NewServer(jobs *JobManager, registry *ModelRegistry, cache *EvalCache) *Server {
 	return &Server{jobs: jobs, registry: registry, cache: cache, started: time.Now()}
+}
+
+// WithTraining attaches the artifact store and training pipeline, enabling
+// the /v1/train endpoints, store-backed /v1/models, and — through the job
+// manager — "model":"auto" and train_on_miss. Returns the server for
+// chaining.
+func (s *Server) WithTraining(store *modelstore.Store, tp *trainer.Pipeline) *Server {
+	s.store = store
+	s.trainer = tp
+	s.registry.AttachStore(store)
+	s.jobs.EnableTraining(store, tp)
+	return s
 }
 
 // Handler returns the routed HTTP handler.
@@ -44,7 +71,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("POST /v1/train", s.handleTrain)
+	mux.HandleFunc("GET /v1/train", s.handleListTrain)
+	mux.HandleFunc("GET /v1/train/{id}", s.handleGetTrain)
+	mux.HandleFunc("DELETE /v1/train/{id}", s.handleCancelTrain)
+	mux.HandleFunc("POST /v1/train/{id}/resume", s.handleResumeTrain)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
+	mux.HandleFunc("POST /v1/models/gc", s.handleGCModels)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
 }
@@ -121,6 +155,84 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job)
 }
 
+// errTrainingDisabled answers the training endpoints of a server started
+// without a store/pipeline.
+var errTrainingDisabled = errors.New("training is disabled on this server (serve with -store)")
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if s.trainer == nil {
+		writeError(w, http.StatusServiceUnavailable, errTrainingDisabled)
+		return
+	}
+	var req trainer.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	job, err := s.trainer.Submit(req)
+	switch {
+	case errors.Is(err, trainer.ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/train/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleListTrain(w http.ResponseWriter, r *http.Request) {
+	if s.trainer == nil {
+		writeError(w, http.StatusServiceUnavailable, errTrainingDisabled)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.trainer.List()})
+}
+
+func (s *Server) handleGetTrain(w http.ResponseWriter, r *http.Request) {
+	if s.trainer == nil {
+		writeError(w, http.StatusServiceUnavailable, errTrainingDisabled)
+		return
+	}
+	job, ok := s.trainer.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown training job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleCancelTrain(w http.ResponseWriter, r *http.Request) {
+	if s.trainer == nil {
+		writeError(w, http.StatusServiceUnavailable, errTrainingDisabled)
+		return
+	}
+	job, ok := s.trainer.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown training job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleResumeTrain(w http.ResponseWriter, r *http.Request) {
+	if s.trainer == nil {
+		writeError(w, http.StatusServiceUnavailable, errTrainingDisabled)
+		return
+	}
+	job, err := s.trainer.Resume(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/train/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	models, err := s.registry.List()
 	if err != nil {
@@ -130,12 +242,62 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	if models == nil {
 		models = []ModelInfo{}
 	}
-	// The workload list is generated from the registry, so the API surface
-	// can never drift from the algorithms the binary actually serves.
-	writeJSON(w, http.StatusOK, map[string]any{
-		"models":    models,
+	body := map[string]any{
+		"models": models,
+		// The workload list is generated from the registry, so the API
+		// surface can never drift from the algorithms the binary serves.
 		"workloads": workload.List(),
-	})
+	}
+	if s.store != nil {
+		body["store"] = s.store.List()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusServiceUnavailable, errTrainingDisabled)
+		return
+	}
+	id := r.PathValue("id")
+	switch err := s.store.Delete(id); {
+	case errors.Is(err, modelstore.ErrUnknownArtifact):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.registry.Invalidate(id) // never serve a deleted artifact from memory
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+func (s *Server) handleGCModels(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusServiceUnavailable, errTrainingDisabled)
+		return
+	}
+	keep := 2
+	if q := r.URL.Query().Get("keep"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad keep %q", q))
+			return
+		}
+		keep = v
+	}
+	removed, err := s.store.GC(keep)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if removed == nil {
+		removed = []string{}
+	}
+	for _, id := range removed {
+		s.registry.Invalidate(id)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": removed, "kept_per_workload": keep})
 }
 
 // Metrics is the GET /v1/metrics body.
@@ -149,10 +311,13 @@ type Metrics struct {
 	CostModels map[string]int64 `json:"cost_models"`
 	EvalCache  CacheStats       `json:"eval_cache"`
 	Registry   RegistryStats    `json:"registry"`
+	// Trainer and Store are present once WithTraining has been called.
+	Trainer *trainer.Stats    `json:"trainer,omitempty"`
+	Store   *modelstore.Stats `json:"store,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Metrics{
+	m := Metrics{
 		Uptime:     time.Since(s.started).Round(time.Millisecond).String(),
 		Workers:    s.jobs.Workers(),
 		QueueCap:   s.jobs.QueueCap(),
@@ -160,5 +325,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CostModels: s.jobs.EvalCounts(),
 		EvalCache:  s.cache.Stats(),
 		Registry:   s.registry.Stats(),
-	})
+	}
+	if s.trainer != nil {
+		ts := s.trainer.Stats()
+		m.Trainer = &ts
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		m.Store = &ss
+	}
+	writeJSON(w, http.StatusOK, m)
 }

@@ -15,6 +15,16 @@
 //     to runtime.NumCPU(), with per-job context cancellation threaded all
 //     the way into the search loops.
 //
+// With WithTraining the server also closes the Phase-1 loop online: a
+// trainer.Pipeline (its own worker pool, so training never starves
+// searches) runs cancellable, resumable dataset-generation + training
+// jobs over POST /v1/train and publishes the results into a
+// modelstore.Store — content-addressed, versioned artifacts indexed by
+// workload fingerprint. Searches may then name a model as "auto" (resolve
+// the best stored artifact for the workload, optionally training on a
+// miss via train_on_miss), an artifact ID, or a raw file; raw files
+// republished in place are detected and reloaded.
+//
 // The HTTP JSON API (see Server) is served by the `mindmappings serve`
 // subcommand.
 package service

@@ -8,6 +8,7 @@
 package surrogate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -184,8 +185,32 @@ func (d *RawDataset) Subset(n int) (*RawDataset, error) {
 // normalized to the per-problem algorithmic lower bound (§4.1.3) so costs
 // of differently-sized problems share a scale.
 func Generate(algo *loopnest.Algorithm, a arch.Spec, cfg Config) (*RawDataset, error) {
+	return GenerateWith(algo, a, cfg, GenerateOptions{})
+}
+
+// GenerateOptions extends Generate for online training pipelines.
+type GenerateOptions struct {
+	// Ctx cancels generation between samples; the partial dataset is
+	// discarded and ctx.Err() returned. Nil means no cancellation.
+	Ctx context.Context
+	// OnProgress, when set, is called periodically (every few hundred
+	// samples and once at completion) with the number of labeled samples
+	// so far and the configured total.
+	OnProgress func(done, total int)
+}
+
+// generateProgressStride is how many samples GenerateWith labels between
+// cancellation checks and OnProgress callbacks.
+const generateProgressStride = 128
+
+// GenerateWith is Generate with cancellation and progress reporting.
+func GenerateWith(algo *loopnest.Algorithm, a arch.Spec, cfg Config, opts GenerateOptions) (*RawDataset, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rng := stats.NewRNG(cfg.Seed)
 	type problemCtx struct {
@@ -229,21 +254,36 @@ func Generate(algo *loopnest.Algorithm, a arch.Spec, cfg Config) (*RawDataset, e
 	}
 
 	ds := &RawDataset{Algo: algo, Arch: a, Mode: cfg.Mode}
-	add := func(ctx problemCtx, m *mapspace.Mapping) (costmodel.Cost, error) {
-		cost, err := costmodel.Evaluate(nil, ctx.model, m)
+	add := func(pctx problemCtx, m *mapspace.Mapping) (costmodel.Cost, error) {
+		cost, err := costmodel.Evaluate(nil, pctx.model, m)
 		if err != nil {
 			return costmodel.Cost{}, fmt.Errorf("surrogate: evaluating sample %d: %w", ds.Len(), err)
 		}
-		ds.X = append(ds.X, ctx.space.Encode(m))
-		ds.Y = append(ds.Y, normalizeTarget(&cost, ctx.bound, cfg.Mode))
+		ds.X = append(ds.X, pctx.space.Encode(m))
+		ds.Y = append(ds.Y, normalizeTarget(&cost, pctx.bound, cfg.Mode))
 		return cost, nil
 	}
+	defer func() {
+		if opts.OnProgress != nil && ds.Len() == cfg.Samples {
+			opts.OnProgress(ds.Len(), cfg.Samples) // the documented completion report
+		}
+	}()
+	lastReport := 0
 	for ds.Len() < cfg.Samples {
-		ctx := ctxs[rng.Intn(len(ctxs))]
+		if ds.Len()-lastReport >= generateProgressStride {
+			lastReport = ds.Len()
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if opts.OnProgress != nil {
+				opts.OnProgress(ds.Len(), cfg.Samples)
+			}
+		}
+		pctx := ctxs[rng.Intn(len(ctxs))]
 		if cfg.TailBias <= 0 || rng.Float64() >= cfg.TailBias {
 			// Uniform draw (§4.1.1).
-			m := ctx.space.Random(rng)
-			if _, err := add(ctx, &m); err != nil {
+			m := pctx.space.Random(rng)
+			if _, err := add(pctx, &m); err != nil {
 				return nil, err
 			}
 			continue
@@ -254,8 +294,8 @@ func Generate(algo *loopnest.Algorithm, a arch.Spec, cfg Config) (*RawDataset, e
 		var best mapspace.Mapping
 		bestEDP := -1.0
 		for k := 0; k < tailK; k++ {
-			m := ctx.space.Random(rng)
-			cost, err := costmodel.Evaluate(nil, ctx.model, &m)
+			m := pctx.space.Random(rng)
+			cost, err := costmodel.Evaluate(nil, pctx.model, &m)
 			if err != nil {
 				return nil, fmt.Errorf("surrogate: tail candidate: %w", err)
 			}
@@ -263,12 +303,12 @@ func Generate(algo *loopnest.Algorithm, a arch.Spec, cfg Config) (*RawDataset, e
 				best, bestEDP = m, cost.EDP
 			}
 		}
-		if _, err := add(ctx, &best); err != nil {
+		if _, err := add(pctx, &best); err != nil {
 			return nil, err
 		}
 		for n := 0; n < tailNeighbors && ds.Len() < cfg.Samples; n++ {
-			nb := ctx.space.Perturb(rng, &best)
-			if _, err := add(ctx, &nb); err != nil {
+			nb := pctx.space.Perturb(rng, &best)
+			if _, err := add(pctx, &nb); err != nil {
 				return nil, err
 			}
 		}

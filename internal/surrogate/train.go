@@ -1,6 +1,7 @@
 package surrogate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -55,6 +56,64 @@ func (s *Surrogate) putWS(ws *nn.Workspace) { s.wsPool.Put(ws) }
 // Train fits a surrogate on the raw dataset per the configured recipe and
 // returns it with the per-epoch loss history (the Figure-7a data).
 func Train(ds *RawDataset, cfg Config) (*Surrogate, *nn.History, error) {
+	return TrainWith(ds, cfg, TrainOptions{})
+}
+
+// TrainState is a resumable training checkpoint: the network as of the last
+// completed epoch together with the whitening transforms and the loss
+// history up to that point. Everything else a run needs (the split, the
+// schedule, the data order) is re-derived deterministically from the
+// dataset and config, so the checkpoint stays small.
+type TrainState struct {
+	Net     *nn.MLP
+	InNorm  *stats.Normalizer
+	OutNorm *stats.Normalizer
+	Epoch   int // completed epochs
+	Hist    nn.History
+}
+
+// TrainEpoch is the per-epoch progress report passed to
+// TrainOptions.OnEpoch.
+type TrainEpoch struct {
+	Epoch     int // 0-based epoch just completed
+	Epochs    int
+	TrainLoss float64
+	TestLoss  float64 // NaN when no test split exists
+	// State is a checkpoint as of this epoch: the network is a deep copy,
+	// so the receiver may retain it across further training.
+	State *TrainState
+}
+
+// TrainOptions extends Train for online training pipelines: cancellation,
+// per-epoch progress/checkpoint callbacks, warm-start transfer from a
+// previously trained surrogate, and resumption of an interrupted run.
+type TrainOptions struct {
+	// Ctx cancels training between mini-batches; the error returned is
+	// ctx.Err(). Nil means no cancellation.
+	Ctx context.Context
+	// OnEpoch, when set, is called after every completed epoch with the
+	// losses and a checkpoint-ready snapshot of the run.
+	OnEpoch func(TrainEpoch)
+	// Warm initializes the run from a parent surrogate of the same
+	// workload instead of from random weights: the parent's network is
+	// cloned and — so the cloned weights keep meaning — the parent's
+	// whitening transforms are reused rather than refit (see DESIGN.md §7).
+	// The parent must match the dataset's workload fingerprint, the
+	// config's mode/log-compression, and the network topology implied by
+	// cfg.HiddenSizes.
+	Warm *Surrogate
+	// Resume continues an interrupted run from its checkpoint: epochs
+	// before State.Epoch are skipped (with the schedule replayed), and the
+	// returned history is the splice of the checkpoint's history and the
+	// newly executed epochs. Mutually exclusive with Warm — the checkpoint
+	// already carries the run's whitening and weights.
+	Resume *TrainState
+}
+
+// TrainWith is Train with TrainOptions. On cancellation it returns the
+// partial history and ctx's error; the caller can checkpoint via OnEpoch
+// and continue later with Resume.
+func TrainWith(ds *RawDataset, cfg Config, opts TrainOptions) (*Surrogate, *nn.History, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -64,10 +123,15 @@ func Train(ds *RawDataset, cfg Config) (*Surrogate, *nn.History, error) {
 	if ds.Mode != cfg.Mode {
 		return nil, nil, fmt.Errorf("surrogate: dataset mode %d != config mode %d", ds.Mode, cfg.Mode)
 	}
+	if opts.Warm != nil && opts.Resume != nil {
+		return nil, nil, errors.New("surrogate: warm-start and resume are mutually exclusive")
+	}
 
 	// Whitening (§4.1.2/§4.1.3): inputs and outputs each normalized to mean
 	// 0, std 1 over the training set. Outputs optionally log-compressed
-	// first.
+	// first. A warm-started or resumed run reuses its parent's/checkpoint's
+	// transforms so the inherited weights keep operating in the space they
+	// were trained in.
 	targets := make([][]float64, ds.Len())
 	for i, y := range ds.Y {
 		row := append([]float64(nil), y...)
@@ -78,13 +142,29 @@ func Train(ds *RawDataset, cfg Config) (*Surrogate, *nn.History, error) {
 		}
 		targets[i] = row
 	}
-	inNorm, err := stats.FitNormalizer(ds.X)
-	if err != nil {
-		return nil, nil, fmt.Errorf("surrogate: input normalizer: %w", err)
+	var inNorm, outNorm *stats.Normalizer
+	switch {
+	case opts.Resume != nil:
+		inNorm, outNorm = opts.Resume.InNorm, opts.Resume.OutNorm
+	case opts.Warm != nil:
+		if err := checkWarmParent(opts.Warm, ds, cfg); err != nil {
+			return nil, nil, err
+		}
+		inNorm, outNorm = opts.Warm.InNorm, opts.Warm.OutNorm
+	default:
+		var err error
+		inNorm, err = stats.FitNormalizer(ds.X)
+		if err != nil {
+			return nil, nil, fmt.Errorf("surrogate: input normalizer: %w", err)
+		}
+		outNorm, err = stats.FitNormalizer(targets)
+		if err != nil {
+			return nil, nil, fmt.Errorf("surrogate: output normalizer: %w", err)
+		}
 	}
-	outNorm, err := stats.FitNormalizer(targets)
-	if err != nil {
-		return nil, nil, fmt.Errorf("surrogate: output normalizer: %w", err)
+	if inNorm.Dim() != len(ds.X[0]) || outNorm.Dim() != len(targets[0]) {
+		return nil, nil, fmt.Errorf("surrogate: inherited normalizer dims %d/%d do not fit dataset dims %d/%d",
+			inNorm.Dim(), outNorm.Dim(), len(ds.X[0]), len(targets[0]))
 	}
 
 	full := &nn.Dataset{}
@@ -100,15 +180,31 @@ func Train(ds *RawDataset, cfg Config) (*Surrogate, *nn.History, error) {
 
 	sizes := append([]int{len(ds.X[0])}, cfg.HiddenSizes...)
 	sizes = append(sizes, len(targets[0]))
-	net, err := nn.NewMLP(sizes, nn.ReLU{}, stats.NewRNG(cfg.Seed+2))
-	if err != nil {
-		return nil, nil, fmt.Errorf("surrogate: building MLP: %w", err)
+	var net *nn.MLP
+	var prior nn.History
+	startEpoch := 0
+	switch {
+	case opts.Resume != nil:
+		net = opts.Resume.Net.Clone()
+		startEpoch = opts.Resume.Epoch
+		prior = opts.Resume.Hist
+	case opts.Warm != nil:
+		net = opts.Warm.Net.Clone()
+	default:
+		net, err = nn.NewMLP(sizes, nn.ReLU{}, stats.NewRNG(cfg.Seed+2))
+		if err != nil {
+			return nil, nil, fmt.Errorf("surrogate: building MLP: %w", err)
+		}
 	}
-	trainCfg := cfg.Train
-	trainCfg.Seed = cfg.Seed + 3
-	hist, err := nn.Train(net, trainSet, testSet, trainCfg)
-	if err != nil {
-		return nil, nil, fmt.Errorf("surrogate: training: %w", err)
+	if len(net.Sizes) != len(sizes) {
+		return nil, nil, fmt.Errorf("surrogate: inherited network topology %v does not fit configured %v",
+			net.Sizes, sizes)
+	}
+	for i, sz := range sizes {
+		if net.Sizes[i] != sz {
+			return nil, nil, fmt.Errorf("surrogate: inherited network topology %v does not fit configured %v",
+				net.Sizes, sizes)
+		}
 	}
 
 	s := &Surrogate{
@@ -122,7 +218,73 @@ func Train(ds *RawDataset, cfg Config) (*Surrogate, *nn.History, error) {
 		LogOutputs: cfg.LogOutputs,
 		NumTensors: numTensorsFor(ds.Algo, cfg.Mode, len(ds.Y[0])),
 	}
-	return s, hist, nil
+
+	trainCfg := cfg.Train
+	trainCfg.Seed = cfg.Seed + 3
+	trainCfg.Ctx = opts.Ctx
+	trainCfg.StartEpoch = startEpoch
+	if opts.OnEpoch != nil {
+		var sofar nn.History
+		trainCfg.OnEpoch = func(es nn.EpochStats) error {
+			sofar.TrainLoss = append(sofar.TrainLoss, es.TrainLoss)
+			if !math.IsNaN(es.TestLoss) {
+				sofar.TestLoss = append(sofar.TestLoss, es.TestLoss)
+			}
+			opts.OnEpoch(TrainEpoch{
+				Epoch:     es.Epoch,
+				Epochs:    es.Epochs,
+				TrainLoss: es.TrainLoss,
+				TestLoss:  es.TestLoss,
+				State: &TrainState{
+					Net:     net.Clone(),
+					InNorm:  inNorm,
+					OutNorm: outNorm,
+					Epoch:   es.Epoch + 1,
+					Hist:    spliceHistory(prior, sofar),
+				},
+			})
+			return nil
+		}
+	}
+	hist, trainErr := nn.Train(net, trainSet, testSet, trainCfg)
+	if hist == nil {
+		hist = &nn.History{}
+	}
+	merged := spliceHistory(prior, *hist)
+	if trainErr != nil {
+		return nil, &merged, fmt.Errorf("surrogate: training: %w", trainErr)
+	}
+	return s, &merged, nil
+}
+
+// spliceHistory concatenates a checkpoint's loss history with the epochs a
+// resumed (or fresh) run actually executed.
+func spliceHistory(prior, cur nn.History) nn.History {
+	return nn.History{
+		TrainLoss: append(append([]float64(nil), prior.TrainLoss...), cur.TrainLoss...),
+		TestLoss:  append(append([]float64(nil), prior.TestLoss...), cur.TestLoss...),
+	}
+}
+
+// checkWarmParent validates a warm-start parent against the dataset and
+// config it is about to seed: same workload (by fingerprint when stamped),
+// same output representation, and a network whose topology matches the
+// configured hidden sizes — transfer across problem shapes of one
+// algorithm is the paper's generalization claim; transfer across workloads
+// is not.
+func checkWarmParent(parent *Surrogate, ds *RawDataset, cfg Config) error {
+	if parent.AlgoName != ds.Algo.Name {
+		return fmt.Errorf("surrogate: warm-start parent was trained for %q, dataset is %q",
+			parent.AlgoName, ds.Algo.Name)
+	}
+	if parent.AlgoFP != "" && parent.AlgoFP != ds.Algo.Fingerprint() {
+		return fmt.Errorf("surrogate: warm-start parent fingerprint %.12s… does not match workload %.12s…",
+			parent.AlgoFP, ds.Algo.Fingerprint())
+	}
+	if parent.Mode != cfg.Mode || parent.LogOutputs != cfg.LogOutputs {
+		return errors.New("surrogate: warm-start parent uses a different output representation")
+	}
+	return nil
 }
 
 func numTensorsFor(algo *loopnest.Algorithm, mode OutputMode, outLen int) int {

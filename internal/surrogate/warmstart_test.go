@@ -1,0 +1,73 @@
+package surrogate
+
+import (
+	"testing"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+)
+
+// TestWarmStartReachesTargetLossFaster is the generalization-claim
+// measurement behind the BENCH_search.json warm-vs-cold row: a surrogate
+// warm-started from a parent trained on a different draw of representative
+// problems of the same workload reaches the cold run's final test loss in
+// measurably fewer epochs. The paper trains once per algorithm and reuses
+// the surrogate across problems (§4.1); warm-starting is the online
+// version of that reuse — transfer across problem shapes, not workloads.
+func TestWarmStartReachesTargetLossFaster(t *testing.T) {
+	const epochs = 24
+	base := TinyConfig()
+	base.HiddenSizes = []int{32, 32}
+	base.Samples = 2500
+	base.Problems = 6
+	base.Train.Epochs = epochs
+	algo := loopnest.MustAlgorithm("conv1d")
+	a := arch.Default(2)
+
+	// Parent: trained on one draw of representative problems.
+	parentCfg := base
+	parentCfg.Seed = 1
+	dsA, err := Generate(algo, a, parentCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, _, err := Train(dsA, parentCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Target task: a different draw (different seed => different
+	// representative problems and samples).
+	childCfg := base
+	childCfg.Seed = 2
+	dsB, err := Generate(algo, a, childCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coldHist, err := Train(dsB, childCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warmHist, err := TrainWith(dsB, childCfg, TrainOptions{Warm: parent})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := coldHist.FinalTest()
+	epochsTo := func(hist []float64) int {
+		for i, v := range hist {
+			if v <= target {
+				return i + 1
+			}
+		}
+		return len(hist) + 1
+	}
+	coldEpochs := epochsTo(coldHist.TestLoss) // == epochs by construction
+	warmEpochs := epochsTo(warmHist.TestLoss)
+	t.Logf("warm-vs-cold epochs to test loss %.4f: cold %d, warm %d (warm final %.4f)",
+		target, coldEpochs, warmEpochs, warmHist.FinalTest())
+	if warmEpochs >= coldEpochs {
+		t.Fatalf("warm start did not converge faster: warm %d epochs vs cold %d to reach %.4f",
+			warmEpochs, coldEpochs, target)
+	}
+}

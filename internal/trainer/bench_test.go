@@ -1,0 +1,59 @@
+package trainer
+
+import (
+	"testing"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/surrogate"
+)
+
+// benchConfig mirrors SmallConfig's network on a bench-scale dataset so
+// the BENCH_search.json training-throughput rows are comparable across
+// PRs.
+func benchConfig() surrogate.Config {
+	cfg := surrogate.SmallConfig()
+	cfg.Samples = 4000
+	cfg.Problems = 8
+	cfg.Train.Epochs = 4
+	return cfg
+}
+
+// BenchmarkDatasetGeneration measures Phase-1a throughput: labeled
+// (mapping, cost) samples per second through the reference cost model —
+// the dominant wall-clock cost of a training job.
+func BenchmarkDatasetGeneration(b *testing.B) {
+	cfg := benchConfig()
+	algo := loopnest.MustAlgorithm("cnn-layer")
+	a := arch.Default(len(algo.Tensors) - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := surrogate.Generate(algo, a, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.Len() != cfg.Samples {
+			b.Fatalf("%d samples", ds.Len())
+		}
+	}
+	b.ReportMetric(float64(cfg.Samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkTrainingEpochs measures Phase-1b throughput: supervised
+// training epochs per second on the SmallConfig network at bench scale.
+func BenchmarkTrainingEpochs(b *testing.B) {
+	cfg := benchConfig()
+	algo := loopnest.MustAlgorithm("cnn-layer")
+	a := arch.Default(len(algo.Tensors) - 1)
+	ds, err := surrogate.Generate(algo, a, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := surrogate.Train(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Train.Epochs)*float64(b.N)/b.Elapsed().Seconds(), "epochs/s")
+}

@@ -1,0 +1,860 @@
+// Package trainer is the online Phase-1 pipeline: a bounded worker pool —
+// deliberately separate from the search JobManager's, so training load
+// never starves interactive searches and vice versa — whose jobs run
+// dataset generation (surrogate.GenerateWith against any registered
+// cost-model backend), supervised training (surrogate.TrainWith with
+// cancellation, per-epoch checkpoints, and optional warm-start transfer
+// from a parent artifact of the same workload), and publication into the
+// versioned modelstore. Jobs report phase/sample/epoch/loss progress live,
+// cancel between mini-batches, and — because every epoch checkpoints —
+// resume from where they stopped instead of starting over.
+package trainer
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/modelstore"
+	"mindmappings/internal/stats"
+	"mindmappings/internal/surrogate"
+	"mindmappings/internal/workload"
+
+	_ "mindmappings/internal/timeloop" // register the reference cost-model backend
+)
+
+// Status is the lifecycle state of a training job.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Phase names the stage a running job is in.
+const (
+	PhaseGenerate = "generate"
+	PhaseTrain    = "train"
+	PhasePublish  = "publish"
+)
+
+// Request is a training job description (the body of POST /v1/train).
+type Request struct {
+	// Algo names a registered workload; Einsum instead supplies an inline
+	// index-expression spec. Exactly one of the two is required.
+	Algo   string `json:"algo,omitempty"`
+	Einsum string `json:"einsum,omitempty"`
+	// Config picks the Phase-1 recipe baseline: tiny (default — the
+	// service favors fast turnaround), small, or paper.
+	Config string `json:"config,omitempty"`
+	// Recipe overrides (0 / empty keeps the named config's value).
+	Samples     int    `json:"samples,omitempty"`
+	Epochs      int    `json:"epochs,omitempty"`
+	Problems    int    `json:"problems,omitempty"`
+	HiddenSizes []int  `json:"hidden_sizes,omitempty"`
+	CostModel   string `json:"cost_model,omitempty"`
+	// Seed drives dataset sampling and weight initialization; 0 keeps the
+	// named config's default seed (seed 0 itself is not selectable — runs
+	// that need it can use any other seed, the value is opaque).
+	Seed int64 `json:"seed,omitempty"`
+	// Name labels the published artifact (optional, descriptive only).
+	Name string `json:"name,omitempty"`
+	// Warm selects the warm-start parent: "" or "none" for a cold start,
+	// "auto" to inherit from the store's best artifact of the same
+	// workload when one is compatible (falling back to cold when not), or
+	// an explicit artifact ID (which must be compatible).
+	Warm string `json:"warm,omitempty"`
+}
+
+// NamedConfig resolves a Phase-1 configuration name ("" = tiny).
+func NamedConfig(name string) (surrogate.Config, error) {
+	switch name {
+	case "", "tiny":
+		return surrogate.TinyConfig(), nil
+	case "small":
+		return surrogate.SmallConfig(), nil
+	case "paper":
+		return surrogate.PaperConfig(), nil
+	}
+	return surrogate.Config{}, fmt.Errorf("trainer: unknown config %q (want tiny, small, or paper)", name)
+}
+
+// algorithm resolves the request's workload.
+func (req *Request) algorithm() (*loopnest.Algorithm, error) {
+	if (req.Algo == "") == (req.Einsum == "") {
+		return nil, fmt.Errorf("trainer: exactly one of algo or einsum is required (registered workloads: %s)",
+			strings.Join(workload.Names(), ", "))
+	}
+	if req.Einsum != "" {
+		algo, err := workload.CompileInline(req.Einsum)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: %w", err)
+		}
+		return algo, nil
+	}
+	algo, err := loopnest.AlgorithmByName(req.Algo)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: %w", err)
+	}
+	return algo, nil
+}
+
+// config materializes the effective surrogate.Config.
+func (req *Request) config() (surrogate.Config, error) {
+	cfg, err := NamedConfig(req.Config)
+	if err != nil {
+		return cfg, err
+	}
+	if req.Samples > 0 {
+		cfg.Samples = req.Samples
+	}
+	if req.Epochs > 0 {
+		cfg.Train.Epochs = req.Epochs
+	}
+	if req.Problems > 0 {
+		cfg.Problems = req.Problems
+	}
+	if len(req.HiddenSizes) > 0 {
+		cfg.HiddenSizes = append([]int(nil), req.HiddenSizes...)
+	}
+	cfg.CostModel = req.CostModel
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	return cfg, nil
+}
+
+// Validate checks a request without running it.
+func (req *Request) Validate() error {
+	if _, err := req.algorithm(); err != nil {
+		return err
+	}
+	if _, err := req.config(); err != nil {
+		return err
+	}
+	if !costmodel.Registered(req.CostModel) {
+		return fmt.Errorf("trainer: unknown cost model %q (registered: %s)",
+			req.CostModel, strings.Join(costmodel.Names(), ", "))
+	}
+	if req.Samples < 0 || req.Epochs < 0 || req.Problems < 0 {
+		return errors.New("trainer: negative recipe override")
+	}
+	if req.Samples > 0 && req.Samples < 10 {
+		return fmt.Errorf("trainer: %d samples is too few (need >= 10)", req.Samples)
+	}
+	for _, h := range req.HiddenSizes {
+		if h <= 0 {
+			return fmt.Errorf("trainer: non-positive hidden width %d", h)
+		}
+	}
+	return nil
+}
+
+// dedupKey canonicalizes the request fields that determine the artifact
+// (everything but the label), so Ensure can join equivalent active jobs.
+func (req *Request) dedupKey() string {
+	c := *req
+	c.Name = ""
+	raw, _ := json.Marshal(&c)
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Progress is the live view of a running job.
+type Progress struct {
+	Phase string `json:"phase,omitempty"`
+	// Generation progress.
+	Samples     int `json:"samples,omitempty"`
+	SamplesDone int `json:"samples_done,omitempty"`
+	// Training progress (Epoch = completed epochs).
+	Epoch     int     `json:"epoch,omitempty"`
+	Epochs    int     `json:"epochs,omitempty"`
+	TrainLoss float64 `json:"train_loss,omitempty"`
+	TestLoss  float64 `json:"test_loss,omitempty"`
+	// Parent is the warm-start artifact actually used ("" = cold start).
+	Parent string `json:"parent,omitempty"`
+}
+
+// Job is the pipeline-side record of one training request. Snapshots
+// returned by the pipeline are copies; only the pipeline mutates the live
+// record.
+type Job struct {
+	ID       string    `json:"id"`
+	Status   Status    `json:"status"`
+	Request  Request   `json:"request"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	Progress Progress  `json:"progress"`
+	// Artifact is the published manifest once the job is done.
+	Artifact *modelstore.Manifest `json:"artifact,omitempty"`
+	// ResumedFrom is the job this one continued from, if any; Resumable
+	// reports whether a checkpoint exists to continue this job from.
+	ResumedFrom string `json:"resumed_from,omitempty"`
+	Resumable   bool   `json:"resumable,omitempty"`
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	// checkpoint holds the dataset and last completed-epoch training state
+	// of an interrupted run; Resume hands it to the successor job.
+	checkpoint *checkpoint
+}
+
+type checkpoint struct {
+	ds     *surrogate.RawDataset
+	state  *surrogate.TrainState
+	parent string // warm-start parent artifact ID carried into the resume
+}
+
+// Pipeline owns the training queue and worker pool, publishing finished
+// surrogates into the store.
+type Pipeline struct {
+	store *modelstore.Store
+
+	queue   chan *Job
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string
+	active    map[string]string // dedup key -> queued/running job id
+	resumable []*Job            // FIFO of terminal jobs still holding checkpoints
+	workers   int
+	retention int
+
+	submitted uint64
+	completed uint64
+	failed    uint64
+	cancelled uint64
+}
+
+// DefaultRetention bounds how many terminal training jobs stay queryable.
+const DefaultRetention = 256
+
+// maxResumable bounds how many terminal jobs keep their checkpoints: each
+// one pins a full training dataset and a network snapshot in memory.
+const maxResumable = 8
+
+// New starts a pipeline of workers goroutines (2 when <= 0 — training jobs
+// are long and CPU-bound, so the pool stays small by default) draining a
+// queue of at most queueCap pending jobs (16 when <= 0). Call Shutdown to
+// stop the pool.
+func New(store *modelstore.Store, workers, queueCap int) *Pipeline {
+	if workers <= 0 {
+		workers = 2
+	}
+	if queueCap <= 0 {
+		queueCap = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pipeline{
+		store:     store,
+		queue:     make(chan *Job, queueCap),
+		baseCtx:   ctx,
+		stop:      cancel,
+		jobs:      make(map[string]*Job),
+		active:    make(map[string]string),
+		workers:   workers,
+		retention: DefaultRetention,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Store returns the artifact store the pipeline publishes into.
+func (p *Pipeline) Store() *modelstore.Store { return p.store }
+
+// Workers returns the worker-pool size.
+func (p *Pipeline) Workers() int { return p.workers }
+
+// ErrQueueFull is returned by Submit when the pending queue is at
+// capacity; HTTP maps it to 503 so clients can back off and retry.
+var ErrQueueFull = errors.New("trainer: training queue is full")
+
+var errShuttingDown = errors.New("trainer: shutting down")
+
+func newJobID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit validates and enqueues a training job, returning a snapshot.
+func (p *Pipeline) Submit(req Request) (Job, error) {
+	return p.submit(req, nil, "")
+}
+
+// Ensure is Submit with deduplication: when an equivalent job (same
+// request up to the label) is already queued or running, its snapshot is
+// returned instead of enqueuing a duplicate — the train-on-miss path, so a
+// burst of searches for one untrained workload triggers one training run.
+// The dedup check and the enqueue happen under one lock hold, so
+// concurrent Ensures of one request can never race past each other.
+func (p *Pipeline) Ensure(req Request) (Job, error) {
+	return p.submitWith(req, nil, "", true)
+}
+
+// Resume continues a cancelled or failed job from its last checkpoint as a
+// new job (the original stays terminal). Jobs that never completed an
+// epoch restart from the dataset when it was retained, or from scratch.
+func (p *Pipeline) Resume(id string) (Job, error) {
+	p.mu.Lock()
+	prev, ok := p.jobs[id]
+	if !ok {
+		p.mu.Unlock()
+		return Job{}, fmt.Errorf("trainer: unknown job %q", id)
+	}
+	if !prev.Status.Terminal() || prev.Status == StatusDone {
+		status := prev.Status
+		p.mu.Unlock()
+		return Job{}, fmt.Errorf("trainer: job %q is %s, only cancelled or failed jobs resume", id, status)
+	}
+	var ck *checkpoint
+	if prev.checkpoint != nil {
+		// Copy the checkpoint record: the dataset and train state are
+		// immutable once produced, but the struct's fields are overwritten
+		// per epoch, so two resumed successors must not share one record.
+		c := *prev.checkpoint
+		ck = &c
+	}
+	req := prev.Request
+	p.mu.Unlock()
+	return p.submit(req, ck, id)
+}
+
+func (p *Pipeline) submit(req Request, ck *checkpoint, resumedFrom string) (Job, error) {
+	return p.submitWith(req, ck, resumedFrom, false)
+}
+
+func (p *Pipeline) submitWith(req Request, ck *checkpoint, resumedFrom string, dedup bool) (Job, error) {
+	if err := req.Validate(); err != nil {
+		return Job{}, err
+	}
+	jctx, cancel := context.WithCancel(p.baseCtx)
+	job := &Job{
+		ID:          newJobID(),
+		Status:      StatusQueued,
+		Request:     req,
+		Created:     time.Now(),
+		ResumedFrom: resumedFrom,
+		ctx:         jctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		checkpoint:  ck,
+	}
+	p.mu.Lock()
+	if p.baseCtx.Err() != nil {
+		p.mu.Unlock()
+		cancel()
+		return Job{}, errShuttingDown
+	}
+	if dedup {
+		if id, ok := p.active[req.dedupKey()]; ok {
+			if existing, ok := p.jobs[id]; ok && !existing.Status.Terminal() {
+				snap := copyJob(existing)
+				p.mu.Unlock()
+				cancel()
+				return snap, nil
+			}
+		}
+	}
+	select {
+	case p.queue <- job:
+		p.jobs[job.ID] = job
+		p.order = append(p.order, job.ID)
+		p.active[req.dedupKey()] = job.ID
+		p.submitted++
+		snap := copyJob(job)
+		p.mu.Unlock()
+		return snap, nil
+	default:
+		p.mu.Unlock()
+		cancel()
+		return Job{}, ErrQueueFull
+	}
+}
+
+// Get returns a snapshot of the job with the given id.
+func (p *Pipeline) Get(id string) (Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	job, ok := p.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return copyJob(job), true
+}
+
+// List returns snapshots of all jobs in submission order.
+func (p *Pipeline) List() []Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Job, 0, len(p.order))
+	for _, id := range p.order {
+		if job, ok := p.jobs[id]; ok {
+			out = append(out, copyJob(job))
+		}
+	}
+	return out
+}
+
+// Cancel stops a queued or running job; the checkpoint from the last
+// completed epoch (if any) stays available for Resume.
+func (p *Pipeline) Cancel(id string) (Job, bool) {
+	p.mu.Lock()
+	job, ok := p.jobs[id]
+	if !ok {
+		p.mu.Unlock()
+		return Job{}, false
+	}
+	if job.Status == StatusQueued {
+		p.finishLocked(job, StatusCancelled, nil, nil)
+		snap := copyJob(job)
+		p.mu.Unlock()
+		return snap, true
+	}
+	cancel := job.cancel
+	p.mu.Unlock()
+	cancel()
+	return p.Get(id)
+}
+
+// Wait blocks until the job reaches a terminal status or ctx expires.
+func (p *Pipeline) Wait(ctx context.Context, id string) (Job, error) {
+	p.mu.Lock()
+	job, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("trainer: unknown job %q", id)
+	}
+	select {
+	case <-job.done:
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
+	snap, _ := p.Get(id)
+	return snap, nil
+}
+
+func copyJob(j *Job) Job {
+	c := *j
+	c.cancel = nil
+	c.done = nil
+	c.checkpoint = nil
+	c.Resumable = j.Status.Terminal() && j.Status != StatusDone && j.checkpoint != nil
+	if j.Artifact != nil {
+		a := *j.Artifact
+		c.Artifact = &a
+	}
+	return c
+}
+
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.baseCtx.Done():
+			return
+		case job := <-p.queue:
+			p.runJob(job)
+		}
+	}
+}
+
+func (p *Pipeline) runJob(job *Job) {
+	p.mu.Lock()
+	ctx := job.ctx
+	if job.Status.Terminal() {
+		p.mu.Unlock()
+		return
+	}
+	if ctx.Err() != nil {
+		p.finishLocked(job, StatusCancelled, nil, nil)
+		p.mu.Unlock()
+		return
+	}
+	job.Status = StatusRunning
+	job.Started = time.Now()
+	p.mu.Unlock()
+
+	manifest, err := p.execute(ctx, job)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case err != nil && ctx.Err() != nil:
+		p.finishLocked(job, StatusCancelled, nil, nil)
+	case err != nil:
+		p.finishLocked(job, StatusFailed, nil, err)
+	default:
+		p.finishLocked(job, StatusDone, manifest, nil)
+	}
+}
+
+func (p *Pipeline) finishLocked(job *Job, status Status, manifest *modelstore.Manifest, err error) {
+	if job.Status.Terminal() {
+		return
+	}
+	job.Status = status
+	job.Finished = time.Now()
+	job.Artifact = manifest
+	if err != nil {
+		job.Error = err.Error()
+	}
+	if status == StatusDone {
+		job.checkpoint = nil // nothing left to resume
+	} else if job.checkpoint != nil {
+		// Bound resumable state: a checkpoint pins the job's whole dataset
+		// plus a network snapshot, so only the most recent few
+		// cancelled/failed jobs stay resumable; older ones drop their
+		// checkpoints (the jobs remain queryable, just not resumable).
+		p.resumable = append(p.resumable, job)
+		for len(p.resumable) > maxResumable {
+			p.resumable[0].checkpoint = nil
+			p.resumable = p.resumable[1:]
+		}
+	}
+	switch status {
+	case StatusDone:
+		p.completed++
+	case StatusFailed:
+		p.failed++
+	case StatusCancelled:
+		p.cancelled++
+	}
+	if p.active[job.Request.dedupKey()] == job.ID {
+		delete(p.active, job.Request.dedupKey())
+	}
+	job.cancel()
+	close(job.done)
+	p.evictTerminalLocked()
+}
+
+// SetRetention overrides the terminal-job retention bound (minimum 1).
+func (p *Pipeline) SetRetention(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.mu.Lock()
+	p.retention = n
+	p.evictTerminalLocked()
+	p.mu.Unlock()
+}
+
+func (p *Pipeline) evictTerminalLocked() {
+	terminal := 0
+	for _, job := range p.jobs {
+		if job.Status.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= p.retention {
+		return
+	}
+	kept := p.order[:0]
+	for _, id := range p.order {
+		job, ok := p.jobs[id]
+		if !ok {
+			continue
+		}
+		if terminal > p.retention && job.Status.Terminal() {
+			job.checkpoint = nil // release dataset/state even if still in the resumable FIFO
+			delete(p.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	p.order = kept
+}
+
+// setProgress mutates a job's progress under the pipeline lock.
+func (p *Pipeline) setProgress(job *Job, fn func(*Progress)) {
+	p.mu.Lock()
+	fn(&job.Progress)
+	p.mu.Unlock()
+}
+
+// execute runs one training job end to end: generate (or reuse the
+// resumed dataset) → train (warm-started or from the checkpoint) →
+// publish.
+func (p *Pipeline) execute(ctx context.Context, job *Job) (*modelstore.Manifest, error) {
+	req := &job.Request
+	algo, err := req.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := req.config()
+	if err != nil {
+		return nil, err
+	}
+	a := arch.Default(len(algo.Tensors) - 1)
+	start := time.Now()
+
+	// Phase 1a: the training set. A resumed job reuses the retained
+	// dataset — regeneration would be wasted cost-model work.
+	var ds *surrogate.RawDataset
+	var resume *surrogate.TrainState
+	parent := ""
+	if ck := job.checkpoint; ck != nil && ck.ds != nil {
+		ds = ck.ds
+		resume = ck.state
+		parent = ck.parent
+		p.setProgress(job, func(pr *Progress) {
+			pr.Phase = PhaseTrain
+			pr.Samples = ds.Len()
+			pr.SamplesDone = ds.Len()
+			pr.Parent = parent
+		})
+	} else {
+		p.setProgress(job, func(pr *Progress) {
+			pr.Phase = PhaseGenerate
+			pr.Samples = cfg.Samples
+		})
+		ds, err = surrogate.GenerateWith(algo, a, cfg, surrogate.GenerateOptions{
+			Ctx: ctx,
+			OnProgress: func(done, total int) {
+				p.setProgress(job, func(pr *Progress) { pr.SamplesDone, pr.Samples = done, total })
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		job.checkpoint = &checkpoint{ds: ds}
+		p.mu.Unlock()
+	}
+
+	// Phase 1b: the warm-start parent, resolved once the dataset exists
+	// (compatibility depends on the encoded input width).
+	var warm *surrogate.Surrogate
+	if resume == nil {
+		warm, parent, err = p.resolveWarm(req, algo, cfg, ds)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		job.checkpoint.parent = parent
+		p.mu.Unlock()
+	}
+
+	// Phase 2: supervised training with per-epoch progress + checkpoints.
+	p.setProgress(job, func(pr *Progress) {
+		pr.Phase = PhaseTrain
+		pr.Epochs = cfg.Train.Epochs
+		pr.Parent = parent
+	})
+	sur, hist, err := surrogate.TrainWith(ds, cfg, surrogate.TrainOptions{
+		Ctx:    ctx,
+		Warm:   warm,
+		Resume: resume,
+		OnEpoch: func(ep surrogate.TrainEpoch) {
+			p.mu.Lock()
+			job.Progress.Epoch = ep.Epoch + 1
+			job.Progress.TrainLoss = ep.TrainLoss
+			job.Progress.TestLoss = ep.TestLoss
+			job.checkpoint.state = ep.State
+			p.mu.Unlock()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: publish.
+	p.setProgress(job, func(pr *Progress) { pr.Phase = PhasePublish })
+	manifest, err := p.store.Publish(sur, modelstore.PublishMeta{
+		Name:         req.Name,
+		CostModel:    effectiveBackend(req.CostModel),
+		CostModelFP:  costModelFingerprint(req.CostModel, a, algo),
+		Samples:      cfg.Samples,
+		Problems:     cfg.Problems,
+		Epochs:       len(hist.TrainLoss),
+		HiddenSizes:  cfg.HiddenSizes,
+		Seed:         cfg.Seed,
+		Parent:       parent,
+		TrainLoss:    hist.TrainLoss,
+		TestLoss:     hist.TestLoss,
+		TrainSeconds: time.Since(start).Seconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &manifest, nil
+}
+
+// resolveWarm picks the warm-start parent per req.Warm: none, an explicit
+// artifact (incompatibility is an error), or auto (the store's best
+// artifact for the workload when compatible, cold start otherwise).
+func (p *Pipeline) resolveWarm(req *Request, algo *loopnest.Algorithm, cfg surrogate.Config, ds *surrogate.RawDataset) (*surrogate.Surrogate, string, error) {
+	switch req.Warm {
+	case "", "none":
+		return nil, "", nil
+	case "auto":
+		// Only inherit from a parent trained against the same cost model:
+		// the weights approximate that backend's f, and a run labeling with
+		// a different backend should start cold rather than from a
+		// systematically biased initialization.
+		wantCM := effectiveBackend(req.CostModel)
+		m, ok := p.store.ResolveMatching(algo.Fingerprint(), func(m modelstore.Manifest) bool {
+			return m.CostModel == wantCM
+		})
+		if !ok {
+			return nil, "", nil
+		}
+		sur, err := p.store.Load(m.ID)
+		if err != nil {
+			return nil, "", nil // unreadable parent: fall back to cold
+		}
+		if warmCompatible(sur, cfg, ds) != nil {
+			return nil, "", nil
+		}
+		return sur, m.ID, nil
+	default:
+		m, ok := p.store.Get(req.Warm)
+		if !ok {
+			return nil, "", fmt.Errorf("trainer: warm-start parent %q is not in the store", req.Warm)
+		}
+		if m.CostModel != "" && m.CostModel != effectiveBackend(req.CostModel) {
+			return nil, "", fmt.Errorf("trainer: warm-start parent %q was trained against cost model %q, this run labels with %q",
+				req.Warm, m.CostModel, effectiveBackend(req.CostModel))
+		}
+		sur, err := p.store.Load(m.ID)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := warmCompatible(sur, cfg, ds); err != nil {
+			return nil, "", err
+		}
+		return sur, m.ID, nil
+	}
+}
+
+// warmCompatible reports whether parent can seed a run of cfg over ds:
+// same workload fingerprint, same output representation, and the exact
+// network topology cfg implies (surrogate.TrainWith re-checks; this makes
+// auto fall back to a cold start instead of failing).
+func warmCompatible(parent *surrogate.Surrogate, cfg surrogate.Config, ds *surrogate.RawDataset) error {
+	if parent.AlgoFP == "" || parent.AlgoFP != ds.Algo.Fingerprint() {
+		return errors.New("trainer: warm-start parent is for a different workload")
+	}
+	if parent.Mode != cfg.Mode || parent.LogOutputs != cfg.LogOutputs {
+		return errors.New("trainer: warm-start parent uses a different output representation")
+	}
+	sizes := parent.Net.Sizes
+	if len(sizes) != len(cfg.HiddenSizes)+2 || sizes[0] != len(ds.X[0]) || sizes[len(sizes)-1] != len(ds.Y[0]) {
+		return errors.New("trainer: warm-start parent topology does not fit")
+	}
+	for i, h := range cfg.HiddenSizes {
+		if sizes[i+1] != h {
+			return errors.New("trainer: warm-start parent topology does not fit")
+		}
+	}
+	return nil
+}
+
+// effectiveBackend normalizes an empty cost-model name to the default.
+func effectiveBackend(name string) string {
+	if name == "" {
+		return costmodel.DefaultBackend
+	}
+	return name
+}
+
+// costModelFingerprint stamps the labeling backend's behavioral identity:
+// the evaluator fingerprint at a deterministic probe problem of the
+// workload. Best effort — an empty string when the probe fails.
+func costModelFingerprint(name string, a arch.Spec, algo *loopnest.Algorithm) string {
+	prob := algo.RandomProblem(stats.NewRNG(0))
+	ev, err := costmodel.New(name, a, prob)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(ev.AppendFingerprint(nil))
+	return hex.EncodeToString(sum[:])
+}
+
+// Stats summarizes pipeline lifecycle counts for /v1/metrics.
+type Stats struct {
+	Submitted uint64 `json:"submitted"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Workers   int    `json:"workers"`
+}
+
+// Stats snapshots lifecycle counters and live queue state.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		Submitted: p.submitted,
+		Done:      p.completed,
+		Failed:    p.failed,
+		Cancelled: p.cancelled,
+		Workers:   p.workers,
+	}
+	for _, job := range p.jobs {
+		switch job.Status {
+		case StatusQueued:
+			st.Queued++
+		case StatusRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Shutdown cancels every job (queued and running) and waits for the
+// worker pool to drain, or for ctx to expire. New submissions fail once
+// shutdown has begun.
+func (p *Pipeline) Shutdown(ctx context.Context) error {
+	p.stop()
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, job := range p.jobs {
+		if !job.Status.Terminal() {
+			p.finishLocked(job, StatusCancelled, nil, nil)
+		}
+	}
+	return nil
+}
