@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"mindmappings/internal/modelstore"
+	"mindmappings/internal/search"
 )
 
 // End-to-end CLI tests: train a tiny surrogate, then drive search, compare
@@ -40,6 +42,7 @@ func TestCmdTrainSearchCompare(t *testing.T) {
 		"-surrogate", sur,
 		"-shape", "1024,5",
 		"-evals", "60",
+		"-progress",
 	}); err != nil {
 		t.Fatalf("search: %v", err)
 	}
@@ -112,6 +115,27 @@ func TestCmdInlineEinsumEndToEnd(t *testing.T) {
 		"-shape", "a=32,b=32,q=32", "-evals", "10",
 	}); err == nil {
 		t.Fatal("surrogate accepted for a different einsum")
+	}
+}
+
+// TestProgressPrinter pins the -progress hook contract: improvements
+// always print, non-improvements inside the throttle window are dropped,
+// and the line carries eval index, best cost, and throughput.
+func TestProgressPrinter(t *testing.T) {
+	var buf bytes.Buffer
+	hook := progressPrinter(&buf)
+	hook(search.Progress{Eval: 10, Best: 4.5, Elapsed: 10 * time.Millisecond, Improved: true})
+	hook(search.Progress{Eval: 20, Best: 4.5, Elapsed: 20 * time.Millisecond}) // throttled
+	hook(search.Progress{Eval: 30, Best: 2.5, Elapsed: 30 * time.Millisecond, Improved: true})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines (throttled middle), got %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "*") || !strings.Contains(lines[0], "eval       10") {
+		t.Fatalf("first line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "2.5") || !strings.Contains(lines[1], "evals/s") {
+		t.Fatalf("second line: %q", lines[1])
 	}
 }
 

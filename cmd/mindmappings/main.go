@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -357,6 +358,7 @@ func cmdSearch(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	chains := fs.Int("chains", 1, "lockstep gradient-descent chains sharing the budget (batched surrogate queries)")
 	parallel := fs.Int("parallel", 0, "workers for batched cost-model scoring (0 = sequential; results are identical either way)")
+	progress := fs.Bool("progress", false, "print live best-cost/throughput lines to stderr while searching")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -379,6 +381,9 @@ func cmdSearch(args []string) error {
 	}
 	pc.Objective = obj
 	pc.Parallelism = *parallel
+	if *progress {
+		pc.Progress = progressPrinter(os.Stderr)
+	}
 	budget := search.Budget{MaxEvals: *evals}
 	if *maxTime > 0 {
 		budget = search.Budget{MaxTime: *maxTime}
@@ -401,6 +406,33 @@ func cmdSearch(args []string) error {
 	fmt.Printf("\ncost report:\n")
 	cost.Render(os.Stdout, prob.Algo)
 	return nil
+}
+
+// progressPrinter returns a search.Progress hook that mirrors the live
+// trajectory to w: every improvement and at most one heartbeat line per
+// 500ms otherwise. It is the CLI twin of the service's SSE stream — both
+// observe the same trajectory samples, so a -progress run shows exactly
+// the strides a job's /events endpoint would. The hook is invoked from
+// the searcher goroutine only, so the closure state needs no locking.
+func progressPrinter(w io.Writer) func(search.Progress) {
+	var lastLine time.Time
+	return func(p search.Progress) {
+		now := time.Now()
+		if !p.Improved && now.Sub(lastLine) < 500*time.Millisecond {
+			return
+		}
+		lastLine = now
+		perSec := 0.0
+		if s := p.Elapsed.Seconds(); s > 0 {
+			perSec = float64(p.Eval) / s
+		}
+		mark := " "
+		if p.Improved {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%s eval %8d  best %12.4g  %9.0f evals/s  %v\n",
+			mark, p.Eval, p.Best, perSec, p.Elapsed.Round(10*time.Millisecond))
+	}
 }
 
 func cmdCompare(args []string) error {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +41,8 @@ func cmdServe(args []string) error {
 	cacheCap := fs.Int("cache", service.DefaultEvalCacheCapacity, "eval-cache capacity in entries")
 	regCap := fs.Int("maxmodels", service.DefaultRegistryCapacity, "max surrogates resident in memory (LRU beyond this)")
 	shutdownGrace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	quiet := fs.Bool("quiet", false, "disable per-request structured log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,9 +61,16 @@ func cmdServe(args []string) error {
 	cache := service.NewEvalCache(*cacheCap)
 	jobs := service.NewJobManager(registry, cache, *workers, *queueCap)
 	pipeline := trainer.New(store, *trainWorkers, *trainQueue)
+	api := service.NewServer(jobs, registry, cache).WithTraining(store, pipeline)
+	if !*quiet {
+		api.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	if *pprofOn {
+		api.EnablePprof()
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewServer(jobs, registry, cache).WithTraining(store, pipeline).Handler(),
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

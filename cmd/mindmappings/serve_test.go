@@ -1,0 +1,157 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mindmappings/internal/obs"
+)
+
+// TestServeBinaryMetricsScrape is the CI smoke for the scrape surface: it
+// boots the real serve command (worker pools, store, signal handling — the
+// whole process wiring, not a bare handler), scrapes /metrics like a
+// Prometheus server would, fails on any malformed exposition line, and
+// then shuts the server down via SIGTERM the way an orchestrator does.
+func TestServeBinaryMetricsScrape(t *testing.T) {
+	// Reserve a port; the tiny close-to-listen window is an acceptable
+	// race for a smoke test.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	dir := t.TempDir()
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe([]string{
+			"-addr", addr,
+			"-models", dir,
+			"-workers", "1",
+			"-trainworkers", "1",
+			"-quiet",
+			"-grace", "5s",
+		})
+	}()
+
+	base := "http://" + addr
+	var resp *http.Response
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get(base + "/metrics")
+		if err == nil {
+			break
+		}
+		select {
+		case serveErr := <-done:
+			t.Fatalf("serve exited early: %v", serveErr)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ExpositionContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	samples, err := obs.ValidateExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("malformed exposition: %v", err)
+	}
+	if samples == 0 {
+		t.Fatal("empty exposition")
+	}
+
+	// The JSON twin must stay mounted alongside the Prometheus surface.
+	jresp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jresp.Body.Close()
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: %d", jresp.StatusCode)
+	}
+
+	// pprof is opt-in and was not requested.
+	presp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode == http.StatusOK {
+		t.Fatal("pprof mounted without -pprof")
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil && !strings.Contains(err.Error(), "Server closed") {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}
+
+// TestServePprofFlag pins that -pprof mounts the profiler endpoints.
+func TestServePprofFlag(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe([]string{
+			"-addr", addr, "-models", t.TempDir(),
+			"-workers", "1", "-trainworkers", "1", "-quiet", "-pprof",
+			"-grace", "5s",
+		})
+	}()
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/debug/pprof/cmdline")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET /debug/pprof/cmdline: %d", resp.StatusCode)
+			}
+			break
+		}
+		select {
+		case serveErr := <-done:
+			t.Fatalf("serve exited early: %v", serveErr)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil && !strings.Contains(err.Error(), "Server closed") {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}

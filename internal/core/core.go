@@ -127,6 +127,11 @@ type ProblemContext struct {
 	// for paid queries during searches run through this context (the
 	// iso-time methodology; see DESIGN.md §4). Zero pays nothing.
 	QueryLatency time.Duration
+	// Progress, when non-nil, receives live best-so-far telemetry from
+	// searches run through this context. It inherits search.Context's
+	// contract: called from the searcher's goroutine at every recorded
+	// trajectory sample, must be fast, must not block, observation only.
+	Progress func(search.Progress)
 }
 
 // NewProblemContext builds the per-problem machinery for any problem of
@@ -189,6 +194,7 @@ func (pc *ProblemContext) searchContext(seed int64) *search.Context {
 		Objective:    pc.Objective,
 		Parallelism:  pc.Parallelism,
 		QueryLatency: pc.QueryLatency,
+		Progress:     pc.Progress,
 	}
 }
 

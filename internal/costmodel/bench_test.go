@@ -3,6 +3,7 @@ package costmodel_test
 import (
 	"context"
 	"testing"
+	"time"
 
 	"mindmappings/internal/costmodel"
 )
@@ -70,6 +71,24 @@ func BenchmarkCacheMiddlewareHit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.EvaluateInto(ctx, &f.ms[i%len(f.ms)], &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimingMiddleware measures the sampled-latency wrapper at the
+// service's production sampling rate (1 in 64): 63 of 64 evals pay one
+// atomic add, the 64th pays two clock reads. Must stay within noise of
+// BenchmarkEvaluatorDispatchTimeloop and keep 0 allocs/op.
+func BenchmarkTimingMiddleware(b *testing.B) {
+	f := newFixture(b, 105)
+	ev := costmodel.WithTiming(f.backend(b, "timeloop"), 64, func(time.Duration) {})
+	ctx := context.Background()
+	var ws costmodel.Cost
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

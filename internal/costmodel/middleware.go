@@ -161,6 +161,51 @@ func (e *cached) EvaluateBatchInto(ctx context.Context, ms []mapspace.Mapping, c
 	SequentialBatch(ctx, e, ms, costs, errs)
 }
 
+// timed samples evaluation latency into an observer callback. Timing every
+// evaluation would put two clock reads (~50ns) on a ~270ns analytical-model
+// hot path, so the middleware observes every Nth evaluation instead: the
+// skip path costs one atomic add, which keeps search throughput within
+// noise while the sampled latencies still populate a faithful histogram
+// (evaluation latency does not correlate with the sample phase).
+type timed struct {
+	inner   Evaluator
+	every   int64
+	observe func(time.Duration)
+	n       atomic.Int64
+}
+
+// WithTiming wraps inner so every every-th evaluation's latency is passed
+// to observe (1 times every evaluation). The observer must be fast,
+// non-blocking, and safe for concurrent use — an obs histogram's
+// ObserveDuration qualifies. A nil observe or every < 1 returns inner
+// unchanged.
+func WithTiming(inner Evaluator, every int, observe func(time.Duration)) Evaluator {
+	if observe == nil || every < 1 {
+		return inner
+	}
+	return &timed{inner: inner, every: int64(every), observe: observe}
+}
+
+func (e *timed) Name() string                        { return e.inner.Name() }
+func (e *timed) Problem() loopnest.Problem           { return e.inner.Problem() }
+func (e *timed) AppendFingerprint(dst []byte) []byte { return e.inner.AppendFingerprint(dst) }
+
+func (e *timed) EvaluateInto(ctx context.Context, m *mapspace.Mapping, c *Cost) error {
+	if e.n.Add(1)%e.every != 0 {
+		return e.inner.EvaluateInto(ctx, m, c)
+	}
+	start := time.Now()
+	err := e.inner.EvaluateInto(ctx, m, c)
+	if err == nil {
+		e.observe(time.Since(start))
+	}
+	return err
+}
+
+func (e *timed) EvaluateBatchInto(ctx context.Context, ms []mapspace.Mapping, costs []Cost, errs []error) {
+	SequentialBatch(ctx, e, ms, costs, errs)
+}
+
 // parallel fans batch evaluations across a bounded worker pool. Scalar
 // evaluations pass straight through.
 type parallel struct {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -243,6 +244,71 @@ func TestCacheHitSingleAllocation(t *testing.T) {
 	})
 	if allocs > 1 {
 		t.Fatalf("warm cache hit costs %.1f allocs, want <= 1", allocs)
+	}
+}
+
+// --- Timing middleware ---
+
+// TestTimingMiddlewareSamples pins the sampled-observation contract: with
+// every=N, exactly one in N evaluations reaches the observer, and the
+// off-sample path stays observation-free.
+func TestTimingMiddlewareSamples(t *testing.T) {
+	f := newFixture(t, 20)
+	var observed atomic.Int64
+	ev := costmodel.WithTiming(f.backend(t, ""), 5, func(d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative latency sample %v", d)
+		}
+		observed.Add(1)
+	})
+	if ev.Name() != "timeloop" {
+		t.Fatalf("timing wrapper changed the name to %q", ev.Name())
+	}
+	ctx := context.Background()
+	var ws costmodel.Cost
+	for i := 0; i < 20; i++ {
+		if err := ev.EvaluateInto(ctx, &f.ms[i%len(f.ms)], &ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := observed.Load(); got != 4 {
+		t.Fatalf("observer fired %d times for 20 evals at every=5, want 4", got)
+	}
+	// Batch evaluations route through the same sampled scalar path.
+	costs := make([]costmodel.Cost, 10)
+	errs := make([]error, 10)
+	ev.EvaluateBatchInto(ctx, f.ms[:10], costs, errs)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := observed.Load(); got != 6 {
+		t.Fatalf("observer at %d after 30 evals, want 6", got)
+	}
+	if costmodel.WithTiming(f.backend(t, ""), 0, func(time.Duration) {}).Name() != "timeloop" {
+		t.Fatal("every<1 should pass the backend through")
+	}
+	if costmodel.WithTiming(f.backend(t, ""), 5, nil).Name() != "timeloop" {
+		t.Fatal("nil observer should pass the backend through")
+	}
+}
+
+// TestTimingSkipPathAllocFree pins the hot-path budget: an off-sample
+// evaluation through the timing wrapper allocates nothing.
+func TestTimingSkipPathAllocFree(t *testing.T) {
+	f := newFixture(t, 21)
+	// every large enough that AllocsPerRun's iterations never sample.
+	ev := costmodel.WithTiming(f.backend(t, ""), 1<<30, func(time.Duration) {})
+	ctx := context.Background()
+	var ws costmodel.Cost
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := ev.EvaluateInto(ctx, &f.ms[0], &ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("timing skip path costs %.1f allocs, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-exposition payload for
+// structural validity: metric and label names are legal, every sample
+// belongs to a TYPE-declared family, no series repeats, histogram bucket
+// counts are cumulative and agree with _count. It exists so the scrape
+// surface can be asserted in tests and CI smoke checks without a scraper;
+// it accepts any compliant 0.0.4 payload, not just this package's output.
+// Returns the number of samples parsed.
+func ValidateExposition(r io.Reader) (int, error) {
+	labelRE := regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+
+	types := make(map[string]string)    // family -> type
+	seen := make(map[string]bool)       // full series key -> present
+	lastCum := make(map[string]float64) // histogram series (sans le) -> last cumulative bucket
+	bucketTot := make(map[string]float64)
+	countVal := make(map[string]float64)
+
+	samples := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			parts := strings.Fields(text)
+			if len(parts) != 4 {
+				return samples, fmt.Errorf("line %d: malformed TYPE line %q", line, text)
+			}
+			name, typ := parts[2], parts[3]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return samples, fmt.Errorf("line %d: unknown type %q", line, typ)
+			}
+			if _, dup := types[name]; dup {
+				return samples, fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // HELP or comment
+		}
+		name, labels, rest, perr := splitSample(text)
+		if perr != nil || !metricNameRE.MatchString(name) {
+			return samples, fmt.Errorf("line %d: malformed sample %q", line, text)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return samples, fmt.Errorf("line %d: malformed sample %q", line, text)
+		}
+		if len(fields) == 2 {
+			if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+				return samples, fmt.Errorf("line %d: bad timestamp %q", line, fields[1])
+			}
+		}
+		valStr := fields[0]
+		val, err := parseExpositionValue(valStr)
+		if err != nil {
+			return samples, fmt.Errorf("line %d: bad value %q: %v", line, valStr, err)
+		}
+		family := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, s
+				break
+			}
+		}
+		if _, ok := types[family]; !ok {
+			return samples, fmt.Errorf("line %d: sample %q has no TYPE declaration", line, name)
+		}
+		le := ""
+		var kept []string
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				lm := labelRE.FindStringSubmatch(pair)
+				if lm == nil {
+					return samples, fmt.Errorf("line %d: malformed label %q", line, pair)
+				}
+				if lm[1] == "le" && suffix == "_bucket" {
+					le = lm[2]
+				} else {
+					kept = append(kept, pair)
+				}
+			}
+		}
+		series := name + "{" + strings.Join(kept, ",") + "}"
+		if suffix == "_bucket" {
+			series += "|le=" + le
+		}
+		if seen[series] {
+			return samples, fmt.Errorf("line %d: duplicate series %q", line, series)
+		}
+		seen[series] = true
+		samples++
+
+		if types[family] == "histogram" {
+			base := family + "{" + strings.Join(kept, ",") + "}"
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return samples, fmt.Errorf("line %d: histogram bucket without le", line)
+				}
+				if prev, ok := lastCum[base]; ok && val < prev {
+					return samples, fmt.Errorf("line %d: histogram %q buckets not cumulative (%v < %v)", line, base, val, prev)
+				}
+				lastCum[base] = val
+				bucketTot[base] = val
+			case "_count":
+				countVal[base] = val
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	for base, tot := range bucketTot {
+		if c, ok := countVal[base]; ok && c != tot {
+			return samples, fmt.Errorf("histogram %q: +Inf bucket %v != count %v", base, tot, c)
+		}
+	}
+	return samples, nil
+}
+
+// splitSample splits a sample line into its metric name, label block
+// (without braces, "" when absent), and the value/timestamp remainder.
+// Quoted label values may contain any character — including '}' (HTTP
+// route patterns like "GET /v1/jobs/{id}") — so the closing brace is found
+// by scanning outside quotes, not by regexp.
+func splitSample(text string) (name, labels, rest string, err error) {
+	i := strings.IndexAny(text, "{ \t")
+	if i < 0 {
+		return "", "", "", fmt.Errorf("no value")
+	}
+	name = text[:i]
+	if text[i] != '{' {
+		return name, "", strings.TrimSpace(text[i:]), nil
+	}
+	inQuotes := false
+	for j := i + 1; j < len(text); j++ {
+		switch text[j] {
+		case '\\':
+			if inQuotes {
+				j++
+			}
+		case '"':
+			inQuotes = !inQuotes
+		case '}':
+			if !inQuotes {
+				return name, text[i+1 : j], strings.TrimSpace(text[j+1:]), nil
+			}
+		}
+	}
+	return "", "", "", fmt.Errorf("unterminated label block")
+}
+
+func parseExpositionValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return 0, nil // legal specials; cumulative checks skip them anyway
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// HTTP instrumentation: a middleware that assigns request IDs, logs one
+// structured line per request, and feeds per-route latency histograms and
+// status-class counters. Route labels come from the mux's registered
+// patterns (never from raw URLs, which would explode label cardinality).
+
+// HTTPMetrics holds the serving-stack metric handles the middleware feeds.
+type HTTPMetrics struct {
+	reg      *Registry
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP metric families on reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		reg:      reg,
+		inflight: reg.Gauge("http_requests_in_flight", "Requests currently being served."),
+	}
+}
+
+// statusWriter records the response status while passing Flush through —
+// the SSE endpoints stream through this same middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.status == 0 {
+			w.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// NewRequestID returns a random 64-bit hex request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Middleware wraps mux with request instrumentation: a request ID
+// (generated, or taken from an incoming X-Request-Id) echoed on the
+// response and attached to the request's slog record, one log line per
+// completed request, an in-flight gauge, a per-route latency histogram,
+// and per-route/status-class counters. logger may be nil to disable
+// logging; metrics may be nil to disable metrics.
+func Middleware(mux *http.ServeMux, m *HTTPMetrics, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+
+		// Resolve the route label from the mux's registered pattern before
+		// serving; unmatched requests fall into one "unmatched" bucket.
+		route := "unmatched"
+		if _, pattern := mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+
+		sw := &statusWriter{ResponseWriter: w}
+		if m != nil {
+			m.inflight.Add(1)
+		}
+		mux.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		if m != nil {
+			m.inflight.Add(-1)
+			m.reg.HistogramWith("http_request_seconds",
+				"HTTP request latency by route.", nil,
+				[]string{"route"}, []string{route}).ObserveDuration(elapsed)
+			m.reg.CounterWith("http_requests_total",
+				"HTTP requests by route and status class.",
+				[]string{"route", "code"}, []string{route, statusClass(sw.status)}).Inc()
+		}
+		if logger != nil {
+			logger.Info("http",
+				slog.String("request_id", reqID),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Duration("elapsed", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}

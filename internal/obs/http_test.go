@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareInstrumentsAndLogs(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	})
+	srv := httptest.NewServer(Middleware(mux, m, logger))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("missing X-Request-Id header")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `http_requests_total{route="GET /v1/jobs/{id}",code="4xx"} 1`) {
+		t.Fatalf("missing route counter in:\n%s", out)
+	}
+	if !strings.Contains(out, `http_request_seconds_count{route="GET /v1/jobs/{id}"} 1`) {
+		t.Fatalf("missing route histogram in:\n%s", out)
+	}
+	log := logBuf.String()
+	for _, want := range []string{"request_id=", "route=", "status=404"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log line missing %q: %s", want, log)
+		}
+	}
+}
+
+func TestMiddlewareUnmatchedRoute(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	mux := http.NewServeMux()
+	h := Middleware(mux, m, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	var sb strings.Builder
+	_ = reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `route="unmatched"`) {
+		t.Fatalf("unmatched requests should land in one bucket:\n%s", sb.String())
+	}
+	if m.inflight.Value() != 0 {
+		t.Fatalf("in-flight gauge leaked: %v", m.inflight.Value())
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 1.25 {
+		t.Fatalf("gauge = %v, want 1.25", got)
+	}
+}
+
+func TestHistogramObserveAndCounts(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 106.0; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// Buckets: <=1 gets 0.5 and 1; <=2 gets 1.5; <=4 gets 3; +Inf gets 100.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Fatalf("bucket[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramQuantilesMonotone(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1e-4, 2, 20))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		// Log-uniform latencies spanning the bucket range plus tails.
+		h.Observe(1e-5 * math.Pow(10, 6*rng.Float64()))
+	}
+	qs := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}
+	prev := 0.0
+	for _, q := range qs {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q=%v gives %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	s := h.Summary()
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Fatalf("summary quantiles not monotone: %+v", s)
+	}
+	if s.Count != 10000 {
+		t.Fatalf("summary count = %d", s.Count)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(10) // only the +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("+Inf-bucket quantile = %v, want clamp to last bound 2", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Float64())
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+	}
+	if cum != workers*per {
+		t.Fatalf("bucket total = %d, want %d", cum, workers*per)
+	}
+}
+
+func TestHistogramObserveAllocFree(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.01) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestRegistryReusesAndValidates(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("mm_test_total", "help")
+	b := r.Counter("mm_test_total", "help")
+	if a != b {
+		t.Fatal("same name should return the same counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("re-registering with a different type should panic")
+			}
+		}()
+		r.Gauge("mm_test_total", "help")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bad metric name should panic")
+			}
+		}()
+		r.Counter("bad name!", "help")
+	}()
+}
+
+func TestRuntimeStats(t *testing.T) {
+	rs := ReadRuntime(time.Now().Add(-time.Second))
+	if rs.Goroutines < 1 || rs.GoVersion == "" || rs.NumCPU < 1 {
+		t.Fatalf("implausible runtime stats: %+v", rs)
+	}
+	if rs.UptimeS < 0.9 {
+		t.Fatalf("uptime = %v, want ~1s", rs.UptimeS)
+	}
+	if !strings.HasPrefix(rs.GoVersion, "go") {
+		t.Fatalf("go version = %q", rs.GoVersion)
+	}
+}

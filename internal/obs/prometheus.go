@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4): one HELP/TYPE header
+// per family, then one sample line per series, histograms expanded into
+// cumulative le-labeled buckets plus _sum and _count. Families are written
+// in lexical name order and children in registration order, so scrapes are
+// stable and diffable.
+
+// ExpositionContentType is the Content-Type of the /metrics payload.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := r.sortedNames()
+	for _, name := range names {
+		f := r.families[name]
+		bw.WriteString("# HELP ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, key := range f.order {
+			writeChild(bw, f, f.children[key])
+		}
+	}
+	r.mu.Unlock()
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry in exposition
+// format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ExpositionContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func writeChild(bw *bufio.Writer, f *family, c *child) {
+	switch f.kind {
+	case kindCounter, kindGauge:
+		v := 0.0
+		switch {
+		case c.gaugeF != nil:
+			v = c.gaugeF()
+		case c.ctr != nil:
+			v = float64(c.ctr.Value())
+		case c.gauge != nil:
+			v = c.gauge.Value()
+		}
+		writeSample(bw, f.name, "", f.labelNames, c.labels, "", "", v)
+	case kindHistogram:
+		h := c.hist
+		if h == nil {
+			return
+		}
+		counts := h.snapshot()
+		cum := int64(0)
+		for i, n := range counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatFloat(h.bounds[i])
+			}
+			writeSample(bw, f.name, "_bucket", f.labelNames, c.labels, "le", le, float64(cum))
+		}
+		writeSample(bw, f.name, "_sum", f.labelNames, c.labels, "", "", h.Sum())
+		writeSample(bw, f.name, "_count", f.labelNames, c.labels, "", "", float64(cum))
+	}
+}
+
+// writeSample emits one `name{labels} value` line, appending the optional
+// extra label (the histogram le) after the family labels.
+func writeSample(bw *bufio.Writer, name, suffix string, labelNames, labelValues []string, extraName, extraValue string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labelNames) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		first := true
+		for i, ln := range labelNames {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(ln)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(labelValues[i]))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(extraValue)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry collects named metrics for exposition. Metrics belong to
+// families (one name, one type, one help string); a family either holds a
+// single unlabeled metric or a set of labeled children. Registration and
+// label resolution take the registry lock — do them once at setup and keep
+// the returned pointer; reads for exposition walk the registry under the
+// same lock.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order is irrelevant; exposition sorts
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// child is one series of a family: a concrete metric plus its label values.
+type child struct {
+	labels []string // label values, parallel to family.labelNames
+	ctr    *Counter
+	gauge  *Gauge
+	gaugeF func() float64
+	hist   *Histogram
+}
+
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	children   map[string]*child // keyed by joined label values
+	order      []string
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// familyFor returns (creating if needed) the family, enforcing that a name
+// is never reused with a different type, help, or label layout.
+func (r *Registry) familyFor(name, help string, kind metricKind, labelNames []string) *family {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, ln := range labelNames {
+		if !labelNameRE.MatchString(ln) || ln == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q in metric %q", ln, name))
+		}
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:       name,
+			help:       help,
+			kind:       kind,
+			labelNames: append([]string(nil), labelNames...),
+			children:   make(map[string]*child),
+		}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		return f
+	}
+	if f.kind != kind || len(f.labelNames) != len(labelNames) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different type or label set", name))
+	}
+	for i, ln := range labelNames {
+		if f.labelNames[i] != ln {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different label set", name))
+		}
+	}
+	return f
+}
+
+func (f *family) childFor(values []string) *child {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labels: append([]string(nil), values...)}
+		f.children[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+// Counter registers (or returns the existing) unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterWith(name, help, nil, nil)
+}
+
+// CounterWith registers a counter series with label values (nil for none).
+func (r *Registry) CounterWith(name, help string, labelNames, labelValues []string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.familyFor(name, help, kindCounter, labelNames).childFor(labelValues)
+	if c.ctr == nil {
+		c.ctr = &Counter{}
+	}
+	return c.ctr
+}
+
+// Gauge registers (or returns the existing) unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.familyFor(name, help, kindGauge, nil).childFor(nil)
+	if c.gauge == nil {
+		c.gauge = &Gauge{}
+	}
+	return c.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time — the bridge for components that already keep their own counters
+// (job stats, cache stats, store stats) without double accounting.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.GaugeFuncWith(name, help, nil, nil, fn)
+}
+
+// GaugeFuncWith is GaugeFunc with label values.
+func (r *Registry) GaugeFuncWith(name, help string, labelNames, labelValues []string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.familyFor(name, help, kindGauge, labelNames).childFor(labelValues)
+	c.gaugeF = fn
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time (for monotone totals owned elsewhere).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.CounterFuncWith(name, help, nil, nil, fn)
+}
+
+// CounterFuncWith is CounterFunc with label values.
+func (r *Registry) CounterFuncWith(name, help string, labelNames, labelValues []string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.familyFor(name, help, kindCounter, labelNames).childFor(labelValues)
+	c.gaugeF = fn
+}
+
+// Histogram registers (or returns the existing) unlabeled histogram over
+// the given bucket bounds (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.HistogramWith(name, help, bounds, nil, nil)
+}
+
+// HistogramWith registers a histogram series with label values.
+func (r *Registry) HistogramWith(name, help string, bounds []float64, labelNames, labelValues []string) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.familyFor(name, help, kindHistogram, labelNames).childFor(labelValues)
+	if c.hist == nil {
+		c.hist = NewHistogram(bounds)
+	}
+	return c.hist
+}
+
+// Histograms returns the name → histogram map of every registered
+// histogram series (labeled series keyed as name{a,b}), for JSON quantile
+// summaries.
+func (r *Registry) Histograms() map[string]*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram)
+	for _, name := range r.names {
+		f := r.families[name]
+		if f.kind != kindHistogram {
+			continue
+		}
+		for _, key := range f.order {
+			c := f.children[key]
+			if c.hist == nil {
+				continue
+			}
+			k := name
+			if len(c.labels) > 0 {
+				k = name + "{" + strings.Join(c.labels, ",") + "}"
+			}
+			out[k] = c.hist
+		}
+	}
+	return out
+}
+
+// sortedNames returns family names in lexical order for stable exposition.
+func (r *Registry) sortedNames() []string {
+	names := append([]string(nil), r.names...)
+	sort.Strings(names)
+	return names
+}

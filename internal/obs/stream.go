@@ -1,0 +1,143 @@
+package obs
+
+import "sync"
+
+// Stream is a bounded publish/subscribe ring for live progress telemetry:
+// the producer (a search's trajectory hook, a training job's epoch
+// callback) publishes samples; the ring retains the most recent capacity
+// of them so late subscribers (the trace endpoint, a reconnecting SSE
+// client) see history; subscribers receive new samples on a buffered
+// channel.
+//
+// Publish never blocks: a subscriber that cannot keep up has samples
+// dropped (progress telemetry is resumable from any point — the next
+// sample supersedes the missed ones). Close marks the stream terminal and
+// closes every subscriber channel; publishing after Close is a no-op.
+type Stream[T any] struct {
+	mu     sync.Mutex
+	ring   []T
+	start  int // index of the oldest retained element
+	count  int // elements retained (<= cap(ring))
+	total  uint64
+	subs   map[uint64]chan T
+	nextID uint64
+	closed bool
+}
+
+// NewStream returns a stream retaining the most recent capacity samples
+// (minimum 1).
+func NewStream[T any](capacity int) *Stream[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Stream[T]{
+		ring: make([]T, capacity),
+		subs: make(map[uint64]chan T),
+	}
+}
+
+// Publish appends a sample to the ring and fans it out to subscribers
+// without blocking (slow subscribers drop it).
+func (s *Stream[T]) Publish(v T) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.count < len(s.ring) {
+		s.ring[(s.start+s.count)%len(s.ring)] = v
+		s.count++
+	} else {
+		s.ring[s.start] = v
+		s.start = (s.start + 1) % len(s.ring)
+	}
+	s.total++
+	for _, ch := range s.subs {
+		select {
+		case ch <- v:
+		default: // slow subscriber: drop
+		}
+	}
+	s.mu.Unlock()
+}
+
+// History returns the retained samples, oldest first.
+func (s *Stream[T]) History() []T {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]T, s.count)
+	for i := 0; i < s.count; i++ {
+		out[i] = s.ring[(s.start+i)%len(s.ring)]
+	}
+	return out
+}
+
+// Total returns how many samples have ever been published.
+func (s *Stream[T]) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Closed reports whether the stream is terminal.
+func (s *Stream[T]) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Subscribe returns the retained history plus a channel delivering samples
+// published after the snapshot, and a cancel function that must be called
+// when done (idempotent; also safe after Close). Subscribing to a closed
+// stream returns the history and an already-closed channel. buf is the
+// subscriber channel capacity (minimum 1).
+//
+// History and channel are atomic with respect to Publish: no sample is
+// both in the history and on the channel, and none falls between.
+func (s *Stream[T]) Subscribe(buf int) (history []T, ch <-chan T, cancel func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	history = make([]T, s.count)
+	for i := 0; i < s.count; i++ {
+		history[i] = s.ring[(s.start+i)%len(s.ring)]
+	}
+	c := make(chan T, buf)
+	if s.closed {
+		close(c)
+		return history, c, func() {}
+	}
+	id := s.nextID
+	s.nextID++
+	s.subs[id] = c
+	var once sync.Once
+	cancel = func() {
+		once.Do(func() {
+			s.mu.Lock()
+			if ch, ok := s.subs[id]; ok {
+				delete(s.subs, id)
+				close(ch)
+			}
+			s.mu.Unlock()
+		})
+	}
+	return history, c, cancel
+}
+
+// Close marks the stream terminal and closes all subscriber channels
+// (after any samples already buffered on them). Idempotent.
+func (s *Stream[T]) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
+	s.mu.Unlock()
+}

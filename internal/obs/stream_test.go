@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStreamHistoryAndRing(t *testing.T) {
+	s := NewStream[int](4)
+	for i := 1; i <= 6; i++ {
+		s.Publish(i)
+	}
+	got := s.History()
+	want := []int{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("history = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("history = %v, want %v", got, want)
+		}
+	}
+	if s.Total() != 6 {
+		t.Fatalf("total = %d, want 6", s.Total())
+	}
+}
+
+func TestStreamSubscribeDeliversAndCancels(t *testing.T) {
+	s := NewStream[int](8)
+	s.Publish(1)
+	hist, ch, cancel := s.Subscribe(4)
+	if len(hist) != 1 || hist[0] != 1 {
+		t.Fatalf("history = %v", hist)
+	}
+	s.Publish(2)
+	select {
+	case v := <-ch:
+		if v != 2 {
+			t.Fatalf("got %d, want 2", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery")
+	}
+	cancel()
+	cancel() // idempotent
+	if _, open := <-ch; open {
+		t.Fatal("channel should be closed after cancel")
+	}
+	s.Publish(3) // must not panic with the subscriber gone
+}
+
+func TestStreamCloseTerminatesSubscribers(t *testing.T) {
+	s := NewStream[string](2)
+	_, ch, cancel := s.Subscribe(1)
+	defer cancel()
+	s.Publish("a")
+	s.Close()
+	s.Close() // idempotent
+	s.Publish("dropped")
+	var got []string
+	for v := range ch {
+		got = append(got, v)
+	}
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("drained %v, want [a]", got)
+	}
+	if !s.Closed() {
+		t.Fatal("stream should report closed")
+	}
+	// Late subscriber: history plus an already-closed channel.
+	hist, late, cancel2 := s.Subscribe(1)
+	defer cancel2()
+	if len(hist) != 1 {
+		t.Fatalf("late history = %v", hist)
+	}
+	if _, open := <-late; open {
+		t.Fatal("late channel should be closed")
+	}
+}
+
+func TestStreamSlowSubscriberDropsNotBlocks(t *testing.T) {
+	s := NewStream[int](4)
+	_, ch, cancel := s.Subscribe(1)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			s.Publish(i)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+	// The subscriber still sees something (the first buffered sample).
+	select {
+	case <-ch:
+	default:
+		t.Fatal("expected at least one buffered sample")
+	}
+}
+
+func TestStreamConcurrentPublishSubscribe(t *testing.T) {
+	s := NewStream[int](64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_, ch, cancel := s.Subscribe(2)
+					select {
+					case <-ch:
+					default:
+					}
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		s.Publish(i)
+	}
+	close(stop)
+	wg.Wait()
+	s.Close()
+	if s.Total() != 5000 {
+		t.Fatalf("total = %d", s.Total())
+	}
+}

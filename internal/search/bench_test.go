@@ -9,6 +9,7 @@ import (
 	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
+	"mindmappings/internal/obs"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/stats"
 )
@@ -80,6 +81,34 @@ func BenchmarkSearchGA(b *testing.B) {
 			ctx.Parallelism = workers
 			return ctx
 		})
+	})
+}
+
+// BenchmarkSearchGAInstrumented runs the same GA workload as
+// BenchmarkSearchGA/batch with the serving stack's full observability
+// load attached: a sampled eval-latency histogram (1-in-64, the service's
+// rate), a live Progress hook opening a stride span and publishing a
+// trajectory event into a bounded stream per recorded sample — exactly
+// what a search job pays when /metrics and /events are being watched.
+// BENCH_search.json records this against the uninstrumented row; the gap
+// is the instrumentation overhead and must stay within noise.
+func BenchmarkSearchGAInstrumented(b *testing.B) {
+	hist := obs.NewHistogram(obs.ExpBuckets(100e-9, 4, 14))
+	stream := obs.NewStream[Progress](256)
+	runSearchBench(b, func(seed int64) *Context {
+		ctx := benchSearchContext(b, seed)
+		ctx.Model = costmodel.WithTiming(ctx.Model, 64, func(d time.Duration) {
+			hist.Observe(d.Seconds())
+		})
+		trace := obs.NewTrace("bench", "search-job")
+		var stride *obs.Span
+		ctx.Progress = func(p Progress) {
+			stride.End()
+			stride = trace.Root().StartChild("stride")
+			stride.Set("eval", float64(p.Eval))
+			stream.Publish(p)
+		}
+		return ctx
 	})
 }
 

@@ -1,0 +1,88 @@
+package search
+
+import (
+	"math"
+	"testing"
+)
+
+// TestProgressHookMirrorsTrajectory pins the Context.Progress contract:
+// the hook fires exactly once per recorded trajectory sample, with the
+// same eval index and best-so-far value, and the best values it reports
+// never increase.
+func TestProgressHookMirrorsTrajectory(t *testing.T) {
+	for _, s := range allSearchers(t) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			ctx := conv1dContext(t, 7)
+			var got []Progress
+			ctx.Progress = func(p Progress) { got = append(got, p) }
+			res, err := s.Search(ctx, Budget{MaxEvals: 120})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(res.Trajectory) {
+				t.Fatalf("progress fired %d times, trajectory has %d samples", len(got), len(res.Trajectory))
+			}
+			best := math.Inf(1)
+			for i, p := range got {
+				s := res.Trajectory[i]
+				if p.Eval != s.Eval || p.Best != s.BestEDP {
+					t.Fatalf("sample %d: progress (%d, %v) != trajectory (%d, %v)",
+						i, p.Eval, p.Best, s.Eval, s.BestEDP)
+				}
+				if p.Best > best {
+					t.Fatalf("sample %d: best rose from %v to %v", i, best, p.Best)
+				}
+				if p.Improved && p.Best >= best {
+					t.Fatalf("sample %d: marked improved without improving (%v >= %v)", i, p.Best, best)
+				}
+				best = p.Best
+			}
+		})
+	}
+}
+
+// TestProgressHookRespectsStride pins that a thinned trajectory thins the
+// hook identically: improvements always fire, non-improvements only on
+// stride boundaries.
+func TestProgressHookRespectsStride(t *testing.T) {
+	ctx := conv1dContext(t, 3)
+	var got []Progress
+	ctx.Progress = func(p Progress) { got = append(got, p) }
+	budget := Budget{MaxEvals: 200, TrajectoryStride: 50}
+	res, err := (RandomSearch{}).Search(ctx, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(res.Trajectory) {
+		t.Fatalf("progress fired %d times, trajectory has %d samples", len(got), len(res.Trajectory))
+	}
+	for _, p := range got {
+		if !p.Improved && p.Eval%budget.TrajectoryStride != 0 {
+			t.Fatalf("non-improving sample at eval %d off the stride", p.Eval)
+		}
+	}
+	if len(got) >= res.Evals {
+		t.Fatalf("stride did not thin the hook: %d calls for %d evals", len(got), res.Evals)
+	}
+}
+
+// TestProgressNilIsFree pins that searches without the hook behave
+// identically (same trajectory) — the hook is observation only.
+func TestProgressNilIsFree(t *testing.T) {
+	run := func(hook bool) Result {
+		ctx := conv1dContext(t, 11)
+		if hook {
+			ctx.Progress = func(Progress) {}
+		}
+		res, err := (GeneticAlgorithm{}).Search(ctx, Budget{MaxEvals: 150})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	if a.BestEDP != b.BestEDP || a.Evals != b.Evals || len(a.Trajectory) != len(b.Trajectory) {
+		t.Fatalf("hook changed the search: %+v vs %+v", a.Evals, b.Evals)
+	}
+}

@@ -73,6 +73,19 @@ type Sample struct {
 	BestEDP float64
 }
 
+// Progress is one live telemetry sample handed to Context.Progress: the
+// state of the search at a recorded trajectory point.
+type Progress struct {
+	// Eval is the number of budgeted evaluations completed so far.
+	Eval int
+	// Best is the best-so-far normalized objective value.
+	Best float64
+	// Elapsed is wall-clock time since the search started.
+	Elapsed time.Duration
+	// Improved reports whether this sample lowered the best-so-far value.
+	Improved bool
+}
+
 // Result summarizes one search run.
 type Result struct {
 	Method     string
@@ -165,6 +178,14 @@ type Context struct {
 	// budget accounting itself is unaffected. 0 and 1 evaluate
 	// sequentially.
 	Parallelism int
+	// Progress, when non-nil, receives live best-so-far telemetry: it fires
+	// exactly when a trajectory sample is recorded (every improvement, plus
+	// every TrajectoryStride-th evaluation), from the searcher's own
+	// goroutine. The serving stack's SSE endpoints and the CLI's -progress
+	// line hang off this hook; implementations must be fast and must not
+	// block (the search stalls while the hook runs). The eval hot path pays
+	// nothing for it beyond one nil check per recorded sample.
+	Progress func(Progress)
 	// Scalar forces the scalar (pre-batching) evaluation path everywhere:
 	// per-candidate cost-model queries and per-vector surrogate
 	// forward/backward passes. The batched kernels accumulate in exactly
@@ -314,7 +335,11 @@ func (t *tracker) record(m *mapspace.Mapping, edp float64) {
 	if stride := t.budget.TrajectoryStride; stride > 1 && !improved && t.evals%stride != 0 {
 		return
 	}
-	t.traj = append(t.traj, Sample{Eval: t.evals, Elapsed: time.Since(t.start), BestEDP: t.best})
+	elapsed := time.Since(t.start)
+	t.traj = append(t.traj, Sample{Eval: t.evals, Elapsed: elapsed, BestEDP: t.best})
+	if t.ctx.Progress != nil {
+		t.ctx.Progress(Progress{Eval: t.evals, Best: t.best, Elapsed: elapsed, Improved: improved})
+	}
 }
 
 // evalValue runs one cost-model query through the paid or free evaluator

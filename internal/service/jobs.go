@@ -17,6 +17,7 @@ import (
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/modelstore"
+	"mindmappings/internal/obs"
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/search"
 	"mindmappings/internal/trainer"
@@ -123,6 +124,25 @@ type JobResult struct {
 	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
 }
 
+// ProgressEvent is one live telemetry sample from a search job, published
+// to Watch subscribers (and streamed over GET /v1/jobs/{id}/events) at
+// every recorded trajectory sample. The final event carries the terminal
+// status; afterwards the stream closes.
+type ProgressEvent struct {
+	Status      JobStatus `json:"status"`
+	Eval        int       `json:"eval,omitempty"`
+	BestEDP     float64   `json:"best_edp,omitempty"`
+	ElapsedMS   float64   `json:"elapsed_ms,omitempty"`
+	EvalsPerSec float64   `json:"evals_per_sec,omitempty"`
+	Improved    bool      `json:"improved,omitempty"`
+	Error       string    `json:"error,omitempty"`
+}
+
+// progressRing bounds the per-job event history late subscribers replay:
+// recent samples matter (the live tail), the full trajectory lives on the
+// job result.
+const progressRing = 256
+
 // Job is the service-side record of one search request. Snapshots returned
 // by the manager are copies; only the manager mutates the live record.
 type Job struct {
@@ -138,6 +158,10 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+	// stream fans live ProgressEvents out to Watch subscribers; trace is
+	// the job's span tree (queue wait, model resolution, search strides).
+	stream *obs.Stream[ProgressEvent]
+	trace  *obs.Trace
 }
 
 // JobManager owns the bounded job queue and the worker pool that drains
@@ -173,6 +197,67 @@ type JobManager struct {
 	// Guarded by countersMu, not mu: jobs read them on the hot path.
 	countersMu sync.Mutex
 	counters   map[string]*costmodel.Counter
+	evalHists  map[string]*obs.Histogram
+
+	// instr holds the obs metrics set by Instrument, read through
+	// instruments() so workers racing an Instrument call stay safe.
+	instr *jobInstruments
+}
+
+// jobInstruments bundles the manager's obs metrics.
+type jobInstruments struct {
+	reg       *obs.Registry
+	queueWait *obs.Histogram
+	run       *obs.Histogram
+}
+
+// evalSecondsBuckets spans the analytical backends' ~100ns-per-eval range
+// up to emulated-latency milliseconds.
+var evalSecondsBuckets = obs.ExpBuckets(100e-9, 4, 14)
+
+// Instrument registers the manager's metrics in reg: queue-wait and run
+// histograms, lifecycle counters, and live queue gauges. Per-backend eval
+// counters and latency histograms register lazily as backends serve jobs.
+// Call once at setup, before or after jobs start — workers pick the
+// instruments up on their next job.
+func (jm *JobManager) Instrument(reg *obs.Registry) {
+	in := &jobInstruments{
+		reg: reg,
+		queueWait: reg.Histogram("search_job_queue_seconds",
+			"Time search jobs wait in the queue before a worker starts them.", nil),
+		run: reg.Histogram("search_job_run_seconds",
+			"Wall-clock run time of search jobs, start to finish.", obs.ExpBuckets(1e-3, 4, 14)),
+	}
+	reg.CounterFunc("search_jobs_submitted_total",
+		"Search jobs accepted by POST /v1/search.",
+		func() float64 { return float64(jm.Stats().Submitted) })
+	reg.CounterFunc("search_jobs_done_total",
+		"Search jobs finished successfully.",
+		func() float64 { return float64(jm.Stats().Done) })
+	reg.CounterFunc("search_jobs_failed_total",
+		"Search jobs that ended in an error.",
+		func() float64 { return float64(jm.Stats().Failed) })
+	reg.CounterFunc("search_jobs_cancelled_total",
+		"Search jobs cancelled by clients or shutdown.",
+		func() float64 { return float64(jm.Stats().Cancelled) })
+	reg.GaugeFunc("search_jobs_queued",
+		"Search jobs waiting for a worker.",
+		func() float64 { return float64(jm.Stats().Queued) })
+	reg.GaugeFunc("search_jobs_running",
+		"Search jobs currently executing.",
+		func() float64 { return float64(jm.Stats().Running) })
+	reg.GaugeFunc("search_job_workers",
+		"Size of the search worker pool.",
+		func() float64 { return float64(jm.Workers()) })
+	jm.mu.Lock()
+	jm.instr = in
+	jm.mu.Unlock()
+}
+
+func (jm *JobManager) instruments() *jobInstruments {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.instr
 }
 
 // NewJobManager starts workers goroutines (runtime.NumCPU() when workers
@@ -403,14 +488,17 @@ func (jm *JobManager) Submit(req SearchRequest) (Job, error) {
 		return Job{}, err
 	}
 	jctx, cancel := context.WithCancel(jm.baseCtx)
+	id := newJobID()
 	job := &Job{
-		ID:      newJobID(),
+		ID:      id,
 		Status:  JobQueued,
 		Request: req,
 		Created: time.Now(),
 		ctx:     jctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
+		stream:  obs.NewStream[ProgressEvent](progressRing),
+		trace:   obs.NewTrace(id, "search-job"),
 	}
 	// Enqueue and register atomically: the non-blocking send cannot stall
 	// under the lock, and a worker popping the job immediately still finds
@@ -557,9 +645,18 @@ func (jm *JobManager) runJob(job *Job) {
 	}
 	job.Status = JobRunning
 	job.Started = time.Now()
+	wait := job.Started.Sub(job.Created)
+	job.trace.Root().Set("queue_wait_ms", float64(wait.Microseconds())/1e3)
 	jm.mu.Unlock()
+	if in := jm.instruments(); in != nil {
+		in.queueWait.Observe(wait.Seconds())
+	}
+	job.stream.Publish(ProgressEvent{Status: JobRunning})
 
-	res, space, err := jm.execute(ctx, &job.Request)
+	res, space, err := jm.execute(ctx, job)
+	if in := jm.instruments(); in != nil {
+		in.run.Observe(time.Since(job.Started).Seconds())
+	}
 
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
@@ -611,9 +708,64 @@ func (jm *JobManager) finishLocked(job *Job, status JobStatus, result *JobResult
 	case JobCancelled:
 		jm.cancelled++
 	}
+	// Final event carries the terminal status, then the stream closes so
+	// SSE watchers see end-of-stream rather than hanging. The stream's own
+	// mutex is a leaf, so publishing under jm.mu cannot deadlock.
+	job.trace.Root().Set("status", string(status))
+	job.trace.End()
+	ev := ProgressEvent{Status: status, Error: job.Error}
+	if result != nil {
+		ev.Eval = result.Evals
+		ev.BestEDP = result.BestEDP
+		ev.ElapsedMS = result.ElapsedMS
+		if result.ElapsedMS > 0 {
+			ev.EvalsPerSec = float64(result.Evals) / (result.ElapsedMS / 1e3)
+		}
+	}
+	job.stream.Publish(ev)
+	job.stream.Close()
 	job.cancel() // release the context
 	close(job.done)
 	jm.evictTerminalLocked()
+}
+
+// Watch subscribes to a job's live progress stream: the recent history
+// (oldest first), a channel of subsequent events, and a cancel function
+// the caller must invoke when done. The channel closes when the job
+// reaches a terminal status (or on cancel). Terminal jobs return their
+// retained history and an already-closed channel.
+func (jm *JobManager) Watch(id string) ([]ProgressEvent, <-chan ProgressEvent, func(), bool) {
+	jm.mu.Lock()
+	job, ok := jm.jobs[id]
+	jm.mu.Unlock()
+	if !ok {
+		return nil, nil, nil, false
+	}
+	hist, ch, cancel := job.stream.Subscribe(16)
+	return hist, ch, cancel, true
+}
+
+// TraceSnapshot renders a job's span tree (queue wait, model resolution,
+// search strides); running spans report duration so far.
+func (jm *JobManager) TraceSnapshot(id string) (obs.SpanSnapshot, bool) {
+	jm.mu.Lock()
+	job, ok := jm.jobs[id]
+	jm.mu.Unlock()
+	if !ok {
+		return obs.SpanSnapshot{}, false
+	}
+	return job.trace.Snapshot(), true
+}
+
+// Events returns a job's retained progress-event history (oldest first).
+func (jm *JobManager) Events(id string) ([]ProgressEvent, bool) {
+	jm.mu.Lock()
+	job, ok := jm.jobs[id]
+	jm.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return job.stream.History(), true
 }
 
 // evictTerminalLocked drops the oldest terminal jobs beyond the retention
@@ -644,8 +796,18 @@ func (jm *JobManager) evictTerminalLocked() {
 	jm.order = kept
 }
 
-// execute runs the search described by req under ctx.
-func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.Result, *mapspace.Space, error) {
+// evalTimingSample is the WithTiming sampling period for per-backend eval
+// latency histograms: two clock reads (~50ns) every 64th ~300ns evaluation
+// amortizes to under a nanosecond per eval, keeping search throughput
+// within noise of the uninstrumented path.
+const evalTimingSample = 64
+
+// execute runs the search described by job.Request under ctx, recording
+// model-resolution and search spans on the job's trace and publishing
+// live progress to its event stream.
+func (jm *JobManager) execute(ctx context.Context, job *Job) (*search.Result, *mapspace.Space, error) {
+	req := &job.Request
+	root := job.trace.Root()
 	algo, err := req.algorithm()
 	if err != nil {
 		return nil, nil, err
@@ -675,7 +837,11 @@ func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.
 	if err != nil {
 		return nil, nil, err
 	}
+	// Model resolution covers registry loads and, for "auto" with
+	// train_on_miss, the wait on a shared training run.
+	resolveSpan := root.StartChild("resolve-model")
 	searcher, err := jm.searcher(ctx, req, algo)
+	resolveSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -683,9 +849,18 @@ func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.
 	if parallelism > MaxParallelism {
 		parallelism = MaxParallelism
 	}
+	evaluator := costmodel.Evaluator(model)
+	if hist := jm.evalHistFor(model.Name()); hist != nil {
+		evaluator = costmodel.WithTiming(evaluator, evalTimingSample, hist.ObserveDuration)
+	}
+	searchSpan := root.StartChild("search")
+	searchSpan.Set("searcher", strings.ToLower(req.Searcher))
+	// One child span per recorded trajectory sample (improvements plus
+	// stride boundaries); Span's child cap bounds the tree for long jobs.
+	var strideSpan *obs.Span
 	sctx := &search.Context{
 		Space:       space,
-		Model:       model,
+		Model:       evaluator,
 		Bound:       bound,
 		Seed:        req.Seed,
 		Objective:   obj,
@@ -693,11 +868,31 @@ func (jm *JobManager) execute(ctx context.Context, req *SearchRequest) (*search.
 		Cache:       jm.cache,
 		Evals:       jm.counterFor(model.Name()),
 		Parallelism: parallelism,
+		Progress: func(p search.Progress) {
+			strideSpan.End()
+			strideSpan = searchSpan.StartChild("stride")
+			strideSpan.Set("eval", p.Eval)
+			strideSpan.Set("best_edp", p.Best)
+			ev := ProgressEvent{
+				Status:    JobRunning,
+				Eval:      p.Eval,
+				BestEDP:   p.Best,
+				ElapsedMS: float64(p.Elapsed.Microseconds()) / 1e3,
+				Improved:  p.Improved,
+			}
+			if p.Elapsed > 0 {
+				ev.EvalsPerSec = float64(p.Eval) / p.Elapsed.Seconds()
+			}
+			job.stream.Publish(ev)
+		},
 	}
 	res, err := searcher.Search(sctx, budget)
+	strideSpan.End()
+	searchSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	searchSpan.Set("evals", res.Evals)
 	return &res, space, nil
 }
 
@@ -846,14 +1041,44 @@ func (jm *JobManager) Stats() JobStats {
 // backend, creating it on first use. Jobs selecting the same backend share
 // one counter, so /v1/metrics reports aggregate evals per backend.
 func (jm *JobManager) counterFor(backend string) *costmodel.Counter {
+	in := jm.instruments()
 	jm.countersMu.Lock()
 	defer jm.countersMu.Unlock()
 	ctr, ok := jm.counters[backend]
 	if !ok {
 		ctr = &costmodel.Counter{}
 		jm.counters[backend] = ctr
+		if in != nil {
+			c := ctr
+			in.reg.CounterFuncWith("costmodel_evals_total",
+				"Paid cost-model evaluations per backend (cache hits excluded).",
+				[]string{"backend"}, []string{backend},
+				func() float64 { return float64(c.Count()) })
+		}
 	}
 	return ctr
+}
+
+// evalHistFor returns the sampled eval-latency histogram for a backend,
+// registering it on first use; nil before Instrument.
+func (jm *JobManager) evalHistFor(backend string) *obs.Histogram {
+	in := jm.instruments()
+	if in == nil {
+		return nil
+	}
+	jm.countersMu.Lock()
+	defer jm.countersMu.Unlock()
+	if jm.evalHists == nil {
+		jm.evalHists = make(map[string]*obs.Histogram)
+	}
+	h, ok := jm.evalHists[backend]
+	if !ok {
+		h = in.reg.HistogramWith("costmodel_eval_seconds",
+			fmt.Sprintf("Sampled cost-model evaluation latency (1-in-%d sampling).", evalTimingSample),
+			evalSecondsBuckets, []string{"backend"}, []string{backend})
+		jm.evalHists[backend] = h
+	}
+	return h
 }
 
 // EvalCounts snapshots the paid reference-cost-model evaluations performed

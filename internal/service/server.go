@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"mindmappings/internal/modelstore"
+	"mindmappings/internal/obs"
 	"mindmappings/internal/trainer"
 	"mindmappings/internal/workload"
 )
@@ -32,11 +35,17 @@ import (
 //	                              and the registered workloads
 //	DELETE /v1/models/{id}        delete a store artifact
 //	POST   /v1/models/gc          drop superseded versions (?keep=N, default 2)
-//	GET    /v1/metrics            job, trainer, cache, registry, and store counters
+//	GET    /v1/jobs/{id}/trace    span tree + progress-event history of a search job
+//	GET    /v1/jobs/{id}/events   live search progress (Server-Sent Events)
+//	GET    /v1/train/{id}/trace   span tree + event history of a training job
+//	GET    /v1/train/{id}/events  live training progress (Server-Sent Events)
+//	GET    /v1/metrics            JSON: job, trainer, cache, registry, store counters,
+//	                              runtime stats, and latency-histogram quantiles
+//	GET    /metrics               Prometheus text exposition of the same registry
 //	GET    /healthz               liveness probe
 //
 // The training endpoints answer 503 until WithTraining attaches a store
-// and pipeline.
+// and pipeline. EnablePprof mounts net/http/pprof under /debug/pprof/.
 type Server struct {
 	jobs     *JobManager
 	registry *ModelRegistry
@@ -44,12 +53,58 @@ type Server struct {
 	store    *modelstore.Store
 	trainer  *trainer.Pipeline
 	started  time.Time
+
+	reg         *obs.Registry
+	httpMetrics *obs.HTTPMetrics
+	logger      *slog.Logger
+	pprofOn     bool
 }
 
-// NewServer wires the service components into an HTTP front end.
+// NewServer wires the service components into an HTTP front end, building
+// the obs registry every request and job flows through: runtime metrics,
+// HTTP route histograms, and the job manager's queue/run/eval metrics.
 func NewServer(jobs *JobManager, registry *ModelRegistry, cache *EvalCache) *Server {
-	return &Server{jobs: jobs, registry: registry, cache: cache, started: time.Now()}
+	s := &Server{jobs: jobs, registry: registry, cache: cache, started: time.Now(), reg: obs.NewRegistry()}
+	obs.RegisterRuntimeMetrics(s.reg, s.started)
+	s.httpMetrics = obs.NewHTTPMetrics(s.reg)
+	jobs.Instrument(s.reg)
+	s.reg.CounterFunc("eval_cache_hits_total",
+		"Shared eval-cache hits across all search jobs.",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	s.reg.CounterFunc("eval_cache_misses_total",
+		"Shared eval-cache misses across all search jobs.",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	s.reg.GaugeFunc("eval_cache_entries",
+		"Entries resident in the shared eval cache.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	s.reg.CounterFunc("model_registry_disk_loads_total",
+		"Surrogate loads from disk (registry misses).",
+		func() float64 { return float64(s.registry.Stats().Loads) })
+	s.reg.GaugeFunc("model_registry_loaded",
+		"Surrogates resident in the in-memory model registry.",
+		func() float64 { return float64(s.registry.Stats().Loaded) })
+	return s
 }
+
+// SetLogger installs a structured logger for per-request log lines
+// (request ID, method, route, status, latency). Nil disables logging.
+// Returns the server for chaining.
+func (s *Server) SetLogger(l *slog.Logger) *Server {
+	s.logger = l
+	return s
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on the next
+// Handler call (opt-in: profiling endpoints expose internals, so serve
+// gates them behind a flag). Returns the server for chaining.
+func (s *Server) EnablePprof() *Server {
+	s.pprofOn = true
+	return s
+}
+
+// Registry exposes the server's metric registry so embedders can attach
+// their own series.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // WithTraining attaches the artifact store and training pipeline, enabling
 // the /v1/train endpoints, store-backed /v1/models, and — through the job
@@ -60,27 +115,194 @@ func (s *Server) WithTraining(store *modelstore.Store, tp *trainer.Pipeline) *Se
 	s.trainer = tp
 	s.registry.AttachStore(store)
 	s.jobs.EnableTraining(store, tp)
+	s.reg.CounterFunc("trainer_jobs_submitted_total",
+		"Training jobs accepted by POST /v1/train.",
+		func() float64 { return float64(tp.Stats().Submitted) })
+	s.reg.CounterFunc("trainer_jobs_done_total",
+		"Training jobs that published an artifact.",
+		func() float64 { return float64(tp.Stats().Done) })
+	s.reg.CounterFunc("trainer_jobs_failed_total",
+		"Training jobs that ended in an error.",
+		func() float64 { return float64(tp.Stats().Failed) })
+	s.reg.CounterFunc("trainer_jobs_cancelled_total",
+		"Training jobs cancelled by clients or shutdown.",
+		func() float64 { return float64(tp.Stats().Cancelled) })
+	s.reg.GaugeFunc("trainer_jobs_queued",
+		"Training jobs waiting for a pipeline worker.",
+		func() float64 { return float64(tp.Stats().Queued) })
+	s.reg.GaugeFunc("trainer_jobs_running",
+		"Training jobs currently executing.",
+		func() float64 { return float64(tp.Stats().Running) })
+	s.reg.GaugeFunc("store_artifacts",
+		"Published surrogate artifacts in the model store.",
+		func() float64 { return float64(store.Stats().Artifacts) })
+	s.reg.GaugeFunc("store_workloads",
+		"Distinct workload fingerprints in the model store.",
+		func() float64 { return float64(store.Stats().Workloads) })
 	return s
 }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler, wrapped in the obs middleware
+// (request IDs, per-route latency histograms, structured log lines).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("POST /v1/train", s.handleTrain)
 	mux.HandleFunc("GET /v1/train", s.handleListTrain)
 	mux.HandleFunc("GET /v1/train/{id}", s.handleGetTrain)
+	mux.HandleFunc("GET /v1/train/{id}/trace", s.handleTrainTrace)
+	mux.HandleFunc("GET /v1/train/{id}/events", s.handleTrainEvents)
 	mux.HandleFunc("DELETE /v1/train/{id}", s.handleCancelTrain)
 	mux.HandleFunc("POST /v1/train/{id}/resume", s.handleResumeTrain)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
 	mux.HandleFunc("POST /v1/models/gc", s.handleGCModels)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	return mux
+	mux.Handle("GET /metrics", s.reg.Handler())
+	if s.pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return obs.Middleware(mux, s.httpMetrics, s.logger)
+}
+
+// handleJobTrace returns a search job's span tree plus its retained
+// progress events.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.jobs.TraceSnapshot(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	events, _ := s.jobs.Events(id)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "trace": snap, "events": events})
+}
+
+// handleJobEvents streams a search job's progress as Server-Sent Events:
+// the retained history first, then live samples until the job ends or the
+// client disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	hist, ch, cancel, ok := s.jobs.Watch(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	serveSSE(w, r, hist, ch, cancel, func() (ProgressEvent, bool) {
+		job, ok := s.jobs.Get(id)
+		if !ok || !job.Status.Terminal() {
+			return ProgressEvent{}, false
+		}
+		ev := ProgressEvent{Status: job.Status, Error: job.Error}
+		if res := job.Result; res != nil {
+			ev.Eval = res.Evals
+			ev.BestEDP = res.BestEDP
+			ev.ElapsedMS = res.ElapsedMS
+			if res.ElapsedMS > 0 {
+				ev.EvalsPerSec = float64(res.Evals) / (res.ElapsedMS / 1e3)
+			}
+		}
+		return ev, true
+	})
+}
+
+func (s *Server) handleTrainTrace(w http.ResponseWriter, r *http.Request) {
+	if s.trainer == nil {
+		writeError(w, http.StatusServiceUnavailable, errTrainingDisabled)
+		return
+	}
+	id := r.PathValue("id")
+	snap, ok := s.trainer.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown training job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "trace": snap})
+}
+
+func (s *Server) handleTrainEvents(w http.ResponseWriter, r *http.Request) {
+	if s.trainer == nil {
+		writeError(w, http.StatusServiceUnavailable, errTrainingDisabled)
+		return
+	}
+	id := r.PathValue("id")
+	hist, ch, cancel, ok := s.trainer.Watch(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown training job %q", id))
+		return
+	}
+	serveSSE(w, r, hist, ch, cancel, func() (trainer.Event, bool) {
+		job, ok := s.trainer.Get(id)
+		if !ok || !job.Status.Terminal() {
+			return trainer.Event{}, false
+		}
+		return trainer.Event{Status: job.Status, Progress: job.Progress, Error: job.Error}, true
+	})
+}
+
+// serveSSE streams history-then-live events as text/event-stream, one JSON
+// object per "data:" frame. It returns when the stream closes (job
+// reached a terminal state) or the client disconnects — cancel runs either
+// way, so no subscription or goroutine outlives the request. Stream
+// fan-out is lossy under a slow client (Publish never blocks a search on
+// an SSE connection), so after the stream closes the final frame is
+// re-synthesized from the job's terminal state via final and sent unless
+// it just went out — the terminal status always reaches the client.
+func serveSSE[T comparable](w http.ResponseWriter, r *http.Request, hist []T, ch <-chan T, cancel func(), final func() (T, bool)) {
+	defer cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported by this connection"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	var last T
+	send := func(v T) bool {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", raw); err != nil {
+			return false
+		}
+		fl.Flush()
+		last = v
+		return true
+	}
+	for _, v := range hist {
+		if !send(v) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case v, open := <-ch:
+			if !open {
+				if fin, ok := final(); ok && fin != last {
+					send(fin)
+				}
+				return
+			}
+			if !send(v) {
+				return
+			}
+		}
+	}
 }
 
 // writeJSON renders v with status code.
@@ -314,6 +536,11 @@ type Metrics struct {
 	// Trainer and Store are present once WithTraining has been called.
 	Trainer *trainer.Stats    `json:"trainer,omitempty"`
 	Store   *modelstore.Stats `json:"store,omitempty"`
+	// Runtime reports process health: goroutines, heap, GC, build info.
+	Runtime obs.RuntimeStats `json:"runtime"`
+	// Latencies summarizes every registered latency histogram (HTTP routes,
+	// job queue/run, sampled cost-model evals) as count/sum/p50/p95/p99.
+	Latencies map[string]obs.QuantileSummary `json:"latencies,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -325,6 +552,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CostModels: s.jobs.EvalCounts(),
 		EvalCache:  s.cache.Stats(),
 		Registry:   s.registry.Stats(),
+		Runtime:    obs.ReadRuntime(s.started),
 	}
 	if s.trainer != nil {
 		ts := s.trainer.Stats()
@@ -333,6 +561,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		ss := s.store.Stats()
 		m.Store = &ss
+	}
+	if hists := s.reg.Histograms(); len(hists) > 0 {
+		m.Latencies = make(map[string]obs.QuantileSummary, len(hists))
+		for name, h := range hists {
+			if h.Count() == 0 {
+				continue // unobserved histograms would only add noise
+			}
+			m.Latencies[name] = h.Summary()
+		}
 	}
 	writeJSON(w, http.StatusOK, m)
 }

@@ -26,6 +26,7 @@ import (
 	"mindmappings/internal/costmodel"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/modelstore"
+	"mindmappings/internal/obs"
 	"mindmappings/internal/stats"
 	"mindmappings/internal/surrogate"
 	"mindmappings/internal/workload"
@@ -193,6 +194,22 @@ type Progress struct {
 	Parent string `json:"parent,omitempty"`
 }
 
+// Event is one live telemetry sample from a training job: the job's
+// status plus its progress at the moment of publication. Events are
+// published to Watch subscribers at every phase transition, generation
+// progress update, and completed epoch; the final event carries the
+// terminal status (and error, if any), after which the stream closes.
+type Event struct {
+	Status   Status   `json:"status"`
+	Progress Progress `json:"progress"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// eventRing bounds the per-job event history late Watch subscribers can
+// replay: enough for every epoch of the paper config plus phase
+// transitions, without pinning unbounded generation-progress spam.
+const eventRing = 512
+
 // Job is the pipeline-side record of one training request. Snapshots
 // returned by the pipeline are copies; only the pipeline mutates the live
 // record.
@@ -218,6 +235,10 @@ type Job struct {
 	// checkpoint holds the dataset and last completed-epoch training state
 	// of an interrupted run; Resume hands it to the successor job.
 	checkpoint *checkpoint
+	// stream fans live Events out to Watch subscribers; trace is the job's
+	// span tree (queued wait, generate/train/publish phases).
+	stream *obs.Stream[Event]
+	trace  *obs.Trace
 }
 
 type checkpoint struct {
@@ -358,8 +379,9 @@ func (p *Pipeline) submitWith(req Request, ck *checkpoint, resumedFrom string, d
 		return Job{}, err
 	}
 	jctx, cancel := context.WithCancel(p.baseCtx)
+	id := newJobID()
 	job := &Job{
-		ID:          newJobID(),
+		ID:          id,
 		Status:      StatusQueued,
 		Request:     req,
 		Created:     time.Now(),
@@ -368,6 +390,8 @@ func (p *Pipeline) submitWith(req Request, ck *checkpoint, resumedFrom string, d
 		cancel:      cancel,
 		done:        make(chan struct{}),
 		checkpoint:  ck,
+		stream:      obs.NewStream[Event](eventRing),
+		trace:       obs.NewTrace(id, "train-job"),
 	}
 	p.mu.Lock()
 	if p.baseCtx.Err() != nil {
@@ -502,7 +526,10 @@ func (p *Pipeline) runJob(job *Job) {
 	}
 	job.Status = StatusRunning
 	job.Started = time.Now()
+	job.trace.Root().Set("queue_wait_ms", float64(job.Started.Sub(job.Created).Microseconds())/1e3)
+	ev := Event{Status: job.Status, Progress: job.Progress}
 	p.mu.Unlock()
+	job.stream.Publish(ev)
 
 	manifest, err := p.execute(ctx, job)
 
@@ -552,6 +579,13 @@ func (p *Pipeline) finishLocked(job *Job, status Status, manifest *modelstore.Ma
 	if p.active[job.Request.dedupKey()] == job.ID {
 		delete(p.active, job.Request.dedupKey())
 	}
+	// Final event carries the terminal status, then the stream closes so
+	// SSE watchers see end-of-stream rather than hanging. The stream's own
+	// mutex is a leaf, so publishing under p.mu cannot deadlock.
+	job.trace.Root().Set("status", string(status))
+	job.trace.End()
+	job.stream.Publish(Event{Status: job.Status, Progress: job.Progress, Error: job.Error})
+	job.stream.Close()
 	job.cancel()
 	close(job.done)
 	p.evictTerminalLocked()
@@ -595,11 +629,42 @@ func (p *Pipeline) evictTerminalLocked() {
 	p.order = kept
 }
 
-// setProgress mutates a job's progress under the pipeline lock.
+// setProgress mutates a job's progress under the pipeline lock and
+// publishes the updated view to Watch subscribers.
 func (p *Pipeline) setProgress(job *Job, fn func(*Progress)) {
 	p.mu.Lock()
 	fn(&job.Progress)
+	ev := Event{Status: job.Status, Progress: job.Progress}
 	p.mu.Unlock()
+	job.stream.Publish(ev)
+}
+
+// Watch subscribes to a job's live event stream: the history so far
+// (oldest first), a channel of subsequent events, and a cancel function
+// the caller must invoke when done. The channel closes when the job
+// reaches a terminal status (or on cancel). Terminal jobs return their
+// retained history and an already-closed channel.
+func (p *Pipeline) Watch(id string) ([]Event, <-chan Event, func(), bool) {
+	p.mu.Lock()
+	job, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return nil, nil, nil, false
+	}
+	hist, ch, cancel := job.stream.Subscribe(16)
+	return hist, ch, cancel, true
+}
+
+// Trace snapshots a job's span tree (queued wait, generate/train/publish
+// phases); running spans report duration so far.
+func (p *Pipeline) Trace(id string) (obs.SpanSnapshot, bool) {
+	p.mu.Lock()
+	job, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return obs.SpanSnapshot{}, false
+	}
+	return job.trace.Snapshot(), true
 }
 
 // execute runs one training job end to end: generate (or reuse the
@@ -617,6 +682,7 @@ func (p *Pipeline) execute(ctx context.Context, job *Job) (*modelstore.Manifest,
 	}
 	a := arch.Default(len(algo.Tensors) - 1)
 	start := time.Now()
+	root := job.trace.Root()
 
 	// Phase 1a: the training set. A resumed job reuses the retained
 	// dataset — regeneration would be wasted cost-model work.
@@ -627,6 +693,7 @@ func (p *Pipeline) execute(ctx context.Context, job *Job) (*modelstore.Manifest,
 		ds = ck.ds
 		resume = ck.state
 		parent = ck.parent
+		root.Set("resumed_dataset", true)
 		p.setProgress(job, func(pr *Progress) {
 			pr.Phase = PhaseTrain
 			pr.Samples = ds.Len()
@@ -638,15 +705,18 @@ func (p *Pipeline) execute(ctx context.Context, job *Job) (*modelstore.Manifest,
 			pr.Phase = PhaseGenerate
 			pr.Samples = cfg.Samples
 		})
+		genSpan := root.StartChild(PhaseGenerate)
 		ds, err = surrogate.GenerateWith(algo, a, cfg, surrogate.GenerateOptions{
 			Ctx: ctx,
 			OnProgress: func(done, total int) {
 				p.setProgress(job, func(pr *Progress) { pr.SamplesDone, pr.Samples = done, total })
 			},
 		})
+		genSpan.End()
 		if err != nil {
 			return nil, err
 		}
+		genSpan.Set("samples", ds.Len())
 		p.mu.Lock()
 		job.checkpoint = &checkpoint{ds: ds}
 		p.mu.Unlock()
@@ -656,7 +726,10 @@ func (p *Pipeline) execute(ctx context.Context, job *Job) (*modelstore.Manifest,
 	// (compatibility depends on the encoded input width).
 	var warm *surrogate.Surrogate
 	if resume == nil {
+		warmSpan := root.StartChild("resolve-warm")
 		warm, parent, err = p.resolveWarm(req, algo, cfg, ds)
+		warmSpan.Set("parent", parent)
+		warmSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -671,6 +744,7 @@ func (p *Pipeline) execute(ctx context.Context, job *Job) (*modelstore.Manifest,
 		pr.Epochs = cfg.Train.Epochs
 		pr.Parent = parent
 	})
+	trainSpan := root.StartChild(PhaseTrain)
 	sur, hist, err := surrogate.TrainWith(ds, cfg, surrogate.TrainOptions{
 		Ctx:    ctx,
 		Warm:   warm,
@@ -681,15 +755,21 @@ func (p *Pipeline) execute(ctx context.Context, job *Job) (*modelstore.Manifest,
 			job.Progress.TrainLoss = ep.TrainLoss
 			job.Progress.TestLoss = ep.TestLoss
 			job.checkpoint.state = ep.State
+			ev := Event{Status: job.Status, Progress: job.Progress}
 			p.mu.Unlock()
+			job.stream.Publish(ev)
 		},
 	})
+	trainSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	trainSpan.Set("epochs", len(hist.TrainLoss))
 
 	// Phase 3: publish.
 	p.setProgress(job, func(pr *Progress) { pr.Phase = PhasePublish })
+	pubSpan := root.StartChild(PhasePublish)
+	defer pubSpan.End()
 	manifest, err := p.store.Publish(sur, modelstore.PublishMeta{
 		Name:         req.Name,
 		CostModel:    effectiveBackend(req.CostModel),
@@ -707,6 +787,7 @@ func (p *Pipeline) execute(ctx context.Context, job *Job) (*modelstore.Manifest,
 	if err != nil {
 		return nil, err
 	}
+	pubSpan.Set("artifact", manifest.ID)
 	return &manifest, nil
 }
 

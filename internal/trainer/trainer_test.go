@@ -84,6 +84,85 @@ func TestPipelineEndToEnd(t *testing.T) {
 	}
 }
 
+// TestWatchAndTrace pins the telemetry contract: Watch streams
+// monotonically progressing events ending with the terminal status, the
+// stream closes at completion, and the trace tree holds the
+// generate/train/publish phase spans (all ended, correctly ordered).
+func TestWatchAndTrace(t *testing.T) {
+	p := testPipeline(t, 1, 4)
+	job, err := p.Submit(tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, ch, cancel, ok := p.Watch(job.ID)
+	if !ok {
+		t.Fatal("Watch: unknown job")
+	}
+	defer cancel()
+	events := append([]Event(nil), hist...)
+	deadline := time.After(2 * time.Minute)
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				goto drained
+			}
+			events = append(events, ev)
+		case <-deadline:
+			t.Fatal("event stream never closed")
+		}
+	}
+drained:
+	if len(events) == 0 {
+		t.Fatal("no events published")
+	}
+	last := events[len(events)-1]
+	if last.Status != StatusDone {
+		t.Fatalf("final event status %s (error %q)", last.Status, last.Error)
+	}
+	// Progress never regresses: samples-done and epoch are monotone.
+	samples, epoch := 0, 0
+	for i, ev := range events {
+		if ev.Progress.SamplesDone < samples || ev.Progress.Epoch < epoch {
+			t.Fatalf("event %d regressed: %+v after samples=%d epoch=%d", i, ev.Progress, samples, epoch)
+		}
+		samples, epoch = ev.Progress.SamplesDone, ev.Progress.Epoch
+	}
+	if epoch != 5 {
+		t.Fatalf("final epoch %d, want 5", epoch)
+	}
+
+	snap, ok := p.Trace(job.ID)
+	if !ok {
+		t.Fatal("Trace: unknown job")
+	}
+	if snap.Name != "train-job" || snap.Running {
+		t.Fatalf("root span: %+v", snap)
+	}
+	if snap.Attrs["status"] != string(StatusDone) {
+		t.Fatalf("root status attr: %v", snap.Attrs)
+	}
+	var order []string
+	for _, c := range snap.Children {
+		if c.Running {
+			t.Fatalf("child span %q still running in a done job", c.Name)
+		}
+		if c.StartMS < 0 || c.DurationMS < 0 {
+			t.Fatalf("child span %q has negative timing: %+v", c.Name, c)
+		}
+		order = append(order, c.Name)
+	}
+	want := []string{PhaseGenerate, "resolve-warm", PhaseTrain, PhasePublish}
+	if len(order) != len(want) {
+		t.Fatalf("phase spans %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("phase spans %v, want %v", order, want)
+		}
+	}
+}
+
 func TestInlineEinsumAndValidation(t *testing.T) {
 	p := testPipeline(t, 1, 4)
 	req := tinyRequest()
