@@ -359,6 +359,7 @@ func cmdSearch(args []string) error {
 	chains := fs.Int("chains", 1, "lockstep gradient-descent chains sharing the budget (batched surrogate queries)")
 	parallel := fs.Int("parallel", 0, "workers for batched cost-model scoring (0 = sequential; results are identical either way)")
 	progress := fs.Bool("progress", false, "print live best-cost/throughput lines to stderr while searching")
+	timeout := fs.Duration("timeout", 0, "anytime deadline: stop when it expires and report the best mapping found so far, marked degraded (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -384,6 +385,11 @@ func cmdSearch(args []string) error {
 	if *progress {
 		pc.Progress = progressPrinter(os.Stderr)
 	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		pc.Ctx = ctx
+	}
 	budget := search.Budget{MaxEvals: *evals}
 	if *maxTime > 0 {
 		budget = search.Budget{MaxTime: *maxTime}
@@ -392,11 +398,18 @@ func cmdSearch(args []string) error {
 	if err != nil {
 		return err
 	}
+	degraded := pc.Ctx != nil && pc.Ctx.Err() != nil
+	if degraded && res.Evals == 0 {
+		return fmt.Errorf("search: -timeout %v expired before any evaluation completed", *timeout)
+	}
 	cost, norm, err := pc.Evaluate(&res.Best)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("problem    %s\n", prob.String())
+	if degraded {
+		fmt.Printf("status     degraded: -timeout %v expired before the budget; best-so-far result\n", *timeout)
+	}
 	fmt.Printf("evals      %d in %v\n", res.Evals, res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("EDP        %.4g J*s (%.1fx algorithmic minimum)\n", cost.EDP, norm)
 	fmt.Printf("energy     %.4g pJ, cycles %.4g, PE utilization %.1f%%\n",

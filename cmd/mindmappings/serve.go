@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mindmappings/internal/modelstore"
+	"mindmappings/internal/resilience"
 	"mindmappings/internal/service"
 	"mindmappings/internal/trainer"
 )
@@ -24,11 +25,13 @@ import (
 // shared cost-model evaluation cache. See internal/service for the API
 // surface.
 //
-// On SIGINT/SIGTERM the server drains gracefully: the listener stops
-// accepting, in-flight search jobs and training runs are cancelled (training
-// checkpoints are kept in memory per job, but the process is exiting — the
-// durable state is whatever the store committed), and the process exits
-// once both pools have stopped or the grace period expires.
+// On SIGINT/SIGTERM the server drains gracefully: /readyz flips to 503,
+// the listener stops accepting, in-flight search jobs are cancelled — each
+// running searcher emits a final checkpoint into the job journal — and the
+// process exits once both pools have stopped or the grace period expires.
+// The next `serve` on the same -journal directory recovers the drained
+// jobs and resumes them from those checkpoints, so a rolling restart
+// suspends work instead of discarding it.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -43,6 +46,14 @@ func cmdServe(args []string) error {
 	shutdownGrace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	quiet := fs.Bool("quiet", false, "disable per-request structured log lines")
+	journalDir := fs.String("journal", "", `crash-safe job journal directory (default <models>/jobs; "none" disables); queued and running search jobs are recovered and resumed from it on the next start`)
+	checkpointEvals := fs.Int("checkpoint-evals", 0, "evaluations between searcher checkpoints (0: library default)")
+	maxJobTime := fs.Duration("maxjobtime", 0, "server-side anytime deadline applied to every search job; at expiry jobs complete with their best-so-far mapping marked degraded (0: no ceiling)")
+	quotaRate := fs.Float64("quota-rate", 0, "per-tenant sustained admissions/second (0: no rate quota)")
+	quotaBurst := fs.Float64("quota-burst", 0, "per-tenant token-bucket depth (default max(quota-rate, 1))")
+	quotaConc := fs.Int("quota-concurrent", 0, "per-tenant cap on jobs in flight (0: no cap)")
+	faultsSpec := fs.String("faults", os.Getenv("MINDMAPPINGS_FAULTS"),
+		`deterministic fault injection for chaos testing, e.g. "seed=7,eval=0.01,eval.lat=0.05:25ms,journal.write=0.05,store.publish=0.1" (default $MINDMAPPINGS_FAULTS)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +63,13 @@ func cmdServe(args []string) error {
 	if *storeDir == "" {
 		*storeDir = filepath.Join(*modelDir, "store")
 	}
+	if *journalDir == "" {
+		*journalDir = filepath.Join(*modelDir, "jobs")
+	}
+	faults, err := resilience.ParseFaults(*faultsSpec)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
 
 	store, err := modelstore.Open(*storeDir)
 	if err != nil {
@@ -60,6 +78,40 @@ func cmdServe(args []string) error {
 	registry := service.NewModelRegistry(*modelDir, *regCap)
 	cache := service.NewEvalCache(*cacheCap)
 	jobs := service.NewJobManager(registry, cache, *workers, *queueCap)
+	jobs.SetMaxJobTime(*maxJobTime)
+	jobs.SetCheckpointInterval(*checkpointEvals)
+	if faults != nil {
+		fmt.Fprintf(os.Stderr, "mindmappings serve: fault injection armed (%s)\n", *faultsSpec)
+		jobs.SetFaults(faults)
+		store.SetFailpoint(faults.Fail)
+	}
+	if *quotaRate > 0 || *quotaConc > 0 {
+		jobs.EnableAdmission(resilience.AdmissionConfig{
+			Rate:          *quotaRate,
+			Burst:         *quotaBurst,
+			MaxConcurrent: *quotaConc,
+			// Shed per-tenant once the pending queue is nearly full: the
+			// queue-full 503 would hit soon anyway, but shedding first keeps
+			// light tenants admitted while heavy ones back off.
+			Thresholds: resilience.Thresholds{QueueFraction: 0.9},
+		})
+	}
+	if *journalDir != "none" {
+		journal, err := resilience.OpenJournal(*journalDir)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if faults != nil {
+			journal.SetFailpoint(faults.Fail)
+		}
+		recovered, err := jobs.EnableJournal(journal)
+		if err != nil {
+			return fmt.Errorf("serve: recovering journal %s: %w", *journalDir, err)
+		}
+		if recovered > 0 {
+			fmt.Fprintf(os.Stderr, "mindmappings serve: recovered %d journaled search job(s) from %s\n", recovered, *journalDir)
+		}
+	}
 	pipeline := trainer.New(store, *trainWorkers, *trainQueue)
 	api := service.NewServer(jobs, registry, cache).WithTraining(store, pipeline)
 	if !*quiet {
@@ -89,11 +141,15 @@ func cmdServe(args []string) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "mindmappings serve: shutting down")
+	fmt.Fprintln(os.Stderr, "mindmappings serve: draining (journaled jobs resume on next start)")
 	grace, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
+	// Drain order: flip /readyz first so load balancers stop routing, stop
+	// the listener, then cancel search jobs — each emits a final checkpoint
+	// that stays journaled for the next process — and stop the pools.
+	jobs.BeginDrain()
 	httpErr := srv.Shutdown(grace)
-	jobErr := jobs.Shutdown(grace)
+	jobErr := jobs.Drain(grace)
 	trainErr := pipeline.Shutdown(grace)
 	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
 		return httpErr

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -127,6 +128,11 @@ type ProblemContext struct {
 	// for paid queries during searches run through this context (the
 	// iso-time methodology; see DESIGN.md §4). Zero pays nothing.
 	QueryLatency time.Duration
+	// Ctx, when non-nil, bounds searches run through this context. Search
+	// is anytime: on cancellation or deadline expiry the searcher stops at
+	// the next evaluation boundary and returns its best-so-far mapping
+	// with a nil error rather than failing.
+	Ctx context.Context
 	// Progress, when non-nil, receives live best-so-far telemetry from
 	// searches run through this context. It inherits search.Context's
 	// contract: called from the searcher's goroutine at every recorded
@@ -195,6 +201,7 @@ func (pc *ProblemContext) searchContext(seed int64) *search.Context {
 		Parallelism:  pc.Parallelism,
 		QueryLatency: pc.QueryLatency,
 		Progress:     pc.Progress,
+		Ctx:          pc.Ctx,
 	}
 }
 

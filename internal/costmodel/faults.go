@@ -1,0 +1,104 @@
+package costmodel
+
+import (
+	"context"
+	"time"
+
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/resilience"
+)
+
+// This file holds the chaos-testing middleware: WithFaults injects
+// deterministic evaluation errors and latency spikes from a seeded
+// resilience.Faults schedule, and WithRetry absorbs transient evaluation
+// errors with bounded backoff. The conventional chaos stack is
+//
+//	WithRetry(WithFaults(backend, faults), policy)
+//
+// so injected (and real transient) errors exercise the retry path before
+// surfacing to the searcher; CI's chaos smoke runs the service suite with
+// exactly this stack armed at a fixed seed.
+
+// faulted injects errors and latency spikes at site "eval".
+type faulted struct {
+	inner  Evaluator
+	faults *resilience.Faults
+}
+
+// FaultSiteEval is the injector site name WithFaults draws from.
+const FaultSiteEval = "eval"
+
+// WithFaults wraps inner so each evaluation first consults faults at site
+// "eval": a drawn latency spike stalls the call (honoring ctx), a drawn
+// error fails it without touching the backend. The schedule is a pure
+// function of the injector's seed, so tests at a fixed seed see the same
+// faults on every run. A nil injector returns inner unchanged.
+func WithFaults(inner Evaluator, faults *resilience.Faults) Evaluator {
+	if faults == nil {
+		return inner
+	}
+	return &faulted{inner: inner, faults: faults}
+}
+
+func (e *faulted) Name() string                        { return e.inner.Name() }
+func (e *faulted) Problem() loopnest.Problem           { return e.inner.Problem() }
+func (e *faulted) AppendFingerprint(dst []byte) []byte { return e.inner.AppendFingerprint(dst) }
+
+func (e *faulted) EvaluateInto(ctx context.Context, m *mapspace.Mapping, c *Cost) error {
+	inj := e.faults.Inject(FaultSiteEval)
+	if inj.Delay > 0 {
+		ctx = orBackground(ctx)
+		t := time.NewTimer(inj.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if inj.Err != nil {
+		return inj.Err
+	}
+	return e.inner.EvaluateInto(ctx, m, c)
+}
+
+func (e *faulted) EvaluateBatchInto(ctx context.Context, ms []mapspace.Mapping, costs []Cost, errs []error) {
+	SequentialBatch(ctx, e, ms, costs, errs)
+}
+
+// retried absorbs transient evaluation errors with bounded retry.
+type retried struct {
+	inner  Evaluator
+	policy resilience.RetryPolicy
+}
+
+// WithRetry wraps inner so failed evaluations are retried under policy
+// (honoring ctx during backoff waits). Classification comes from
+// policy.Retryable; the default policy retries everything except context
+// cancellation, which always stops immediately. Zero-attempt policies
+// return inner unchanged.
+func WithRetry(inner Evaluator, policy resilience.RetryPolicy) Evaluator {
+	if policy.Attempts <= 1 {
+		return inner
+	}
+	return &retried{inner: inner, policy: policy}
+}
+
+func (e *retried) Name() string                        { return e.inner.Name() }
+func (e *retried) Problem() loopnest.Problem           { return e.inner.Problem() }
+func (e *retried) AppendFingerprint(dst []byte) []byte { return e.inner.AppendFingerprint(dst) }
+
+func (e *retried) EvaluateInto(ctx context.Context, m *mapspace.Mapping, c *Cost) error {
+	ctx = orBackground(ctx)
+	return e.policy.Do(ctx, func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return e.inner.EvaluateInto(ctx, m, c)
+	})
+}
+
+func (e *retried) EvaluateBatchInto(ctx context.Context, ms []mapspace.Mapping, costs []Cost, errs []error) {
+	SequentialBatch(ctx, e, ms, costs, errs)
+}

@@ -1,0 +1,102 @@
+package costmodel_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mindmappings/internal/costmodel"
+	"mindmappings/internal/resilience"
+)
+
+func TestWithFaultsInjectsDeterministically(t *testing.T) {
+	f := newFixture(t, 20)
+	run := func() []bool {
+		faults := resilience.NewFaults(7)
+		faults.SetErrorRate(costmodel.FaultSiteEval, 0.3)
+		ev := costmodel.WithFaults(f.backend(t, ""), faults)
+		var ws costmodel.Cost
+		out := make([]bool, len(f.ms))
+		for i := range f.ms {
+			err := ev.EvaluateInto(context.Background(), &f.ms[i], &ws)
+			if err != nil && !resilience.IsInjected(err) {
+				t.Fatal(err)
+			}
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	failed := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault schedule diverges at eval %d", i)
+		}
+		if a[i] {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(a) {
+		t.Fatalf("rate 0.3 failed %d/%d evals", failed, len(a))
+	}
+	if costmodel.WithFaults(f.backend(t, ""), nil).Name() != "timeloop" {
+		t.Fatal("nil injector should pass the backend through")
+	}
+}
+
+func TestWithFaultsLatencySpikeHonorsCancellation(t *testing.T) {
+	f := newFixture(t, 21)
+	faults := resilience.NewFaults(7)
+	faults.SetLatency(costmodel.FaultSiteEval, 1, time.Hour)
+	ev := costmodel.WithFaults(f.backend(t, ""), faults)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	var ws costmodel.Cost
+	start := time.Now()
+	err := ev.EvaluateInto(ctx, &f.ms[0], &ws)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("spiked eval returned %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation did not interrupt the spike promptly")
+	}
+}
+
+func TestWithRetryAbsorbsInjectedFaults(t *testing.T) {
+	f := newFixture(t, 22)
+	faults := resilience.NewFaults(7)
+	faults.SetErrorRate(costmodel.FaultSiteEval, 0.3)
+	policy := resilience.RetryPolicy{
+		Attempts: 8,
+		Sleep:    func(context.Context, time.Duration) error { return nil },
+	}
+	ev := costmodel.WithRetry(costmodel.WithFaults(f.backend(t, ""), faults), policy)
+	var ws costmodel.Cost
+	for i := range f.ms {
+		if err := ev.EvaluateInto(context.Background(), &f.ms[i], &ws); err != nil {
+			t.Fatalf("eval %d failed through retry: %v", i, err)
+		}
+	}
+}
+
+func TestWithRetryStopsOnCancellation(t *testing.T) {
+	f := newFixture(t, 23)
+	faults := resilience.NewFaults(7)
+	faults.SetErrorRate(costmodel.FaultSiteEval, 1)
+	calls := 0
+	policy := resilience.RetryPolicy{
+		Attempts:  100,
+		BaseDelay: time.Nanosecond,
+		Sleep:     func(ctx context.Context, _ time.Duration) error { calls++; return ctx.Err() },
+	}
+	ev := costmodel.WithRetry(costmodel.WithFaults(f.backend(t, ""), faults), policy)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ws costmodel.Cost
+	if err := ev.EvaluateInto(ctx, &f.ms[0], &ws); err != context.Canceled {
+		t.Fatalf("canceled retry returned %v", err)
+	}
+	if calls > 1 {
+		t.Fatalf("retry kept going %d backoffs after cancellation", calls)
+	}
+}

@@ -116,6 +116,30 @@ type Store struct {
 	// never sweeps a publication out from under its commit.
 	pendingMu sync.Mutex
 	pending   map[string]struct{}
+
+	// failpoint, when installed, is consulted at the start of every
+	// Publish (op "store.publish"); a non-nil return aborts the attempt
+	// before anything is staged. Fault-injection hook: wire it to
+	// resilience.Faults.Fail so publish-retry paths are testable.
+	failMu    sync.Mutex
+	failpoint func(op string) error
+}
+
+// SetFailpoint installs (or clears, with nil) the publish failpoint.
+func (s *Store) SetFailpoint(fn func(op string) error) {
+	s.failMu.Lock()
+	s.failpoint = fn
+	s.failMu.Unlock()
+}
+
+func (s *Store) fail(op string) error {
+	s.failMu.Lock()
+	fn := s.failpoint
+	s.failMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(op)
 }
 
 // Open scans dir (creating it if needed) and indexes every committed
@@ -207,6 +231,9 @@ type PublishMeta struct {
 // lock — Resolve/Get on the search path never stall behind a publication —
 // with only the version assignment and the two commit renames inside it.
 func (s *Store) Publish(sur *surrogate.Surrogate, meta PublishMeta) (Manifest, error) {
+	if err := s.fail("store.publish"); err != nil {
+		return Manifest{}, err
+	}
 	var buf bytes.Buffer
 	if err := sur.Save(&buf); err != nil {
 		return Manifest{}, fmt.Errorf("modelstore: %w", err)

@@ -1,0 +1,269 @@
+package resilience
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Load is a snapshot of the live overload signals the admission controller
+// sheds on, fed from the service's obs instruments: queue depth and
+// capacity (the queued-jobs gauge), queue-wait p95 (the queue-wait
+// histogram), and process heap (the runtime gauge).
+type Load struct {
+	QueueDepth   int
+	QueueCap     int
+	QueueWaitP95 time.Duration
+	HeapBytes    uint64
+}
+
+// Thresholds separates healthy from overloaded. Zero fields disable that
+// signal. QueueWaitP95 and QueueFraction mark *soft* overload: the system
+// is backing up, so tenants over their fair share are shed while light
+// tenants still get through. HeapBytes marks *hard* overload: memory
+// pressure threatens the whole process, so everything sheds.
+type Thresholds struct {
+	QueueWaitP95  time.Duration
+	QueueFraction float64
+	HeapBytes     uint64
+}
+
+// AdmissionConfig sizes the per-tenant quotas. Zero fields disable the
+// corresponding limit, so the zero config admits everything (shedding
+// still applies if Thresholds are set).
+type AdmissionConfig struct {
+	// Rate is the sustained admissions per second per tenant; Burst is
+	// the token-bucket depth (defaults to max(Rate, 1) when Rate > 0).
+	Rate  float64
+	Burst float64
+	// MaxConcurrent caps a tenant's jobs in flight (queued + running).
+	MaxConcurrent int
+	Thresholds    Thresholds
+}
+
+// Decision is the admission verdict for one request. Rejections carry the
+// HTTP status the transport should use — 429 for per-tenant quota
+// exhaustion (the client is over *its* limit), 503 for load shedding (the
+// *server* is overloaded) — and a Retry-After hint.
+type Decision struct {
+	OK         bool
+	Code       int
+	Reason     string
+	RetryAfter time.Duration
+}
+
+// AdmissionStats is a counters snapshot for metrics exposition.
+type AdmissionStats struct {
+	Admitted     int64 `json:"admitted"`
+	RejectedRate int64 `json:"rejected_rate"`
+	RejectedConc int64 `json:"rejected_concurrency"`
+	Shed         int64 `json:"shed"`
+	InFlight     int   `json:"in_flight"`
+}
+
+// Admission is a per-tenant token-bucket + concurrency-cap admission
+// controller with obs-signal-driven load shedding. Tenants are keyed by
+// an opaque string (the service uses the X-Tenant header, "" for
+// anonymous). Safe for concurrent use.
+type Admission struct {
+	cfg    AdmissionConfig
+	loadFn func() Load
+	// hint estimates how long until capacity frees up (the service wires
+	// queue-depth × run-time); shed Retry-After uses it when present.
+	hint func() time.Duration
+	now  func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+	stats   AdmissionStats
+}
+
+type tenantState struct {
+	tokens   float64
+	refilled time.Time
+	inFlight int
+}
+
+// NewAdmission builds a controller. loadFn supplies live overload signals
+// and may be nil (shedding disabled). Option funcs inject the clock and
+// the retry hint.
+func NewAdmission(cfg AdmissionConfig, loadFn func() Load, opts ...AdmissionOption) *Admission {
+	if cfg.Rate > 0 && cfg.Burst <= 0 {
+		cfg.Burst = math.Max(cfg.Rate, 1)
+	}
+	a := &Admission{
+		cfg:     cfg,
+		loadFn:  loadFn,
+		now:     time.Now,
+		tenants: make(map[string]*tenantState),
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	return a
+}
+
+// AdmissionOption customizes a controller.
+type AdmissionOption func(*Admission)
+
+// WithClock injects a clock for deterministic bucket tests.
+func WithClock(now func() time.Time) AdmissionOption {
+	return func(a *Admission) { a.now = now }
+}
+
+// WithRetryHint injects an estimate of time-until-capacity used for shed
+// Retry-After values.
+func WithRetryHint(hint func() time.Duration) AdmissionOption {
+	return func(a *Admission) { a.hint = hint }
+}
+
+// Admit decides whether tenant may submit one job. An OK decision charges
+// one token and one concurrency slot; the caller must Release the slot
+// exactly once when the job leaves the system (terminal state or rejected
+// downstream). Checks run shed-first (overload rejections must stay
+// cheap), then the concurrency cap, then the token bucket, so a request
+// rejected by an earlier check never burns bucket tokens.
+func (a *Admission) Admit(tenant string) Decision {
+	now := a.now()
+	load := Load{}
+	if a.loadFn != nil {
+		load = a.loadFn()
+	}
+	// The load and hint callbacks reach back into the caller's locks, so
+	// both run before a.mu is taken: a caller may hold its own lock while
+	// invoking Release, and taking the locks in both orders would
+	// deadlock.
+	retryHint := a.retryAfter(load)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	ts := a.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{tokens: a.cfg.Burst, refilled: now}
+		a.tenants[tenant] = ts
+	}
+
+	if reason, shed := a.shedLocked(ts, load); shed {
+		a.stats.Shed++
+		return Decision{Code: 503, Reason: reason, RetryAfter: retryHint}
+	}
+	if a.cfg.MaxConcurrent > 0 && ts.inFlight >= a.cfg.MaxConcurrent {
+		a.stats.RejectedConc++
+		return Decision{
+			Code:       429,
+			Reason:     fmt.Sprintf("tenant concurrency cap (%d in flight)", ts.inFlight),
+			RetryAfter: retryHint,
+		}
+	}
+	if a.cfg.Rate > 0 {
+		elapsed := now.Sub(ts.refilled).Seconds()
+		if elapsed > 0 {
+			ts.tokens = math.Min(a.cfg.Burst, ts.tokens+elapsed*a.cfg.Rate)
+			ts.refilled = now
+		}
+		if ts.tokens < 1 {
+			a.stats.RejectedRate++
+			wait := time.Duration((1 - ts.tokens) / a.cfg.Rate * float64(time.Second))
+			return Decision{Code: 429, Reason: "tenant rate quota exhausted", RetryAfter: clampRetry(wait)}
+		}
+		ts.tokens--
+	}
+	ts.inFlight++
+	a.stats.Admitted++
+	a.stats.InFlight++
+	return Decision{OK: true}
+}
+
+// shedLocked applies the overload thresholds. Hard overload (heap) sheds
+// every tenant; soft overload (queue wait / queue fraction) sheds only
+// tenants at or above their fair share of the concurrency cap, so a noisy
+// neighbor degrades before light traffic does.
+func (a *Admission) shedLocked(ts *tenantState, load Load) (string, bool) {
+	th := a.cfg.Thresholds
+	if th.HeapBytes > 0 && load.HeapBytes >= th.HeapBytes {
+		return "heap pressure", true
+	}
+	soft := false
+	reason := ""
+	if th.QueueWaitP95 > 0 && load.QueueWaitP95 >= th.QueueWaitP95 {
+		soft, reason = true, "queue-wait p95 over threshold"
+	}
+	if th.QueueFraction > 0 && load.QueueCap > 0 &&
+		float64(load.QueueDepth) >= th.QueueFraction*float64(load.QueueCap) {
+		soft, reason = true, "queue depth over threshold"
+	}
+	if !soft {
+		return "", false
+	}
+	fair := 1
+	if a.cfg.MaxConcurrent > 0 {
+		fair = (a.cfg.MaxConcurrent + 1) / 2
+	}
+	if ts.inFlight >= fair {
+		return reason + " (tenant over fair share)", true
+	}
+	return "", false
+}
+
+// retryAfter picks the Retry-After hint for an overload rejection: the
+// injected capacity estimate when present, otherwise scaled from the
+// observed queue wait, clamped to [1s, 30s]. Called before a.mu is taken
+// (the hint callback may acquire caller-side locks).
+func (a *Admission) retryAfter(load Load) time.Duration {
+	if a.hint != nil {
+		if d := a.hint(); d > 0 {
+			return clampRetry(d)
+		}
+	}
+	if load.QueueWaitP95 > 0 {
+		return clampRetry(load.QueueWaitP95)
+	}
+	return time.Second
+}
+
+func clampRetry(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	if d > 30*time.Second {
+		return 30 * time.Second
+	}
+	return d
+}
+
+// Release returns tenant's concurrency slot. Must be called exactly once
+// per OK Admit decision.
+func (a *Admission) Release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ts := a.tenants[tenant]
+	if ts == nil || ts.inFlight <= 0 {
+		return
+	}
+	ts.inFlight--
+	a.stats.InFlight--
+	// Idle tenants at full tokens carry no state worth keeping; dropping
+	// them bounds the map at the set of active tenants.
+	if ts.inFlight == 0 && (a.cfg.Rate <= 0 || ts.tokens >= a.cfg.Burst) {
+		delete(a.tenants, tenant)
+	}
+}
+
+// InFlight returns tenant's current slot usage.
+func (a *Admission) InFlight(tenant string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ts := a.tenants[tenant]; ts != nil {
+		return ts.inFlight
+	}
+	return 0
+}
+
+// Stats snapshots the counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}

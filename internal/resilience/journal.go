@@ -1,0 +1,185 @@
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotJournaled is returned by Journal.Get for ids with no record.
+var ErrNotJournaled = errors.New("resilience: no journal record")
+
+// Journal is a crash-safe directory of JSON records, one file per id,
+// using the modelstore's atomic commit pattern: each Put marshals to a
+// temp file in the same directory and renames it over the record, so a
+// reader (including a recovering process) only ever sees the previous
+// complete record or the new complete record, never a torn write. Temp
+// debris from a crash mid-Put is ignored by List/Get and swept on Open.
+//
+// Writes run under an optional failpoint (site "journal.write") and a
+// bounded retry policy, so injected storage faults exercise the same
+// retry path real transient I/O errors would.
+type Journal struct {
+	dir string
+	// Retry governs Put; defaults to DefaultRetry. Set before first use.
+	Retry RetryPolicy
+
+	mu        sync.Mutex
+	failpoint func(op string) error
+}
+
+const journalTmpPrefix = ".tmp-"
+
+// OpenJournal creates dir if needed, sweeps temp debris left by a crash,
+// and returns the journal over it.
+func OpenJournal(dir string) (*Journal, error) {
+	if dir == "" {
+		return nil, errors.New("resilience: journal dir required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resilience: creating journal dir: %w", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: reading journal dir: %w", err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), journalTmpPrefix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return &Journal{dir: dir, Retry: DefaultRetry}, nil
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// SetFailpoint installs fn to be consulted before every write and rename
+// (op "journal.write"); a non-nil return aborts that attempt. Wire it to
+// Faults.Fail to inject journal failures deterministically.
+func (j *Journal) SetFailpoint(fn func(op string) error) {
+	j.mu.Lock()
+	j.failpoint = fn
+	j.mu.Unlock()
+}
+
+func (j *Journal) fail(op string) error {
+	j.mu.Lock()
+	fn := j.failpoint
+	j.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(op)
+}
+
+func validJournalID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.HasPrefix(id, ".") {
+		return fmt.Errorf("resilience: bad journal id %q", id)
+	}
+	return nil
+}
+
+func (j *Journal) path(id string) string { return filepath.Join(j.dir, id+".json") }
+
+// Put atomically writes v as id's record, retrying transient failures
+// under the journal's retry policy. The final attempt's error surfaces.
+func (j *Journal) Put(id string, v any) error {
+	if err := validJournalID(id); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("resilience: marshaling journal record %s: %w", id, err)
+	}
+	return j.Retry.Do(context.Background(), func() error {
+		return j.putOnce(id, raw)
+	})
+}
+
+func (j *Journal) putOnce(id string, raw []byte) error {
+	if err := j.fail("journal.write"); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(j.dir, journalTmpPrefix+id+"-*")
+	if err != nil {
+		return fmt.Errorf("resilience: staging journal record: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("resilience: writing journal record: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("resilience: closing journal record: %w", err)
+	}
+	if err := j.fail("journal.write"); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// The rename is the commit point: before it the old record (or no
+	// record) is intact, after it the new record is complete.
+	if err := os.Rename(tmpName, j.path(id)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("resilience: committing journal record: %w", err)
+	}
+	return nil
+}
+
+// Get unmarshals id's record into v, or returns ErrNotJournaled.
+func (j *Journal) Get(id string, v any) error {
+	if err := validJournalID(id); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(j.path(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotJournaled, id)
+	}
+	if err != nil {
+		return fmt.Errorf("resilience: reading journal record %s: %w", id, err)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("resilience: decoding journal record %s: %w", id, err)
+	}
+	return nil
+}
+
+// Delete removes id's record; a missing record is not an error (deletes
+// must be idempotent so a crash between delete and its caller's state
+// update is harmless on replay).
+func (j *Journal) Delete(id string) error {
+	if err := validJournalID(id); err != nil {
+		return err
+	}
+	if err := os.Remove(j.path(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("resilience: deleting journal record %s: %w", id, err)
+	}
+	return nil
+}
+
+// List returns the journaled ids in sorted order, ignoring temp debris.
+func (j *Journal) List() ([]string, error) {
+	ents, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: reading journal dir: %w", err)
+	}
+	var ids []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, journalTmpPrefix) || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

@@ -1,0 +1,82 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy is bounded retry with exponential backoff. The zero value is
+// "one attempt, no retries"; DefaultRetry is the stack-wide default for
+// transient storage faults (journal writes, modelstore publishes).
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first.
+	// Values < 1 mean 1.
+	Attempts int
+	// BaseDelay is the wait before the first retry; each subsequent wait
+	// doubles, capped at MaxDelay (uncapped when MaxDelay <= 0).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Retryable classifies errors; nil retries everything. A false return
+	// stops immediately and surfaces the error.
+	Retryable func(error) bool
+	// Sleep is injectable for tests; nil uses a ctx-aware timer wait.
+	Sleep func(context.Context, time.Duration) error
+}
+
+// DefaultRetry absorbs the injected fault rates used in the chaos suite
+// (p ≈ 0.1 with 4 attempts leaves a ~1e-4 residual failure rate) while
+// bounding the worst-case stall well under a second.
+var DefaultRetry = RetryPolicy{Attempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+
+// Do runs fn until it succeeds, exhausts Attempts, hits a non-retryable
+// error, or ctx expires (mid-backoff cancellation returns ctx.Err()). The
+// returned error is fn's last error, unmodified, so errors.Is
+// classification still works on it.
+func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := p.BaseDelay
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return err
+		}
+		if i == attempts-1 {
+			break
+		}
+		if delay > 0 {
+			if serr := p.sleep(ctx, delay); serr != nil {
+				return serr
+			}
+			delay *= 2
+			if p.MaxDelay > 0 && delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		} else if serr := ctx.Err(); serr != nil {
+			return serr
+		}
+	}
+	return err
+}
+
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

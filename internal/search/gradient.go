@@ -1,8 +1,11 @@
 package search
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
+	"math/rand"
 
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/stats"
@@ -64,6 +67,19 @@ type MindMappings struct {
 // Name implements Searcher.
 func (MindMappings) Name() string { return "MM" }
 
+// mmState is the searcher-private half of a Mind Mappings checkpoint: the
+// loop position, the annealing schedule, and each chain's current mapping.
+// Together with the tracker state and the RNG stream position it pins the
+// run exactly — a resume replays the identical iteration sequence.
+type mmState struct {
+	// Iter is the loop iteration the resumed run re-enters (the snapshot is
+	// taken at the end of iteration Iter-1).
+	Iter       int                `json:"iter"`
+	Temp       float64            `json:"temp"`
+	Injections int                `json:"injections"`
+	Chains     []mapspace.Mapping `json:"chains"`
+}
+
 func (m MindMappings) withDefaults() MindMappings {
 	if m.LR <= 0 {
 		m.LR = 1
@@ -106,7 +122,12 @@ func (m MindMappings) Search(ctx *Context, budget Budget) (Result, error) {
 		return Result{}, errors.New("search: surrogate input width does not match this map space (was it trained for a different algorithm?)")
 	}
 
-	rng := stats.NewRNG(ctx.Seed + 503)
+	// The RNG is built over a counted source so every draw is position-
+	// tracked: checkpoints record (seed, draws) and a resume re-seeds and
+	// skips back to the identical stream position. The wrapped stream is
+	// bit-identical to the historical stats.NewRNG one.
+	src := stats.NewCountedSource(ctx.Seed + 503)
+	rng := rand.New(src)
 	t := newTracker(ctx, budget)
 	eExp, dExp := objectiveExponents(ctx.Objective)
 
@@ -116,11 +137,33 @@ func (m MindMappings) Search(ctx *Context, budget Budget) (Result, error) {
 	// scalar ones, so even the arithmetic matches).
 	chains := cfg.Chains
 	curs := make([]mapspace.Mapping, chains)
-	for i := range curs {
-		curs[i] = ctx.Space.Random(rng)
-	}
 	temp := cfg.InitTemp
 	injections := 0
+	startIter := 1
+	if ctx.Resume != nil {
+		if err := ctx.Resume.validateResume(cfg.Name()); err != nil {
+			return Result{}, err
+		}
+		var st mmState
+		if err := json.Unmarshal(ctx.Resume.State, &st); err != nil {
+			return Result{}, fmt.Errorf("search: decoding MM checkpoint state: %w", err)
+		}
+		if len(st.Chains) != chains {
+			return Result{}, fmt.Errorf("search: checkpoint has %d chains, searcher configured for %d", len(st.Chains), chains)
+		}
+		t.restore(ctx.Resume)
+		for i := range curs {
+			curs[i] = st.Chains[i].Clone()
+		}
+		temp = st.Temp
+		injections = st.Injections
+		startIter = st.Iter
+		src.Skip(ctx.Resume.RNGDraws)
+	} else {
+		for i := range curs {
+			curs[i] = ctx.Space.Random(rng)
+		}
+	}
 
 	// Reused per-iteration buffers (encoded vectors, gradients, descent
 	// step, injection candidates) so the steady-state loop allocates only
@@ -133,7 +176,16 @@ func (m MindMappings) Search(ctx *Context, budget Budget) (Result, error) {
 	injCands := make([]mapspace.Mapping, chains)
 	injUs := make([]float64, chains)
 
-	for iter := 1; !t.exhausted(); iter++ {
+	// checkpoint snapshots the run as "about to start iteration iter":
+	// exactly the state the resume path above re-enters.
+	checkpoint := func(iter int) error {
+		return t.emitCheckpoint(cfg.Name(), src.Draws(),
+			&mmState{Iter: iter, Temp: temp, Injections: injections, Chains: curs})
+	}
+
+	iter := startIter
+	complete := true
+	for ; !t.exhausted(); iter++ {
 		for i := range curs {
 			vecs[i] = ctx.Space.EncodeInto(vecs[i], &curs[i])
 		}
@@ -199,6 +251,13 @@ func (m MindMappings) Search(ctx *Context, budget Budget) (Result, error) {
 		if scoreVals, err = t.scoreSurrogateBatch(curs, scoreVals); err != nil {
 			return Result{}, err
 		}
+		if ctx.canceled() {
+			// Cancelled mid-iteration: the scoring batch may be partial, so
+			// this is not a re-enterable boundary — the last periodic
+			// checkpoint stands as the resume point.
+			complete = false
+			break
+		}
 
 		// Step 6: periodic random injection with annealed acceptance, per
 		// chain. Candidate and acceptance draws happen chain-major so the
@@ -236,6 +295,23 @@ func (m MindMappings) Search(ctx *Context, budget Budget) (Result, error) {
 					temp *= cfg.TempDecay
 				}
 			}
+		}
+
+		// Snapshot at the iteration boundary when due: the state written is
+		// exactly what re-entering the loop at iter+1 needs.
+		if t.checkpointDue() {
+			if err := checkpoint(iter + 1); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	// A run cancelled between iterations (drain, deadline, client
+	// disconnect) checkpoints once more at the exact stop point, so no
+	// work since the periodic snapshot is lost; budget-exhausted runs are
+	// finished and need no snapshot.
+	if complete && ctx.canceled() && ctx.Checkpoint != nil {
+		if err := checkpoint(iter); err != nil {
+			return Result{}, err
 		}
 	}
 	return t.result(cfg.Name()), nil

@@ -186,6 +186,24 @@ type Context struct {
 	// block (the search stalls while the hook runs). The eval hot path pays
 	// nothing for it beyond one nil check per recorded sample.
 	Progress func(Progress)
+	// Checkpoint, when non-nil, receives resumable snapshots of the search
+	// every CheckpointEvery evaluations (and once more at cancellation, so
+	// a drained job checkpoints exactly where it stopped). Snapshots are
+	// emitted from the searcher goroutine at iteration boundaries the
+	// searcher knows how to re-enter; the hook owns the Checkpoint it is
+	// handed. Searchers that do not support checkpointing simply never call
+	// it. See DESIGN.md §9.
+	Checkpoint func(*Checkpoint)
+	// CheckpointEvery is the evaluation interval between snapshots
+	// (DefaultCheckpointEvery when <= 0).
+	CheckpointEvery int
+	// Resume, when non-nil, restores the search from a prior Checkpoint
+	// instead of starting fresh: budget position, best-so-far state,
+	// trajectory prefix, RNG stream position, and searcher state all carry
+	// over, so the resumed run's trajectory suffix is bit-compatible with
+	// the uninterrupted run under the same Seed and request. The Context's
+	// Seed and problem must match the checkpointed run's.
+	Resume *Checkpoint
 	// Scalar forces the scalar (pre-batching) evaluation path everywhere:
 	// per-candidate cost-model queries and per-vector surrogate
 	// forward/backward passes. The batched kernels accumulate in exactly
@@ -244,6 +262,11 @@ type tracker struct {
 	bestM     mapspace.Mapping
 	traj      []Sample
 	sinceBest int
+	// elapsed0 is wall-clock carried over from a resumed checkpoint, so
+	// MaxTime budgets and trajectory timestamps span the whole logical run;
+	// lastCheckpoint is the eval count at the last emitted snapshot.
+	elapsed0       time.Duration
+	lastCheckpoint int
 
 	// paid and free are the scalar evaluator stacks; paidBatch and
 	// freeBatch additionally fan batches across the parallel middleware
@@ -296,7 +319,7 @@ func (t *tracker) exhausted() bool {
 	if t.budget.MaxEvals > 0 && t.evals >= t.budget.MaxEvals {
 		return true
 	}
-	if t.budget.MaxTime > 0 && time.Since(t.start) >= t.budget.MaxTime {
+	if t.budget.MaxTime > 0 && t.elapsed() >= t.budget.MaxTime {
 		return true
 	}
 	if t.budget.Patience > 0 && t.sinceBest >= t.budget.Patience {
@@ -313,7 +336,7 @@ func (t *tracker) progress() float64 {
 		p = float64(t.evals) / float64(t.budget.MaxEvals)
 	}
 	if t.budget.MaxTime > 0 {
-		if tp := float64(time.Since(t.start)) / float64(t.budget.MaxTime); tp > p {
+		if tp := float64(t.elapsed()) / float64(t.budget.MaxTime); tp > p {
 			p = tp
 		}
 	}
@@ -335,7 +358,7 @@ func (t *tracker) record(m *mapspace.Mapping, edp float64) {
 	if stride := t.budget.TrajectoryStride; stride > 1 && !improved && t.evals%stride != 0 {
 		return
 	}
-	elapsed := time.Since(t.start)
+	elapsed := t.elapsed()
 	t.traj = append(t.traj, Sample{Eval: t.evals, Elapsed: elapsed, BestEDP: t.best})
 	if t.ctx.Progress != nil {
 		t.ctx.Progress(Progress{Eval: t.evals, Best: t.best, Elapsed: elapsed, Improved: improved})
@@ -392,6 +415,12 @@ func (t *tracker) scoreSurrogateStep(m *mapspace.Mapping) (float64, error) {
 	return val, nil
 }
 
+// elapsed is wall-clock since the logical start of the run: time in this
+// process plus whatever a resumed checkpoint already consumed.
+func (t *tracker) elapsed() time.Duration {
+	return t.elapsed0 + time.Since(t.start)
+}
+
 // result finalizes the run.
 func (t *tracker) result(name string) Result {
 	return Result{
@@ -400,6 +429,6 @@ func (t *tracker) result(name string) Result {
 		BestEDP:    t.best,
 		Trajectory: t.traj,
 		Evals:      t.evals,
-		Elapsed:    time.Since(t.start),
+		Elapsed:    t.elapsed(),
 	}
 }

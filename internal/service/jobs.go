@@ -19,6 +19,7 @@ import (
 	"mindmappings/internal/modelstore"
 	"mindmappings/internal/obs"
 	"mindmappings/internal/oracle"
+	"mindmappings/internal/resilience"
 	"mindmappings/internal/search"
 	"mindmappings/internal/trainer"
 	"mindmappings/internal/workload"
@@ -98,6 +99,12 @@ type SearchRequest struct {
 	// so it composes safely with Seed reproducibility. 0 or 1 evaluates
 	// sequentially.
 	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutMS is an anytime deadline in milliseconds: when it expires
+	// before the budget does, the job completes with its best-so-far
+	// mapping and "degraded": true instead of failing (DESIGN.md §9). The
+	// server clamps it to its -maxjobtime, which also applies when no
+	// timeout is requested. 0 means no client deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // MaxParallelism caps a request's Parallelism: enough to overlap
@@ -115,10 +122,14 @@ type TrajectoryPoint struct {
 
 // JobResult is the outcome of a finished (or cancelled-with-progress) job.
 type JobResult struct {
-	Method     string            `json:"method"`
-	BestEDP    float64           `json:"best_edp"`
-	Evals      int               `json:"evals"`
-	ElapsedMS  float64           `json:"elapsed_ms"`
+	Method    string  `json:"method"`
+	BestEDP   float64 `json:"best_edp"`
+	Evals     int     `json:"evals"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Degraded marks an anytime result: the job's deadline expired before
+	// its budget, so this is the best mapping found in the time allowed —
+	// valid, just not the full-budget answer.
+	Degraded   bool              `json:"degraded,omitempty"`
 	Mapping    string            `json:"mapping,omitempty"`
 	LoopNest   string            `json:"loop_nest,omitempty"`
 	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
@@ -148,12 +159,18 @@ const progressRing = 256
 type Job struct {
 	ID       string        `json:"id"`
 	Status   JobStatus     `json:"status"`
+	Tenant   string        `json:"tenant,omitempty"`
 	Request  SearchRequest `json:"request"`
 	Error    string        `json:"error,omitempty"`
 	Created  time.Time     `json:"created"`
 	Started  time.Time     `json:"started,omitzero"`
 	Finished time.Time     `json:"finished,omitzero"`
 	Result   *JobResult    `json:"result,omitempty"`
+	// CheckpointEval is the eval count of the job's latest checkpoint (0
+	// until the first snapshot); Resumable marks a terminal job that
+	// POST /v1/jobs/{id}/resume can continue.
+	CheckpointEval int  `json:"checkpoint_eval,omitempty"`
+	Resumable      bool `json:"resumable,omitempty"`
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -162,6 +179,23 @@ type Job struct {
 	// the job's span tree (queue wait, model resolution, search strides).
 	stream *obs.Stream[ProgressEvent]
 	trace  *obs.Trace
+	// admitted marks a job holding an admission-controller slot, released
+	// exactly once at finish; checkpoint is the latest searcher snapshot
+	// (also journaled when the journal is enabled); resume, when set,
+	// continues the search from that snapshot instead of starting fresh.
+	admitted   bool
+	checkpoint *search.Checkpoint
+	resume     *search.Checkpoint
+}
+
+// resumable reports whether the job (under jm.mu) can be resumed: it is
+// terminal short of success with a checkpoint to continue from, or it was
+// cancelled before running at all (a from-scratch re-run).
+func (j *Job) resumable() bool {
+	if !j.Status.Terminal() || j.Status == JobDone {
+		return false
+	}
+	return j.checkpoint != nil || j.Status == JobCancelled
 }
 
 // JobManager owns the bounded job queue and the worker pool that drains
@@ -175,12 +209,22 @@ type JobManager struct {
 	store     *modelstore.Store
 	trainPipe *trainer.Pipeline
 
-	queue   chan *Job
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// pending is the FIFO of queued jobs, bounded by queueCap for Submit
+	// (journal recovery may exceed it — recovered work is never dropped).
+	// A slice rather than a channel so cancelling a queued job frees its
+	// slot immediately; cond wakes workers on enqueue and shutdown.
+	pending  []*Job
+	queueCap int
+	cond     *sync.Cond
+	// draining, set by BeginDrain, rejects new submissions and tells
+	// finishLocked to leave journal records in place so a restart resumes
+	// the drained jobs.
+	draining  bool
 	jobs      map[string]*Job
 	order     []string // submission order, for listing
 	workers   int
@@ -191,6 +235,21 @@ type JobManager struct {
 	completed uint64
 	failed    uint64
 	cancelled uint64
+	degraded  uint64
+	recovered uint64
+
+	// resilience wiring: per-tenant admission control (EnableAdmission),
+	// the crash-safe job journal (EnableJournal), deterministic fault
+	// injection on the eval path (SetFaults), and the anytime-deadline
+	// ceiling (SetMaxJobTime). journalErrs counts journal writes that
+	// failed even after bounded retry — the job keeps running; only its
+	// crash-recovery point goes stale.
+	admission       *resilience.Admission
+	journal         *resilience.Journal
+	journalErrs     uint64
+	faults          *resilience.Faults
+	maxJobTime      time.Duration
+	checkpointEvery int
 
 	// counters holds one shared paid-eval counter per cost-model backend
 	// (costmodel.WithCounter accounting, surfaced by GET /v1/metrics).
@@ -249,6 +308,36 @@ func (jm *JobManager) Instrument(reg *obs.Registry) {
 	reg.GaugeFunc("search_job_workers",
 		"Size of the search worker pool.",
 		func() float64 { return float64(jm.Workers()) })
+	reg.CounterFunc("search_jobs_degraded_total",
+		"Search jobs completed degraded at their anytime deadline.",
+		func() float64 { return float64(jm.Stats().Degraded) })
+	reg.CounterFunc("search_jobs_recovered_total",
+		"Search jobs recovered from the journal at startup.",
+		func() float64 { return float64(jm.Stats().Recovered) })
+	reg.CounterFunc("search_job_journal_errors_total",
+		"Journal writes that failed even after bounded retry.",
+		func() float64 { return float64(jm.Stats().JournalErrors) })
+	// Admission series read through the getter so they work whenever
+	// EnableAdmission is called, before or after Instrument; they report 0
+	// while no controller is installed.
+	admStats := func() resilience.AdmissionStats {
+		if a := jm.admissionCtrl(); a != nil {
+			return a.Stats()
+		}
+		return resilience.AdmissionStats{}
+	}
+	reg.CounterFunc("admission_admitted_total",
+		"Requests admitted by the per-tenant admission controller.",
+		func() float64 { return float64(admStats().Admitted) })
+	reg.CounterFunc("admission_rejected_total",
+		"Requests rejected by per-tenant quotas (rate or concurrency).",
+		func() float64 { s := admStats(); return float64(s.RejectedRate + s.RejectedConc) })
+	reg.CounterFunc("admission_shed_total",
+		"Requests shed under overload (queue wait, queue depth, or heap).",
+		func() float64 { return float64(admStats().Shed) })
+	reg.GaugeFunc("admission_in_flight",
+		"Admission-controller concurrency slots currently held.",
+		func() float64 { return float64(admStats().InFlight) })
 	jm.mu.Lock()
 	jm.instr = in
 	jm.mu.Unlock()
@@ -274,7 +363,7 @@ func NewJobManager(registry *ModelRegistry, cache *EvalCache, workers, queueCap 
 	jm := &JobManager{
 		registry:  registry,
 		cache:     cache,
-		queue:     make(chan *Job, queueCap),
+		queueCap:  queueCap,
 		baseCtx:   ctx,
 		stop:      cancel,
 		jobs:      make(map[string]*Job),
@@ -282,6 +371,7 @@ func NewJobManager(registry *ModelRegistry, cache *EvalCache, workers, queueCap 
 		retention: DefaultJobRetention,
 		counters:  make(map[string]*costmodel.Counter),
 	}
+	jm.cond = sync.NewCond(&jm.mu)
 	jm.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go jm.worker()
@@ -303,6 +393,277 @@ func (jm *JobManager) training() (*modelstore.Store, *trainer.Pipeline) {
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
 	return jm.store, jm.trainPipe
+}
+
+// EnableAdmission installs a per-tenant admission controller wired to the
+// manager's live overload signals (queue depth, queue-wait p95, heap) and
+// its capacity-based Retry-After estimate. Call at setup, before traffic.
+func (jm *JobManager) EnableAdmission(cfg resilience.AdmissionConfig) *resilience.Admission {
+	a := resilience.NewAdmission(cfg, jm.Load, resilience.WithRetryHint(jm.RetryAfterHint))
+	jm.mu.Lock()
+	jm.admission = a
+	jm.mu.Unlock()
+	return a
+}
+
+func (jm *JobManager) admissionCtrl() *resilience.Admission {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.admission
+}
+
+// Load snapshots the overload signals admission decisions shed on.
+func (jm *JobManager) Load() resilience.Load {
+	st := jm.Stats()
+	l := resilience.Load{QueueDepth: st.Queued, QueueCap: jm.QueueCap()}
+	if in := jm.instruments(); in != nil {
+		if q := in.queueWait.Quantile(0.95); q > 0 && !math.IsNaN(q) {
+			l.QueueWaitP95 = time.Duration(q * float64(time.Second))
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	l.HeapBytes = ms.HeapAlloc
+	return l
+}
+
+// RetryAfterHint estimates how long until capacity frees up — in-flight
+// jobs over the worker pool, scaled by the observed median run time —
+// clamped to [1s, 30s]. It backs the Retry-After header on queue-full and
+// load-shed rejections, so clients back off proportionally to the actual
+// backlog instead of a constant.
+func (jm *JobManager) RetryAfterHint() time.Duration {
+	st := jm.Stats()
+	inFlight := st.Queued + st.Running
+	if inFlight == 0 {
+		return time.Second
+	}
+	p50 := 1.0
+	if in := jm.instruments(); in != nil {
+		if q := in.run.Quantile(0.5); q > 0 && !math.IsNaN(q) {
+			p50 = q
+		}
+	}
+	est := time.Duration(float64(inFlight) / float64(jm.Workers()) * p50 * float64(time.Second))
+	if est < time.Second {
+		return time.Second
+	}
+	if est > 30*time.Second {
+		return 30 * time.Second
+	}
+	return est
+}
+
+// SetMaxJobTime installs the server-side anytime-deadline ceiling: every
+// job runs under min(its timeout_ms, d), completing degraded-but-valid at
+// expiry. 0 disables the ceiling.
+func (jm *JobManager) SetMaxJobTime(d time.Duration) {
+	jm.mu.Lock()
+	jm.maxJobTime = d
+	jm.mu.Unlock()
+}
+
+// SetCheckpointInterval overrides how many evaluations elapse between
+// searcher checkpoints (search.DefaultCheckpointEvery when 0).
+func (jm *JobManager) SetCheckpointInterval(evals int) {
+	jm.mu.Lock()
+	jm.checkpointEvery = evals
+	jm.mu.Unlock()
+}
+
+// SetFaults arms deterministic fault injection on every job's evaluation
+// path: the cost-model stack becomes WithRetry(WithFaults(model)), so
+// injected errors and latency spikes exercise the retry machinery the
+// way real transient faults would. Nil disarms.
+func (jm *JobManager) SetFaults(f *resilience.Faults) {
+	jm.mu.Lock()
+	jm.faults = f
+	jm.mu.Unlock()
+}
+
+func (jm *JobManager) faultsInjector() *resilience.Faults {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.faults
+}
+
+// journalRecord is the on-disk form of a non-terminal job: enough to
+// reconstruct and resume it in a fresh process. Terminal jobs have no
+// record (deleted at finish), except during drain, when records are left
+// behind deliberately so the next process picks the work back up.
+type journalRecord struct {
+	ID         string             `json:"id"`
+	Tenant     string             `json:"tenant,omitempty"`
+	Status     JobStatus          `json:"status"`
+	Request    SearchRequest      `json:"request"`
+	Created    time.Time          `json:"created"`
+	Checkpoint *search.Checkpoint `json:"checkpoint,omitempty"`
+}
+
+// journalPut writes a job's journal record, counting (but not failing on)
+// errors that survive the journal's bounded retry: the job keeps running,
+// only its crash-recovery point goes stale.
+func (jm *JobManager) journalPut(id string, status JobStatus, tenant string, req SearchRequest, created time.Time, ck *search.Checkpoint) {
+	jm.mu.Lock()
+	j := jm.journal
+	jm.mu.Unlock()
+	if j == nil {
+		return
+	}
+	rec := journalRecord{ID: id, Tenant: tenant, Status: status, Request: req, Created: created, Checkpoint: ck}
+	if err := j.Put(id, rec); err != nil {
+		jm.mu.Lock()
+		jm.journalErrs++
+		jm.mu.Unlock()
+	}
+}
+
+// EnableJournal attaches the crash-safe job journal and recovers every
+// journaled job left by the previous process: each one is re-enqueued
+// under its original ID, resuming from its last checkpoint when it has
+// one (queued jobs, and jobs killed before their first snapshot, restart
+// from scratch). Returns how many jobs were recovered. Call at setup,
+// before serving traffic; recovered jobs bypass admission control — they
+// were admitted by the previous process.
+func (jm *JobManager) EnableJournal(j *resilience.Journal) (int, error) {
+	jm.mu.Lock()
+	jm.journal = j
+	jm.mu.Unlock()
+	ids, err := j.List()
+	if err != nil {
+		return 0, err
+	}
+	recovered := 0
+	for _, id := range ids {
+		var rec journalRecord
+		if err := j.Get(id, &rec); err != nil {
+			continue // torn or foreign record: left in place for inspection
+		}
+		if rec.ID == "" {
+			rec.ID = id
+		}
+		if rec.Status.Terminal() {
+			_ = j.Delete(id) // stale terminal record: nothing to recover
+			continue
+		}
+		jctx, cancel := context.WithCancel(jm.baseCtx)
+		job := &Job{
+			ID:         rec.ID,
+			Status:     JobQueued,
+			Tenant:     rec.Tenant,
+			Request:    rec.Request,
+			Created:    rec.Created,
+			ctx:        jctx,
+			cancel:     cancel,
+			done:       make(chan struct{}),
+			stream:     obs.NewStream[ProgressEvent](progressRing),
+			trace:      obs.NewTrace(rec.ID, "search-job"),
+			checkpoint: rec.Checkpoint,
+			resume:     rec.Checkpoint,
+		}
+		jm.mu.Lock()
+		if _, exists := jm.jobs[job.ID]; exists || jm.baseCtx.Err() != nil {
+			jm.mu.Unlock()
+			cancel()
+			continue
+		}
+		jm.enqueueLocked(job)
+		jm.submitted++
+		jm.recovered++
+		jm.mu.Unlock()
+		recovered++
+	}
+	return recovered, nil
+}
+
+// Resume re-enqueues a terminal, resumable job under its original ID: a
+// fresh context, stream, and trace, with the search continuing from the
+// job's last checkpoint (from scratch when it never reached one). Done
+// jobs are complete and cannot be resumed.
+func (jm *JobManager) Resume(id string) (Job, error) {
+	jm.mu.Lock()
+	job, ok := jm.jobs[id]
+	if !ok {
+		jm.mu.Unlock()
+		return Job{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	if jm.baseCtx.Err() != nil || jm.draining {
+		jm.mu.Unlock()
+		return Job{}, errShuttingDown
+	}
+	if !job.resumable() {
+		status := job.Status
+		jm.mu.Unlock()
+		return Job{}, fmt.Errorf("service: job %s is %s and cannot be resumed", id, status)
+	}
+	if len(jm.pending) >= jm.queueCap {
+		jm.mu.Unlock()
+		return Job{}, ErrQueueFull
+	}
+	jctx, cancel := context.WithCancel(jm.baseCtx)
+	job.ctx, job.cancel = jctx, cancel
+	job.done = make(chan struct{})
+	job.stream = obs.NewStream[ProgressEvent](progressRing)
+	job.trace = obs.NewTrace(id, "search-job")
+	job.Status = JobQueued
+	job.Error = ""
+	job.Result = nil
+	job.Started, job.Finished = time.Time{}, time.Time{}
+	job.resume = job.checkpoint
+	jm.pending = append(jm.pending, job)
+	jm.cond.Signal()
+	jm.submitted++
+	snap := copyJob(job)
+	ck := job.checkpoint
+	jm.mu.Unlock()
+	jm.journalPut(snap.ID, snap.Status, snap.Tenant, snap.Request, snap.Created, ck)
+	return snap, nil
+}
+
+// BeginDrain flips the manager into drain mode: new submissions and
+// resumes are refused (and /readyz reports 503 through Draining), and
+// terminal jobs keep their journal records so the next process resumes
+// them. The manager keeps executing already-accepted work until Drain or
+// Shutdown.
+func (jm *JobManager) BeginDrain() {
+	jm.mu.Lock()
+	jm.draining = true
+	jm.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (jm *JobManager) Draining() bool {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.draining
+}
+
+// Drain gracefully stops the manager for shutdown: it stops admissions,
+// cancels every non-terminal job — running searchers observe the cancel
+// within one iteration and emit a final boundary checkpoint — waits for
+// them to finalize, and then shuts the worker pool down. Because drain
+// mode leaves journal records in place, a subsequent EnableJournal in a
+// new process resumes the drained jobs from those checkpoints; SIGTERM
+// therefore suspends in-flight work instead of discarding it.
+func (jm *JobManager) Drain(ctx context.Context) error {
+	jm.BeginDrain()
+	jm.mu.Lock()
+	var waits []chan struct{}
+	for _, job := range jm.jobs {
+		if !job.Status.Terminal() {
+			job.cancel()
+			waits = append(waits, job.done)
+		}
+	}
+	jm.mu.Unlock()
+	for _, done := range waits {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return jm.Shutdown(ctx)
 }
 
 // ErrQueueFull is returned by Submit when the pending queue is at
@@ -357,6 +718,9 @@ func (req *SearchRequest) Validate() error {
 	}
 	if req.Parallelism < 0 {
 		return fmt.Errorf("service: negative parallelism %d", req.Parallelism)
+	}
+	if req.TimeoutMS < 0 {
+		return fmt.Errorf("service: negative timeout_ms %d", req.TimeoutMS)
 	}
 	if !costmodel.Registered(req.CostModel) {
 		return fmt.Errorf("service: unknown cost model %q (registered: %s)",
@@ -481,49 +845,102 @@ func newJobID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// Submit validates and enqueues a job, returning a snapshot of it. The
-// call never blocks: a full queue returns ErrQueueFull.
+// AdmissionError is returned by Submit when the admission controller
+// rejects the request; it carries the HTTP status (429 quota / 503 shed)
+// and Retry-After hint the transport should relay.
+type AdmissionError struct {
+	Decision resilience.Decision
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("service: request rejected: %s", e.Decision.Reason)
+}
+
+// Submit validates and enqueues a job for the anonymous tenant. The call
+// never blocks: a full queue returns ErrQueueFull.
 func (jm *JobManager) Submit(req SearchRequest) (Job, error) {
+	return jm.SubmitAs("", req)
+}
+
+// SubmitAs is Submit on behalf of a tenant (the X-Tenant header; "" is
+// the anonymous tenant). With admission control enabled the tenant's
+// token bucket and concurrency cap are charged first — the cheapest
+// possible rejection point — and the concurrency slot is held until the
+// job reaches a terminal state.
+func (jm *JobManager) SubmitAs(tenant string, req SearchRequest) (Job, error) {
 	if err := req.Validate(); err != nil {
 		return Job{}, err
+	}
+	adm := jm.admissionCtrl()
+	admitted := false
+	if adm != nil {
+		d := adm.Admit(tenant)
+		if !d.OK {
+			return Job{}, &AdmissionError{Decision: d}
+		}
+		admitted = true
 	}
 	jctx, cancel := context.WithCancel(jm.baseCtx)
 	id := newJobID()
 	job := &Job{
-		ID:      id,
-		Status:  JobQueued,
-		Request: req,
-		Created: time.Now(),
-		ctx:     jctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		stream:  obs.NewStream[ProgressEvent](progressRing),
-		trace:   obs.NewTrace(id, "search-job"),
+		ID:       id,
+		Status:   JobQueued,
+		Tenant:   tenant,
+		Request:  req,
+		Created:  time.Now(),
+		ctx:      jctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		stream:   obs.NewStream[ProgressEvent](progressRing),
+		trace:    obs.NewTrace(id, "search-job"),
+		admitted: admitted,
 	}
-	// Enqueue and register atomically: the non-blocking send cannot stall
-	// under the lock, and a worker popping the job immediately still finds
-	// it registered because runJob takes the same lock first. The shutdown
-	// check lives in the same critical section as Shutdown's finalize loop,
-	// so a job can never be registered after that loop has run.
+	// Enqueue and register atomically: a worker popping the job
+	// immediately still finds it registered because runJob takes the same
+	// lock first. The shutdown check lives in the same critical section as
+	// Shutdown's finalize loop, so a job can never be registered after
+	// that loop has run.
 	jm.mu.Lock()
-	if jm.baseCtx.Err() != nil {
+	if jm.baseCtx.Err() != nil || jm.draining {
 		jm.mu.Unlock()
+		if admitted {
+			adm.Release(tenant)
+		}
 		cancel()
 		return Job{}, errShuttingDown
 	}
-	select {
-	case jm.queue <- job:
-		jm.jobs[job.ID] = job
-		jm.order = append(jm.order, job.ID)
-		jm.submitted++
-		snap := copyJob(job)
+	if len(jm.pending) >= jm.queueCap {
 		jm.mu.Unlock()
-		return snap, nil
-	default:
-		jm.mu.Unlock()
+		if admitted {
+			adm.Release(tenant)
+		}
 		cancel()
 		return Job{}, ErrQueueFull
 	}
+	jm.enqueueLocked(job)
+	jm.submitted++
+	snap := copyJob(job)
+	jm.mu.Unlock()
+	jm.journalPut(job.ID, snap.Status, snap.Tenant, snap.Request, snap.Created, nil)
+	return snap, nil
+}
+
+// enqueueLocked appends the job to the pending FIFO, registers it, and
+// wakes one worker. Callers hold jm.mu.
+func (jm *JobManager) enqueueLocked(job *Job) {
+	jm.pending = append(jm.pending, job)
+	jm.jobs[job.ID] = job
+	jm.order = append(jm.order, job.ID)
+	jm.cond.Signal()
+}
+
+// releaseAdmitted returns the job's admission slot, at most once. Callers
+// hold jm.mu (the admission controller's own lock is a leaf below it).
+func (jm *JobManager) releaseAdmitted(job *Job) {
+	if job.admitted && jm.admission != nil {
+		jm.admission.Release(job.Tenant)
+	}
+	job.admitted = false
 }
 
 // Get returns a snapshot of the job with the given id.
@@ -550,16 +967,13 @@ func (jm *JobManager) List() []Job {
 	return out
 }
 
-// Cancel stops a queued or running job. Queued jobs are finalized
-// immediately; running jobs have their context cancelled and finalize when
-// the searcher observes it (within one evaluation). It returns the
-// post-cancel snapshot, or ok=false for an unknown id. Cancelling a
-// terminal job is a no-op.
-//
-// A cancelled-while-queued job keeps occupying its queue slot until a
-// worker pops and discards it, so under a saturated queue the effective
-// capacity excludes cancelled-but-undrained entries; the discard is cheap,
-// so slots recycle as soon as a worker frees up.
+// Cancel stops a queued or running job. Queued jobs are removed from the
+// pending FIFO and finalized immediately — their queue slot and admission
+// slot free at once, so capacity under a saturated queue recycles without
+// waiting for a worker. Running jobs have their context cancelled and
+// finalize when the searcher observes it (within one evaluation). It
+// returns the post-cancel snapshot, or ok=false for an unknown id.
+// Cancelling a terminal job is a no-op.
 func (jm *JobManager) Cancel(id string) (Job, bool) {
 	jm.mu.Lock()
 	job, ok := jm.jobs[id]
@@ -568,6 +982,7 @@ func (jm *JobManager) Cancel(id string) (Job, bool) {
 		return Job{}, false
 	}
 	if job.Status == JobQueued {
+		jm.dequeueLocked(job)
 		jm.finishLocked(job, JobCancelled, nil, nil)
 		snap := copyJob(job)
 		jm.mu.Unlock()
@@ -577,6 +992,17 @@ func (jm *JobManager) Cancel(id string) (Job, bool) {
 	jm.mu.Unlock()
 	cancel() // the worker observes this and finalizes the job
 	return jm.Get(id)
+}
+
+// dequeueLocked removes the job from the pending FIFO if it is still
+// there. Callers hold jm.mu.
+func (jm *JobManager) dequeueLocked(job *Job) {
+	for i, p := range jm.pending {
+		if p == job {
+			jm.pending = append(jm.pending[:i], jm.pending[i+1:]...)
+			return
+		}
+	}
 }
 
 // Wait blocks until the job reaches a terminal status or ctx expires.
@@ -609,6 +1035,12 @@ func copyJob(j *Job) Job {
 	c := *j
 	c.cancel = nil
 	c.done = nil
+	c.checkpoint = nil
+	c.resume = nil
+	if j.checkpoint != nil {
+		c.CheckpointEval = j.checkpoint.Eval
+	}
+	c.Resumable = j.resumable()
 	if j.Result != nil {
 		r := *j.Result
 		r.Trajectory = append([]TrajectoryPoint(nil), j.Result.Trajectory...)
@@ -617,16 +1049,23 @@ func copyJob(j *Job) Job {
 	return c
 }
 
-// worker drains the queue until shutdown.
+// worker drains the pending FIFO until shutdown. Jobs still queued when
+// shutdown begins are left for Shutdown's finalize loop.
 func (jm *JobManager) worker() {
 	defer jm.wg.Done()
 	for {
-		select {
-		case <-jm.baseCtx.Done():
-			return
-		case job := <-jm.queue:
-			jm.runJob(job)
+		jm.mu.Lock()
+		for len(jm.pending) == 0 && jm.baseCtx.Err() == nil {
+			jm.cond.Wait()
 		}
+		if jm.baseCtx.Err() != nil {
+			jm.mu.Unlock()
+			return
+		}
+		job := jm.pending[0]
+		jm.pending = jm.pending[1:]
+		jm.mu.Unlock()
+		jm.runJob(job)
 	}
 }
 
@@ -634,7 +1073,7 @@ func (jm *JobManager) worker() {
 func (jm *JobManager) runJob(job *Job) {
 	jm.mu.Lock()
 	ctx := job.ctx
-	if job.Status.Terminal() { // cancelled while queued
+	if job.Status.Terminal() { // cancelled while queued (shutdown race)
 		jm.mu.Unlock()
 		return
 	}
@@ -647,19 +1086,39 @@ func (jm *JobManager) runJob(job *Job) {
 	job.Started = time.Now()
 	wait := job.Started.Sub(job.Created)
 	job.trace.Root().Set("queue_wait_ms", float64(wait.Microseconds())/1e3)
+	// The anytime deadline: the client's timeout_ms clamped to the
+	// server's ceiling (which also applies on its own). It layers over
+	// the cancellable job context, so the finish path can tell deadline
+	// expiry (degraded completion) from cancellation by which context
+	// carries the error.
+	timeout := time.Duration(job.Request.TimeoutMS) * time.Millisecond
+	if jm.maxJobTime > 0 && (timeout <= 0 || timeout > jm.maxJobTime) {
+		timeout = jm.maxJobTime
+	}
 	jm.mu.Unlock()
 	if in := jm.instruments(); in != nil {
 		in.queueWait.Observe(wait.Seconds())
 	}
 	job.stream.Publish(ProgressEvent{Status: JobRunning})
 
-	res, space, err := jm.execute(ctx, job)
+	runCtx := ctx
+	if timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		runCtx, cancelTimeout = context.WithTimeout(ctx, timeout)
+		defer cancelTimeout()
+	}
+	res, space, err := jm.execute(runCtx, job)
 	if in := jm.instruments(); in != nil {
 		in.run.Observe(time.Since(job.Started).Seconds())
 	}
+	// Deadline expiry with the job context intact is the anytime path;
+	// searchers observe it as cancellation and return best-so-far with a
+	// nil error, so err != nil here always means a genuine failure.
+	deadlined := errors.Is(runCtx.Err(), context.DeadlineExceeded) && ctx.Err() == nil
 
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
+	result := buildResult(res, space)
 	switch {
 	case err != nil && ctx.Err() != nil:
 		// Treat errors after cancellation as cancellation.
@@ -667,9 +1126,18 @@ func (jm *JobManager) runJob(job *Job) {
 	case err != nil:
 		jm.finishLocked(job, JobFailed, nil, err)
 	case ctx.Err() != nil:
-		jm.finishLocked(job, JobCancelled, buildResult(res, space), nil)
+		jm.finishLocked(job, JobCancelled, result, nil)
+	case deadlined:
+		if result != nil {
+			result.Degraded = true
+			jm.degraded++
+			jm.finishLocked(job, JobDone, result, nil)
+		} else {
+			jm.finishLocked(job, JobFailed, nil,
+				fmt.Errorf("service: deadline (%v) expired before any evaluation completed", timeout))
+		}
 	default:
-		jm.finishLocked(job, JobDone, buildResult(res, space), nil)
+		jm.finishLocked(job, JobDone, result, nil)
 	}
 }
 
@@ -726,6 +1194,17 @@ func (jm *JobManager) finishLocked(job *Job, status JobStatus, result *JobResult
 	job.stream.Close()
 	job.cancel() // release the context
 	close(job.done)
+	jm.releaseAdmitted(job)
+	// Journal bookkeeping: a terminal job's record is deleted — unless the
+	// manager is draining, in which case records stay in place so the next
+	// process recovers and resumes the drained jobs from their last
+	// checkpoints. The write is tiny (and idempotent), so doing it under
+	// jm.mu keeps finish ordering deterministic for the recovery tests.
+	if jm.journal != nil && !jm.draining {
+		if err := jm.journal.Delete(job.ID); err != nil {
+			jm.journalErrs++
+		}
+	}
 	jm.evictTerminalLocked()
 }
 
@@ -806,6 +1285,11 @@ const evalTimingSample = 64
 // model-resolution and search spans on the job's trace and publishing
 // live progress to its event stream.
 func (jm *JobManager) execute(ctx context.Context, job *Job) (*search.Result, *mapspace.Space, error) {
+	jm.mu.Lock()
+	resume := job.resume
+	job.resume = nil // consumed: a later Resume re-arms it from job.checkpoint
+	checkpointEvery := jm.checkpointEvery
+	jm.mu.Unlock()
 	req := &job.Request
 	root := job.trace.Root()
 	algo, err := req.algorithm()
@@ -850,6 +1334,12 @@ func (jm *JobManager) execute(ctx context.Context, job *Job) (*search.Result, *m
 		parallelism = MaxParallelism
 	}
 	evaluator := costmodel.Evaluator(model)
+	if f := jm.faultsInjector(); f != nil {
+		// Fault injection sits directly on the backend with retry outside
+		// it, so injected transients are absorbed the way real ones would
+		// be; a spike that exhausts the retry budget still fails the job.
+		evaluator = costmodel.WithRetry(costmodel.WithFaults(evaluator, f), resilience.DefaultRetry)
+	}
 	if hist := jm.evalHistFor(model.Name()); hist != nil {
 		evaluator = costmodel.WithTiming(evaluator, evalTimingSample, hist.ObserveDuration)
 	}
@@ -868,6 +1358,18 @@ func (jm *JobManager) execute(ctx context.Context, job *Job) (*search.Result, *m
 		Cache:       jm.cache,
 		Evals:       jm.counterFor(model.Name()),
 		Parallelism: parallelism,
+		Resume:      resume,
+		// Checkpoints always flow to the in-memory job record (enabling
+		// resume without a journal) and, when journaling is on, to disk.
+		CheckpointEvery: checkpointEvery,
+		Checkpoint: func(c *search.Checkpoint) {
+			ck := c.Clone()
+			jm.mu.Lock()
+			job.checkpoint = ck
+			tenant, creq, created := job.Tenant, job.Request, job.Created
+			jm.mu.Unlock()
+			jm.journalPut(job.ID, JobRunning, tenant, creq, created, ck)
+		},
 		Progress: func(p search.Progress) {
 			strideSpan.End()
 			strideSpan = searchSpan.StartChild("stride")
@@ -1006,14 +1508,21 @@ func buildResult(res *search.Result, space *mapspace.Space) *JobResult {
 	return out
 }
 
-// JobStats summarizes job lifecycle counts for /v1/metrics.
+// JobStats summarizes job lifecycle counts for /v1/metrics. Degraded
+// counts jobs that completed at their anytime deadline with a best-so-far
+// result; Recovered counts jobs re-enqueued from the journal at startup;
+// JournalErrors counts journal writes that failed even after bounded
+// retry.
 type JobStats struct {
-	Submitted uint64 `json:"submitted"`
-	Queued    int    `json:"queued"`
-	Running   int    `json:"running"`
-	Done      uint64 `json:"done"`
-	Failed    uint64 `json:"failed"`
-	Cancelled uint64 `json:"cancelled"`
+	Submitted     uint64 `json:"submitted"`
+	Queued        int    `json:"queued"`
+	Running       int    `json:"running"`
+	Done          uint64 `json:"done"`
+	Failed        uint64 `json:"failed"`
+	Cancelled     uint64 `json:"cancelled"`
+	Degraded      uint64 `json:"degraded"`
+	Recovered     uint64 `json:"recovered"`
+	JournalErrors uint64 `json:"journal_errors"`
 }
 
 // Stats snapshots lifecycle counters and live queue state.
@@ -1021,10 +1530,13 @@ func (jm *JobManager) Stats() JobStats {
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
 	st := JobStats{
-		Submitted: jm.submitted,
-		Done:      jm.completed,
-		Failed:    jm.failed,
-		Cancelled: jm.cancelled,
+		Submitted:     jm.submitted,
+		Done:          jm.completed,
+		Failed:        jm.failed,
+		Cancelled:     jm.cancelled,
+		Degraded:      jm.degraded,
+		Recovered:     jm.recovered,
+		JournalErrors: jm.journalErrs,
 	}
 	for _, job := range jm.jobs {
 		switch job.Status {
@@ -1098,13 +1610,16 @@ func (jm *JobManager) EvalCounts() map[string]int64 {
 func (jm *JobManager) Workers() int { return jm.workers }
 
 // QueueCap returns the pending-queue capacity.
-func (jm *JobManager) QueueCap() int { return cap(jm.queue) }
+func (jm *JobManager) QueueCap() int { return jm.queueCap }
 
 // Shutdown cancels every job (queued and running) and waits for the
 // worker pool to drain, or for ctx to expire. New submissions fail once
 // shutdown has begun.
 func (jm *JobManager) Shutdown(ctx context.Context) error {
 	jm.stop() // cancels baseCtx, and transitively every job context
+	jm.mu.Lock()
+	jm.cond.Broadcast() // wake idle workers so they observe the cancel
+	jm.mu.Unlock()
 	drained := make(chan struct{})
 	go func() {
 		jm.wg.Wait()

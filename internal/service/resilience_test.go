@@ -1,0 +1,451 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mindmappings/internal/resilience"
+)
+
+// newTestManager builds a JobManager over the shared test surrogate dir
+// with cleanup registered; tests wire journal/admission/faults themselves.
+func newTestManager(t *testing.T, workers, queueCap int) *JobManager {
+	t.Helper()
+	jm := NewJobManager(NewModelRegistry(modelDir(t, "conv1d.surrogate"), 4), NewEvalCache(1<<14), workers, queueCap)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := jm.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return jm
+}
+
+func waitStatus(t *testing.T, jm *JobManager, id string, want JobStatus) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap, ok := jm.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if snap.Status == want {
+			return
+		}
+		if snap.Status.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s is %s, want %s", id, snap.Status, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestKillAndRecoverResumesBitCompatible is the crash-recovery acceptance
+// test: a journaled search job hard-killed mid-run (simulated by a
+// point-in-time copy of the journal directory — exactly the disk state a
+// kill -9 leaves) is recovered by a fresh manager, resumes from its last
+// checkpoint, and completes with the identical result and trajectory the
+// uninterrupted run produces.
+func TestKillAndRecoverResumesBitCompatible(t *testing.T) {
+	dir := modelDir(t, "conv1d.surrogate")
+	req := SearchRequest{
+		Algo: "conv1d", Shape: []int{1024, 5},
+		Searcher: "mm", Model: "conv1d.surrogate",
+		Evals: 20000, Seed: 11,
+	}
+
+	// The uninterrupted reference run.
+	ref := func() Job {
+		jm := NewJobManager(NewModelRegistry(dir, 4), NewEvalCache(1<<14), 1, 4)
+		defer jm.Shutdown(context.Background())
+		job, err := jm.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		done, err := jm.Wait(ctx, job.ID)
+		if err != nil || done.Status != JobDone {
+			t.Fatalf("reference run: status %s, err %v", done.Status, err)
+		}
+		return done
+	}()
+
+	// First "process": journal on, checkpoints frequent; snapshot the
+	// journal directory while the job is mid-search.
+	liveDir := t.TempDir()
+	j1, err := resilience.OpenJournal(liveDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm1 := NewJobManager(NewModelRegistry(dir, 4), NewEvalCache(1<<14), 1, 4)
+	jm1.SetCheckpointInterval(500)
+	if n, err := jm1.EnableJournal(j1); err != nil || n != 0 {
+		t.Fatalf("fresh journal recovered %d jobs, err %v", n, err)
+	}
+	job, err := jm1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		snap, _ := jm1.Get(job.ID)
+		if snap.CheckpointEval > 0 {
+			break
+		}
+		if snap.Status.Terminal() {
+			t.Fatalf("job finished (%s) before a checkpoint could be captured", snap.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint within a minute")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	killedDir := t.TempDir()
+	ents, err := os.ReadDir(liveDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".") { // tmp staging debris mid-Put
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(liveDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(killedDir, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		copied++
+	}
+	if copied == 0 {
+		t.Fatal("journal snapshot is empty")
+	}
+	jm1.Cancel(job.ID)
+	if err := jm1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second "process": recover from the kill-time snapshot and finish.
+	j2, err := resilience.OpenJournal(killedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm2 := NewJobManager(NewModelRegistry(dir, 4), NewEvalCache(1<<14), 1, 4)
+	defer jm2.Shutdown(context.Background())
+	n, err := jm2.EnableJournal(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	if jm2.Stats().Recovered != 1 {
+		t.Fatalf("recovered counter %d, want 1", jm2.Stats().Recovered)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	got, err := jm2.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != JobDone {
+		t.Fatalf("recovered job finished %s: %s", got.Status, got.Error)
+	}
+	if got.Result.Evals != ref.Result.Evals || got.Result.BestEDP != ref.Result.BestEDP {
+		t.Fatalf("recovered run diverged: %d evals best %v, reference %d evals best %v",
+			got.Result.Evals, got.Result.BestEDP, ref.Result.Evals, ref.Result.BestEDP)
+	}
+	if got.Result.Mapping != ref.Result.Mapping {
+		t.Fatalf("recovered best mapping diverged:\n  %s\nvs\n  %s", got.Result.Mapping, ref.Result.Mapping)
+	}
+	if len(got.Result.Trajectory) != len(ref.Result.Trajectory) {
+		t.Fatalf("trajectory lengths diverged: %d vs %d", len(got.Result.Trajectory), len(ref.Result.Trajectory))
+	}
+	for i := range ref.Result.Trajectory {
+		if got.Result.Trajectory[i].Eval != ref.Result.Trajectory[i].Eval ||
+			got.Result.Trajectory[i].BestEDP != ref.Result.Trajectory[i].BestEDP {
+			t.Fatalf("trajectory diverged at sample %d", i)
+		}
+	}
+	// The finished job's record is gone: nothing to recover on a third start.
+	if ids, _ := j2.List(); len(ids) != 0 {
+		t.Fatalf("terminal job left journal records: %v", ids)
+	}
+}
+
+// TestDeadlineReturnsDegradedValidResult pins the anytime contract over
+// HTTP: a job whose timeout_ms expires long before its budget completes
+// as done with a valid best-so-far mapping marked degraded — never a
+// failure, never an invalid mapping.
+func TestDeadlineReturnsDegradedValidResult(t *testing.T) {
+	ts, _, _ := testServer(t, 1, 4)
+	job, resp := postSearch(t, ts, SearchRequest{
+		Algo: "conv1d", Shape: []int{1024, 5},
+		Searcher: "random", Time: "1h", TimeoutMS: 300, Seed: 5,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	done := waitJob(t, ts, job.ID, 30*time.Second)
+	if done.Status != JobDone {
+		t.Fatalf("deadline-bounded job finished %s: %s", done.Status, done.Error)
+	}
+	if done.Result == nil || !done.Result.Degraded {
+		t.Fatalf("result not marked degraded: %+v", done.Result)
+	}
+	if done.Result.Mapping == "" || done.Result.BestEDP <= 0 || done.Result.Evals <= 0 {
+		t.Fatalf("degraded result is not a valid mapping: %+v", done.Result)
+	}
+	m := getMetrics(t, ts)
+	if m.Jobs.Degraded != 1 {
+		t.Fatalf("degraded counter %d, want 1", m.Jobs.Degraded)
+	}
+}
+
+// TestReadyzFlipsWhenDraining pins the readiness satellite: /readyz is 200
+// while serving, 503 the moment a drain begins (while /healthz stays 200),
+// and new submissions are refused during the drain.
+func TestReadyzFlipsWhenDraining(t *testing.T) {
+	ts, jm, _ := testServer(t, 1, 4)
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d", got)
+	}
+	jm.BeginDrain()
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: %d", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz during drain: %d (liveness must not flip)", got)
+	}
+	_, resp := postSearch(t, ts, SearchRequest{
+		Algo: "conv1d", Shape: []int{1024, 5}, Searcher: "random", Evals: 5,
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestCancelQueuedFreesQueueAndQuotaSlot pins the cancellation satellite:
+// deleting a queued job frees its queue slot and its admission slot
+// immediately — the very next submit succeeds without waiting for a
+// worker.
+func TestCancelQueuedFreesQueueAndQuotaSlot(t *testing.T) {
+	jm := newTestManager(t, 1, 1)
+	adm := jm.EnableAdmission(resilience.AdmissionConfig{MaxConcurrent: 2})
+	long := SearchRequest{Algo: "conv1d", Shape: []int{1024, 5}, Searcher: "random", Time: "1h"}
+
+	a, err := jm.SubmitAs("acme", long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, jm, a.ID, JobRunning)
+	b, err := jm.SubmitAs("acme", long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturated: both quota slots held, the single queue slot occupied.
+	if _, err := jm.SubmitAs("acme", long); err == nil {
+		t.Fatal("third submit accepted past quota and queue capacity")
+	}
+	snap, ok := jm.Cancel(b.ID)
+	if !ok || snap.Status != JobCancelled {
+		t.Fatalf("cancel queued: ok=%v status=%s", ok, snap.Status)
+	}
+	if got := adm.InFlight("acme"); got != 1 {
+		t.Fatalf("quota slot not freed on cancel-queued: %d in flight, want 1", got)
+	}
+	c, err := jm.SubmitAs("acme", long)
+	if err != nil {
+		t.Fatalf("submit after cancel-queued rejected: %v", err)
+	}
+	jm.Cancel(a.ID)
+	jm.Cancel(c.ID)
+}
+
+// TestQuotaAccountingUnderConcurrentSubmitCancel hammers admission slots
+// from many goroutines mixing submits and immediate cancels; afterwards no
+// slot may be leaked. Run with -race.
+func TestQuotaAccountingUnderConcurrentSubmitCancel(t *testing.T) {
+	jm := newTestManager(t, 4, 64)
+	adm := jm.EnableAdmission(resilience.AdmissionConfig{MaxConcurrent: 8})
+	req := SearchRequest{Algo: "conv1d", Shape: []int{1024, 5}, Searcher: "random", Evals: 30}
+
+	var mu sync.Mutex
+	var ids []string
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				job, err := jm.SubmitAs("acme", req)
+				if err != nil {
+					var admErr *AdmissionError
+					if !errors.As(err, &admErr) && !errors.Is(err, ErrQueueFull) {
+						t.Errorf("worker %d: %v", w, err)
+					}
+					continue
+				}
+				if (w+i)%3 == 0 {
+					jm.Cancel(job.ID)
+				}
+				mu.Lock()
+				ids = append(ids, job.ID)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, id := range ids {
+		if _, err := jm.Wait(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := adm.InFlight("acme"); got != 0 {
+		t.Fatalf("leaked %d quota slots after all jobs finished", got)
+	}
+	if st := adm.Stats(); st.InFlight != 0 {
+		t.Fatalf("controller reports %d slots in flight, want 0", st.InFlight)
+	}
+}
+
+// TestResumeCancelledJobOverHTTP pins POST /v1/jobs/{id}/resume: a
+// cancelled mid-flight job reports itself resumable, resumes under its
+// original ID, and runs to completion; a done job refuses with 409.
+func TestResumeCancelledJobOverHTTP(t *testing.T) {
+	ts, jm, _ := testServer(t, 1, 4)
+	jm.SetCheckpointInterval(200)
+	job, resp := postSearch(t, ts, SearchRequest{
+		Algo: "conv1d", Shape: []int{1024, 5},
+		Searcher: "mm", Model: "conv1d.surrogate",
+		Evals: 20000, Seed: 4,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		snap := getJob(t, ts, job.ID)
+		if snap.CheckpointEval > 0 {
+			break
+		}
+		if snap.Status.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("no checkpoint (status %s)", snap.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %v %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	cancelled := waitJob(t, ts, job.ID, 30*time.Second)
+	if cancelled.Status != JobCancelled || !cancelled.Resumable {
+		t.Fatalf("cancelled mid-flight job not resumable: status %s resumable %v",
+			cancelled.Status, cancelled.Resumable)
+	}
+
+	rr, err := http.Post(ts.URL+"/v1/jobs/"+job.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume: %d", rr.StatusCode)
+	}
+	done := waitJob(t, ts, job.ID, 2*time.Minute)
+	if done.Status != JobDone || done.Result == nil || done.Result.Evals != 20000 {
+		t.Fatalf("resumed job: status %s result %+v", done.Status, done.Result)
+	}
+	// Done jobs are complete: resuming again must refuse.
+	rr2, err := http.Post(ts.URL+"/v1/jobs/"+job.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr2.Body.Close()
+	if rr2.StatusCode != http.StatusConflict {
+		t.Fatalf("resume of a done job: %d, want 409", rr2.StatusCode)
+	}
+}
+
+// TestAdmissionQuotaOverHTTP pins the transport mapping: a tenant over its
+// concurrency cap gets 429 with a Retry-After header; a different tenant
+// is unaffected; releasing capacity re-admits.
+func TestAdmissionQuotaOverHTTP(t *testing.T) {
+	ts, jm, _ := testServer(t, 1, 8)
+	jm.EnableAdmission(resilience.AdmissionConfig{MaxConcurrent: 1})
+	long := SearchRequest{Algo: "conv1d", Shape: []int{1024, 5}, Searcher: "random", Time: "1h"}
+	submitAs := func(tenant string) (Job, *http.Response) {
+		t.Helper()
+		body, _ := json.Marshal(long)
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/search", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var job Job
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return job, resp
+	}
+
+	a, resp := submitAs("acme")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	_, resp = submitAs("acme")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carried no Retry-After")
+	}
+	b, resp := submitAs("rival")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant blocked by acme's quota: %d", resp.StatusCode)
+	}
+	jm.Cancel(a.ID)
+	waitJob(t, ts, a.ID, 30*time.Second)
+	c, resp := submitAs("acme")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after slot release: %d", resp.StatusCode)
+	}
+	jm.Cancel(b.ID)
+	jm.Cancel(c.ID)
+	m := getMetrics(t, ts)
+	if m.Admission == nil || m.Admission.RejectedConc == 0 {
+		t.Fatalf("admission stats missing from /v1/metrics: %+v", m.Admission)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"mindmappings/internal/modelstore"
 	"mindmappings/internal/obs"
+	"mindmappings/internal/resilience"
 	"mindmappings/internal/trainer"
 	"mindmappings/internal/workload"
 )
@@ -22,10 +23,15 @@ import (
 //
 // Endpoints:
 //
-//	POST   /v1/search             enqueue a search job (202 + job snapshot)
+//	POST   /v1/search             enqueue a search job (202 + job snapshot);
+//	                              the X-Tenant header keys per-tenant admission
+//	                              quotas (429) and load shedding (503), both
+//	                              with Retry-After
 //	GET    /v1/jobs               list all jobs
 //	GET    /v1/jobs/{id}          job status, result, best-EDP trajectory
 //	DELETE /v1/jobs/{id}          cancel a queued or in-flight job
+//	POST   /v1/jobs/{id}/resume   continue a cancelled/failed search job from
+//	                              its last checkpoint
 //	POST   /v1/train              enqueue a training job (202 + job snapshot)
 //	GET    /v1/train              list training jobs
 //	GET    /v1/train/{id}         training status: phase, samples, epoch, losses
@@ -43,6 +49,8 @@ import (
 //	                              runtime stats, and latency-histogram quantiles
 //	GET    /metrics               Prometheus text exposition of the same registry
 //	GET    /healthz               liveness probe
+//	GET    /readyz                readiness probe: 503 once draining begins, so
+//	                              load balancers stop routing before shutdown
 //
 // The training endpoints answer 503 until WithTraining attaches a store
 // and pipeline. EnablePprof mounts net/http/pprof under /debug/pprof/.
@@ -147,7 +155,9 @@ func (s *Server) WithTraining(store *modelstore.Store, tp *trainer.Pipeline) *Se
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResumeJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
@@ -330,6 +340,26 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReady is the readiness probe: unlike /healthz (liveness — the
+// process is up), it flips to 503 the moment a graceful drain begins, so
+// load balancers stop routing new work while in-flight jobs checkpoint.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.jobs.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// setRetryAfter writes a Retry-After header of at least one whole second.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(d.Round(time.Second).Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -338,10 +368,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	job, err := s.jobs.Submit(req)
+	job, err := s.jobs.SubmitAs(r.Header.Get("X-Tenant"), req)
+	var admErr *AdmissionError
 	switch {
+	case errors.As(err, &admErr):
+		setRetryAfter(w, admErr.Decision.RetryAfter)
+		writeError(w, admErr.Decision.Code, err)
+		return
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, s.jobs.RetryAfterHint())
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, errShuttingDown):
@@ -349,6 +384,32 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// handleResumeJob continues a cancelled or failed search job from its last
+// checkpoint (or from scratch when it was cancelled before running).
+func (s *Server) handleResumeJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, err := s.jobs.Resume(id)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		setRetryAfter(w, s.jobs.RetryAfterHint())
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, errShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		if _, ok := s.jobs.Get(id); !ok {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeError(w, http.StatusConflict, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
@@ -533,6 +594,9 @@ type Metrics struct {
 	CostModels map[string]int64 `json:"cost_models"`
 	EvalCache  CacheStats       `json:"eval_cache"`
 	Registry   RegistryStats    `json:"registry"`
+	// Admission is present once EnableAdmission has been called: per-tenant
+	// quota rejections, load-shed count, and slots in flight.
+	Admission *resilience.AdmissionStats `json:"admission,omitempty"`
 	// Trainer and Store are present once WithTraining has been called.
 	Trainer *trainer.Stats    `json:"trainer,omitempty"`
 	Store   *modelstore.Stats `json:"store,omitempty"`
@@ -553,6 +617,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		EvalCache:  s.cache.Stats(),
 		Registry:   s.registry.Stats(),
 		Runtime:    obs.ReadRuntime(s.started),
+	}
+	if a := s.jobs.admissionCtrl(); a != nil {
+		as := a.Stats()
+		m.Admission = &as
 	}
 	if s.trainer != nil {
 		ts := s.trainer.Stats()

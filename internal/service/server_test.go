@@ -8,20 +8,32 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"testing"
 	"time"
+
+	"mindmappings/internal/resilience"
 )
 
 // testServer spins up the full stack — registry, cache, job manager, HTTP
 // handler — against a temp model dir holding the shared test surrogate as
-// "conv1d.surrogate".
+// "conv1d.surrogate". Setting MINDMAPPINGS_FAULTS (same spec as `serve
+// -faults`) arms deterministic fault injection on every manager built
+// here — the CI chaos-smoke step runs this package's -short suite that
+// way, pinning that the service behaves identically under injected eval
+// faults absorbed by the retry layer.
 func testServer(t *testing.T, workers, queueCap int) (*httptest.Server, *JobManager, *EvalCache) {
 	t.Helper()
 	dir := modelDir(t, "conv1d.surrogate")
 	registry := NewModelRegistry(dir, 4)
 	cache := NewEvalCache(1 << 14)
 	jobs := NewJobManager(registry, cache, workers, queueCap)
+	if faults, err := resilience.ParseFaults(os.Getenv("MINDMAPPINGS_FAULTS")); err != nil {
+		t.Fatalf("bad MINDMAPPINGS_FAULTS: %v", err)
+	} else if faults != nil {
+		jobs.SetFaults(faults)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

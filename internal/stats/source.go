@@ -1,0 +1,60 @@
+package stats
+
+import "math/rand"
+
+// CountedSource wraps the repository's standard deterministic RNG source
+// with a draw counter, giving stochastic components a checkpointable
+// "stream position": a (seed, draws) pair fully determines the source
+// state, so an interrupted run can be resumed bit-exactly by re-seeding
+// and skipping the same number of draws.
+//
+// Delegation preserves the stream: math/rand's Rand consumes a Source64
+// through the same Int63/Uint64 calls whether or not it is wrapped, and
+// both calls advance the underlying generator by exactly one step, so
+// rand.New(NewCountedSource(s)) produces the identical value sequence to
+// rand.New(rand.NewSource(s)) — existing seeded results are unchanged.
+//
+// CountedSource is not safe for concurrent use, matching *rand.Rand.
+type CountedSource struct {
+	seed int64
+	src  rand.Source64
+	n    int64
+}
+
+// NewCountedSource returns a counting source seeded like NewRNG.
+func NewCountedSource(seed int64) *CountedSource {
+	return &CountedSource{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source, counting one draw.
+func (s *CountedSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64, counting one draw.
+func (s *CountedSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw count.
+func (s *CountedSource) Seed(seed int64) {
+	s.seed = seed
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+// Draws returns the number of values drawn since seeding — the stream
+// position to record in a checkpoint.
+func (s *CountedSource) Draws() int64 { return s.n }
+
+// Skip fast-forwards the source by n draws (both Int63 and Uint64 advance
+// the generator identically, so a single skip loop replays any mix).
+// Restoring a checkpoint is NewCountedSource(seed) followed by Skip(draws).
+func (s *CountedSource) Skip(n int64) {
+	for i := int64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.n += n
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCountedSourcePreservesStream pins the delegation contract: wrapping
+// the standard source must not change the value sequence, or every seeded
+// result in the repository would silently shift.
+func TestCountedSourcePreservesStream(t *testing.T) {
+	src := NewCountedSource(42)
+	counted := rand.New(src)
+	plain := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		if a, b := counted.Uint64(), plain.Uint64(); a != b {
+			t.Fatalf("draw %d diverged: counted %d, plain %d", i, a, b)
+		}
+	}
+	if src.Draws() != 1000 {
+		t.Fatalf("counted %d draws, want 1000", src.Draws())
+	}
+	// Mixed draw kinds advance the generator one step each, so the count
+	// stays exact regardless of which methods the consumer uses.
+	counted.Float64()
+	counted.Intn(7)
+	if src.Draws() != 1002 {
+		t.Fatalf("mixed draws counted %d, want 1002", src.Draws())
+	}
+}
+
+// TestCountedSourceSkipRestoresPosition pins the checkpoint contract: a
+// fresh source seeded identically and skipped to the recorded position
+// continues with the identical stream.
+func TestCountedSourceSkipRestoresPosition(t *testing.T) {
+	const seed = 77
+	src := NewCountedSource(seed)
+	rng := rand.New(src)
+	for i := 0; i < 137; i++ {
+		rng.Float64()
+	}
+	pos := src.Draws()
+
+	resumedSrc := NewCountedSource(seed)
+	resumedSrc.Skip(pos)
+	if resumedSrc.Draws() != pos {
+		t.Fatalf("skip left position %d, want %d", resumedSrc.Draws(), pos)
+	}
+	resumed := rand.New(resumedSrc)
+	for i := 0; i < 100; i++ {
+		if a, b := rng.Uint64(), resumed.Uint64(); a != b {
+			t.Fatalf("post-skip draw %d diverged: %d vs %d", i, a, b)
+		}
+	}
+}
+
+// TestCountedSourceSeedResets pins that re-seeding zeroes the position.
+func TestCountedSourceSeedResets(t *testing.T) {
+	src := NewCountedSource(1)
+	rand.New(src).Uint64()
+	src.Seed(2)
+	if src.Draws() != 0 {
+		t.Fatalf("seed left %d draws on the counter", src.Draws())
+	}
+	if a, b := src.Uint64(), rand.NewSource(2).(rand.Source64).Uint64(); a != b {
+		t.Fatalf("re-seeded stream diverged: %d vs %d", a, b)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/modelstore"
 	"mindmappings/internal/obs"
+	"mindmappings/internal/resilience"
 	"mindmappings/internal/stats"
 	"mindmappings/internal/surrogate"
 	"mindmappings/internal/workload"
@@ -252,6 +253,11 @@ type checkpoint struct {
 type Pipeline struct {
 	store *modelstore.Store
 
+	// publishRetry absorbs transient store.Publish failures (including
+	// injected ones) so a blip at the very end of a long training run
+	// does not discard it. Set before the first Submit to override.
+	publishRetry resilience.RetryPolicy
+
 	queue   chan *Job
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -291,14 +297,15 @@ func New(store *modelstore.Store, workers, queueCap int) *Pipeline {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pipeline{
-		store:     store,
-		queue:     make(chan *Job, queueCap),
-		baseCtx:   ctx,
-		stop:      cancel,
-		jobs:      make(map[string]*Job),
-		active:    make(map[string]string),
-		workers:   workers,
-		retention: DefaultRetention,
+		store:        store,
+		publishRetry: resilience.DefaultRetry,
+		queue:        make(chan *Job, queueCap),
+		baseCtx:      ctx,
+		stop:         cancel,
+		jobs:         make(map[string]*Job),
+		active:       make(map[string]string),
+		workers:      workers,
+		retention:    DefaultRetention,
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -770,19 +777,27 @@ func (p *Pipeline) execute(ctx context.Context, job *Job) (*modelstore.Manifest,
 	p.setProgress(job, func(pr *Progress) { pr.Phase = PhasePublish })
 	pubSpan := root.StartChild(PhasePublish)
 	defer pubSpan.End()
-	manifest, err := p.store.Publish(sur, modelstore.PublishMeta{
-		Name:         req.Name,
-		CostModel:    effectiveBackend(req.CostModel),
-		CostModelFP:  costModelFingerprint(req.CostModel, a, algo),
-		Samples:      cfg.Samples,
-		Problems:     cfg.Problems,
-		Epochs:       len(hist.TrainLoss),
-		HiddenSizes:  cfg.HiddenSizes,
-		Seed:         cfg.Seed,
-		Parent:       parent,
-		TrainLoss:    hist.TrainLoss,
-		TestLoss:     hist.TestLoss,
-		TrainSeconds: time.Since(start).Seconds(),
+	// Publish under bounded retry: the artifact embodies the whole
+	// training run, so a transient storage fault (or an injected one)
+	// here must not throw the run away.
+	var manifest modelstore.Manifest
+	err = p.publishRetry.Do(ctx, func() error {
+		var perr error
+		manifest, perr = p.store.Publish(sur, modelstore.PublishMeta{
+			Name:         req.Name,
+			CostModel:    effectiveBackend(req.CostModel),
+			CostModelFP:  costModelFingerprint(req.CostModel, a, algo),
+			Samples:      cfg.Samples,
+			Problems:     cfg.Problems,
+			Epochs:       len(hist.TrainLoss),
+			HiddenSizes:  cfg.HiddenSizes,
+			Seed:         cfg.Seed,
+			Parent:       parent,
+			TrainLoss:    hist.TrainLoss,
+			TestLoss:     hist.TestLoss,
+			TrainSeconds: time.Since(start).Seconds(),
+		})
+		return perr
 	})
 	if err != nil {
 		return nil, err
