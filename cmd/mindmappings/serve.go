@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"mindmappings/internal/infer"
 	"mindmappings/internal/modelstore"
 	"mindmappings/internal/resilience"
 	"mindmappings/internal/service"
@@ -49,6 +50,8 @@ func cmdServe(args []string) error {
 	journalDir := fs.String("journal", "", `crash-safe job journal directory (default <models>/jobs; "none" disables); queued and running search jobs are recovered and resumed from it on the next start`)
 	checkpointEvals := fs.Int("checkpoint-evals", 0, "evaluations between searcher checkpoints (0: library default)")
 	maxJobTime := fs.Duration("maxjobtime", 0, "server-side anytime deadline applied to every search job; at expiry jobs complete with their best-so-far mapping marked degraded (0: no ceiling)")
+	batchWindow := fs.Duration("batch-window", infer.DefaultWindow, "latency window for cross-request surrogate inference batching; concurrent jobs sharing a model have their queries coalesced into larger GEMM batches within this window (0: disable batching)")
+	batchMax := fs.Int("batch-max", infer.DefaultMaxBatch, "max rows per coalesced surrogate batch; a full batch flushes immediately without waiting out -batch-window")
 	quotaRate := fs.Float64("quota-rate", 0, "per-tenant sustained admissions/second (0: no rate quota)")
 	quotaBurst := fs.Float64("quota-burst", 0, "per-tenant token-bucket depth (default max(quota-rate, 1))")
 	quotaConc := fs.Int("quota-concurrent", 0, "per-tenant cap on jobs in flight (0: no cap)")
@@ -80,6 +83,7 @@ func cmdServe(args []string) error {
 	jobs := service.NewJobManager(registry, cache, *workers, *queueCap)
 	jobs.SetMaxJobTime(*maxJobTime)
 	jobs.SetCheckpointInterval(*checkpointEvals)
+	jobs.SetBatching(infer.Config{Window: *batchWindow, MaxBatch: *batchMax})
 	if faults != nil {
 		fmt.Fprintf(os.Stderr, "mindmappings serve: fault injection armed (%s)\n", *faultsSpec)
 		jobs.SetFaults(faults)

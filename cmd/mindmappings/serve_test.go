@@ -1,14 +1,26 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/nn"
 	"mindmappings/internal/obs"
+	"mindmappings/internal/stats"
+	"mindmappings/internal/surrogate"
 )
 
 // TestServeBinaryMetricsScrape is the CI smoke for the scrape surface: it
@@ -143,6 +155,168 @@ func TestServePprofFlag(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil && !strings.Contains(err.Error(), "Server closed") {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}
+
+// TestServeBatchWindowSearch is the CI smoke for cross-request inference
+// batching: it boots the real serve command with -batch-window armed,
+// submits concurrent mm search jobs that share one registry surrogate, and
+// asserts they all complete and that the batcher's flush telemetry shows
+// up on /metrics — proof the queries actually flowed through the
+// coalescing path, not just that the flag parsed.
+func TestServeBatchWindowSearch(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	// An untrained conv1d surrogate: random weights change the landscape,
+	// not the serving path, and skipping training keeps the smoke fast.
+	algo := loopnest.MustAlgorithm("conv1d")
+	prob, err := algo.NewProblem("custom", []int{1024, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := mapspace.New(arch.Default(len(algo.Tensors)-1), prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDim := space.VectorLen()
+	outDim := int(arch.NumLevels)*len(algo.Tensors) + 3
+	net1, err := nn.NewMLP([]int{inDim, 16, 16, outDim}, nn.ReLU{}, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ident := func(d int) *stats.Normalizer {
+		n := &stats.Normalizer{Mean: make([]float64, d), Std: make([]float64, d)}
+		for i := range n.Std {
+			n.Std[i] = 1
+		}
+		return n
+	}
+	sur := &surrogate.Surrogate{
+		AlgoName:   algo.Name,
+		Net:        net1,
+		InNorm:     ident(inDim),
+		OutNorm:    ident(outDim),
+		Mode:       surrogate.OutputMetaStats,
+		LogOutputs: true,
+		NumTensors: len(algo.Tensors),
+	}
+	var blob bytes.Buffer
+	if err := sur.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "conv1d.surrogate"), blob.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe([]string{
+			"-addr", addr, "-models", dir,
+			"-workers", "4", "-trainworkers", "1", "-quiet",
+			"-batch-window", "300us", "-batch-max", "32",
+			"-grace", "5s",
+		})
+	}()
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		select {
+		case serveErr := <-done:
+			t.Fatalf("serve exited early: %v", serveErr)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	const jobs = 4
+	ids := make([]string, jobs)
+	for i := range ids {
+		body := fmt.Sprintf(`{"algo":"conv1d","shape":[1024,5],"searcher":"mm",
+			"model":"conv1d.surrogate","evals":60,"seed":%d}`, i+1)
+		resp, err := http.Post(base+"/v1/search", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		var job struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &job); err != nil {
+			t.Fatalf("submit %d: %v in %q", i, err, raw)
+		}
+		ids[i] = job.ID
+	}
+	for _, id := range ids {
+		for {
+			resp, err := http.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var job struct {
+				Status string `json:"status"`
+				Error  string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if job.Status == "done" {
+				break
+			}
+			if job.Status == "failed" || job.Status == "cancelled" {
+				t.Fatalf("job %s: %s (%s)", id, job.Status, job.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", id, job.Status)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), `infer_batch_flushes_total{model="conv1d.surrogate"`) {
+		t.Fatal("batcher flush telemetry missing from /metrics — queries did not flow through the coalescing path")
+	}
+
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,415 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/obs"
+	"mindmappings/internal/surrogate"
+)
+
+var (
+	surOnce sync.Once
+	testSur *surrogate.Surrogate
+	surErr  error
+)
+
+func tinySurrogate(t testing.TB) *surrogate.Surrogate {
+	t.Helper()
+	surOnce.Do(func() {
+		cfg := surrogate.TinyConfig()
+		cfg.HiddenSizes = []int{24, 24}
+		cfg.Samples = 800
+		cfg.Problems = 4
+		cfg.Train.Epochs = 6
+		ds, err := surrogate.Generate(loopnest.MustAlgorithm("conv1d"), arch.Default(2), cfg)
+		if err != nil {
+			surErr = err
+			return
+		}
+		testSur, _, surErr = surrogate.Train(ds, cfg)
+	})
+	if surErr != nil {
+		t.Fatal(surErr)
+	}
+	return testSur
+}
+
+func randVecs(rng *rand.Rand, n, dim int) [][]float64 {
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+func testMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		QueueDepth: reg.Gauge("infer_queue_rows", "rows queued"),
+		BatchSize:  reg.Histogram("infer_batch_rows", "rows per flush", obs.ExpBuckets(1, 2, 8)),
+		WindowWait: reg.Histogram("infer_wait_seconds", "queue wait", obs.ExpBuckets(1e-6, 4, 10)),
+		Flushes: map[FlushReason]*obs.Counter{
+			FlushFull:      reg.Counter("infer_flush_full", ""),
+			FlushAntiStall: reg.Counter("infer_flush_antistall", ""),
+			FlushWindow:    reg.Counter("infer_flush_window", ""),
+		},
+		Dropped: reg.Counter("infer_dropped", ""),
+	}
+}
+
+// TestLoneClientNeverWaitsWindow is the anti-stall guard: with a single
+// registered client, every query must flush immediately — a deliberately
+// huge window would otherwise hang the test.
+func TestLoneClientNeverWaitsWindow(t *testing.T) {
+	sur := tinySurrogate(t)
+	b := New(sur, Config{Window: time.Hour, MaxBatch: 64}, nil)
+	c := b.Register(context.Background(), 1)
+	defer c.Close()
+	rng := rand.New(rand.NewSource(1))
+	vecs := randVecs(rng, 3, sur.Net.InDim())
+
+	start := time.Now()
+	got, err := c.PredictBatch(vecs, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("lone client waited %v — anti-stall guard broken", elapsed)
+	}
+	want, err := sur.PredictBatch(vecs, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: batched %v != direct %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchedResultsBitIdentical: concurrent clients coalescing through
+// one batcher must each receive exactly what a direct surrogate call
+// returns — batch composition must not leak into results.
+func TestBatchedResultsBitIdentical(t *testing.T) {
+	sur := tinySurrogate(t)
+	reg := obs.NewRegistry()
+	m := testMetrics(reg)
+	b := New(sur, Config{Window: 2 * time.Millisecond, MaxBatch: 16}, m)
+	const clients = 4
+	const rounds = 20
+	in := sur.Net.InDim()
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c := b.Register(context.Background(), 1)
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(100 + ci)))
+			for r := 0; r < rounds; r++ {
+				vecs := randVecs(rng, 1+rng.Intn(3), in)
+				if r%2 == 0 {
+					got, err := c.PredictBatch(vecs, 1, 1, nil)
+					if err != nil {
+						errs[ci] = err
+						return
+					}
+					want, _ := sur.PredictBatch(vecs, 1, 1, nil)
+					for i := range want {
+						if got[i] != want[i] {
+							errs[ci] = errors.New("predict value mismatch vs direct call")
+							return
+						}
+					}
+				} else {
+					vals, grads, err := c.GradientBatch(vecs, 1, 1, nil, nil)
+					if err != nil {
+						errs[ci] = err
+						return
+					}
+					wantV, wantG, _ := sur.GradientBatch(vecs, 1, 1, nil, nil)
+					for i := range wantV {
+						if vals[i] != wantV[i] {
+							errs[ci] = errors.New("gradient value mismatch vs direct call")
+							return
+						}
+						for j := range wantG[i] {
+							if grads[i][j] != wantG[i][j] {
+								errs[ci] = errors.New("gradient row mismatch vs direct call")
+								return
+							}
+						}
+					}
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	for ci, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", ci, err)
+		}
+	}
+	var flushes int64
+	for _, c := range m.Flushes {
+		flushes += c.Value()
+	}
+	if flushes == 0 {
+		t.Fatal("no flushes recorded — metrics wiring broken")
+	}
+	if m.BatchSize.Count() != flushes {
+		// Each flush group observes one batch size (groups per flush >= 1
+		// is allowed; count must be at least the flush count).
+		if m.BatchSize.Count() < flushes {
+			t.Fatalf("batch-size observations %d < flushes %d", m.BatchSize.Count(), flushes)
+		}
+	}
+	if m.QueueDepth.Value() != 0 {
+		t.Fatalf("queue depth %v after drain, want 0", m.QueueDepth.Value())
+	}
+}
+
+// TestFullFlushTrigger: a request of MaxBatch rows must flush immediately
+// even with other clients idle (reason "full", not "window").
+func TestFullFlushTrigger(t *testing.T) {
+	sur := tinySurrogate(t)
+	reg := obs.NewRegistry()
+	m := testMetrics(reg)
+	b := New(sur, Config{Window: time.Hour, MaxBatch: 8}, m)
+	// A second registered (but idle) client keeps the anti-stall trigger
+	// from firing, isolating the full-batch trigger.
+	idle := b.Register(context.Background(), 1)
+	defer idle.Close()
+	c := b.Register(context.Background(), 1)
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	vecs := randVecs(rng, 8, sur.Net.InDim())
+	start := time.Now()
+	if _, err := c.PredictBatch(vecs, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("full batch waited %v for the window", elapsed)
+	}
+	if n := m.Flushes[FlushFull].Value(); n != 1 {
+		t.Fatalf("full-flush count = %d, want 1", n)
+	}
+}
+
+// TestWindowFlushTrigger: with another client runnable (not blocked), a
+// sub-batch request waits for the window timer, then flushes.
+func TestWindowFlushTrigger(t *testing.T) {
+	sur := tinySurrogate(t)
+	reg := obs.NewRegistry()
+	m := testMetrics(reg)
+	window := 30 * time.Millisecond
+	b := New(sur, Config{Window: window, MaxBatch: 64}, m)
+	idle := b.Register(context.Background(), 1)
+	defer idle.Close()
+	c := b.Register(context.Background(), 1)
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(4))
+	vecs := randVecs(rng, 2, sur.Net.InDim())
+	start := time.Now()
+	if _, err := c.PredictBatch(vecs, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < window/2 {
+		t.Fatalf("request returned after %v, expected to wait ~%v for the window", elapsed, window)
+	}
+	if n := m.Flushes[FlushWindow].Value(); n != 1 {
+		t.Fatalf("window-flush count = %d, want 1", n)
+	}
+	if m.WindowWait.Count() == 0 {
+		t.Fatal("no window-wait observations")
+	}
+}
+
+// TestCancelledRequestDropped: a queued request whose context ends must
+// be dropped without executing, and later work through the same batcher
+// must be unaffected.
+func TestCancelledRequestDropped(t *testing.T) {
+	sur := tinySurrogate(t)
+	reg := obs.NewRegistry()
+	m := testMetrics(reg)
+	b := New(sur, Config{Window: time.Hour, MaxBatch: 64}, m)
+	idle := b.Register(context.Background(), 1)
+	defer idle.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	doomed := b.Register(ctx, 1)
+	defer doomed.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	vecs := randVecs(rng, 2, sur.Net.InDim())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := doomed.PredictBatch(vecs, 1, 1, nil)
+		errc <- err
+	}()
+	// Let the request queue (it can't flush: idle client keeps anti-stall
+	// off and the window is an hour), then cancel.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled request returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled request never returned")
+	}
+	if n := m.Dropped.Value(); n != 1 {
+		t.Fatalf("dropped count = %d, want 1", n)
+	}
+	if m.QueueDepth.Value() != 0 {
+		t.Fatalf("queue depth %v after drop, want 0", m.QueueDepth.Value())
+	}
+
+	// A dead client's later submissions fail fast without queueing.
+	if _, err := doomed.PredictBatch(vecs, 1, 1, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead client error = %v, want context.Canceled", err)
+	}
+
+	// The batch was not poisoned: a healthy client gets exact results.
+	// Close the other clients first so the lone healthy client flushes
+	// via anti-stall instead of waiting out the hour-long window.
+	idle.Close()
+	doomed.Close()
+	healthy := b.Register(context.Background(), 1)
+	defer healthy.Close()
+	got, err := healthy.PredictBatch(vecs, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sur.PredictBatch(vecs, 1, 1, nil)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-cancel value %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDisabledBatcherPassesThrough: Window <= 0 must behave exactly like
+// direct surrogate calls.
+func TestDisabledBatcherPassesThrough(t *testing.T) {
+	sur := tinySurrogate(t)
+	b := New(sur, Config{Window: 0}, nil)
+	c := b.Register(context.Background(), 1)
+	defer c.Close()
+	rng := rand.New(rand.NewSource(6))
+	vecs := randVecs(rng, 4, sur.Net.InDim())
+	got, err := c.PredictBatch(vecs, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sur.PredictBatch(vecs, 1, 1, nil)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestErrorPropagation: a bad request (ragged input) must fail its own
+// caller without hanging or corrupting others in the same class.
+func TestErrorPropagation(t *testing.T) {
+	sur := tinySurrogate(t)
+	b := New(sur, Config{Window: time.Millisecond, MaxBatch: 64}, nil)
+	c := b.Register(context.Background(), 1)
+	defer c.Close()
+	_, err := c.PredictBatch([][]float64{{1, 2, 3}}, 1, 1, nil)
+	if err == nil {
+		t.Fatal("ragged input returned nil error")
+	}
+	// Batcher still healthy afterwards.
+	rng := rand.New(rand.NewSource(7))
+	vecs := randVecs(rng, 2, sur.Net.InDim())
+	if _, err := c.PredictBatch(vecs, 1, 1, nil); err != nil {
+		t.Fatalf("healthy request after error: %v", err)
+	}
+}
+
+// TestFairnessRoundRobin white-boxes the flush cut: when a class exceeds
+// MaxBatch, every queued client must land at least one request in the
+// flush before any client lands a second (scaled by weight).
+func TestFairnessRoundRobin(t *testing.T) {
+	sur := tinySurrogate(t)
+	b := New(sur, Config{Window: time.Hour, MaxBatch: 4}, nil)
+	wide := b.Register(context.Background(), 1)
+	narrow := b.Register(context.Background(), 1)
+	defer wide.Close()
+	defer narrow.Close()
+
+	key := classKey{eExp: 1, dExp: 1}
+	mk := func(c *Client, rows int) *request {
+		r := &request{client: c, vecs: make([][]float64, rows), done: make(chan struct{}), enqueued: time.Now()}
+		return r
+	}
+	b.mu.Lock()
+	// Wide client floods first; narrow client's single request arrives last.
+	w1, w2, w3 := mk(wide, 2), mk(wide, 2), mk(wide, 2)
+	n1 := mk(narrow, 1)
+	b.enqueueLocked(w1, key)
+	b.enqueueLocked(w2, key)
+	b.enqueueLocked(w3, key)
+	b.enqueueLocked(n1, key)
+	g := b.collectClassLocked(key, 4)
+	b.mu.Unlock()
+
+	found := false
+	for _, r := range g.reqs {
+		if r == n1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("narrow client's request missing from the first flush (%d reqs, %d rows) — starvation", len(g.reqs), g.rows)
+	}
+	if g.rows > 4 {
+		t.Fatalf("flush rows %d exceed budget 4", g.rows)
+	}
+	// Leftover must stay queued for the next flush.
+	b.mu.Lock()
+	left := b.pendingRows
+	b.mu.Unlock()
+	if left != 7-g.rows {
+		t.Fatalf("pending rows %d, want %d", left, 7-g.rows)
+	}
+}
+
+// TestOversizeRequestStillFlushes: a single request larger than MaxBatch
+// must execute (the surrogate chunks internally) rather than wedge.
+func TestOversizeRequestStillFlushes(t *testing.T) {
+	sur := tinySurrogate(t)
+	b := New(sur, Config{Window: time.Hour, MaxBatch: 4}, nil)
+	c := b.Register(context.Background(), 1)
+	defer c.Close()
+	rng := rand.New(rand.NewSource(8))
+	vecs := randVecs(rng, 11, sur.Net.InDim())
+	got, err := c.PredictBatch(vecs, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sur.PredictBatch(vecs, 1, 1, nil)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package infer
+
+import (
+	"time"
+
+	"mindmappings/internal/obs"
+)
+
+// Metrics carries the batcher's telemetry instruments. Any field may be
+// nil (and the whole struct may be nil) — the batcher then skips that
+// observation. The service layer populates these from its obs.Registry
+// with a "model" label per batcher; see service.JobManager.
+type Metrics struct {
+	// QueueDepth tracks rows currently queued across all classes.
+	QueueDepth *obs.Gauge
+	// BatchSize observes rows per executed flush group.
+	BatchSize *obs.Histogram
+	// WindowWait observes the queue wait per request, enqueue→collection,
+	// in seconds.
+	WindowWait *obs.Histogram
+	// Flushes counts executed flushes by trigger reason.
+	Flushes map[FlushReason]*obs.Counter
+	// Dropped counts requests removed by context cancellation before any
+	// flush collected them.
+	Dropped *obs.Counter
+}
+
+func (m *Metrics) setQueueDepth(v float64) {
+	if m != nil && m.QueueDepth != nil {
+		m.QueueDepth.Set(v)
+	}
+}
+
+func (m *Metrics) batchSize(rows float64) {
+	if m != nil && m.BatchSize != nil {
+		m.BatchSize.Observe(rows)
+	}
+}
+
+func (m *Metrics) windowWait(d time.Duration) {
+	if m != nil && m.WindowWait != nil {
+		m.WindowWait.ObserveDuration(d)
+	}
+}
+
+func (m *Metrics) flush(reason FlushReason) {
+	if m != nil && m.Flushes != nil {
+		if c := m.Flushes[reason]; c != nil {
+			c.Inc()
+		}
+	}
+}
+
+func (m *Metrics) dropped() {
+	if m != nil && m.Dropped != nil {
+		m.Dropped.Inc()
+	}
+}

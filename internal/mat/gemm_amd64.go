@@ -1,0 +1,56 @@
+//go:build simd && amd64
+
+package mat
+
+// SIMDEnabled reports whether the AVX2 assembly GEMM path is compiled in.
+// This build (simd tag on amd64) vectorizes MulNT's dot products and
+// MulNN's axpy sweeps with AVX2+FMA; vector accumulators change the
+// floating-point summation order, so batch==scalar holds to tolerance
+// rather than bitwise. The binary requires an AVX2+FMA-capable CPU
+// (guaranteed when built with GOAMD64=v3).
+const SIMDEnabled = true
+
+// dotAVX2 returns the dot product of a[:n] and b[:n] using four-wide FMA
+// accumulators plus a scalar tail. Implemented in gemm_amd64.s.
+//
+//go:noescape
+func dotAVX2(a, b *float64, n int) float64
+
+// axpyAVX2 computes dst[i] += alpha*src[i] for i in [0, n) using
+// four-wide FMA. Implemented in gemm_amd64.s.
+//
+//go:noescape
+func axpyAVX2(dst, src *float64, n int, alpha float64)
+
+func mulNT(dst, a, b *Dense) {
+	k := a.Cols
+	n := b.Rows
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		di := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			di[j] = dotAVX2(&ai[0], &bj[0], k)
+		}
+	}
+}
+
+func mulNN(dst, a, b *Dense) {
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	n := dst.Cols
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+		di := dst.Data[i*n : (i+1)*n]
+		for r := 0; r < b.Rows; r++ {
+			yr := ai[r]
+			if yr == 0 {
+				// Preserve MatTVec's zero-skip semantics (adding 0*w is
+				// not a no-op for signed zeros and non-finite weights).
+				continue
+			}
+			axpyAVX2(&di[0], &b.Data[r*n], n, yr)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+//go:build simd && amd64
+
+#include "textflag.h"
+
+// func dotAVX2(a, b *float64, n int) float64
+//
+// Two 4-wide FMA accumulators (8 elements per iteration), combined with a
+// horizontal sum, then a scalar FMA tail. The accumulation order differs
+// from the ascending-order scalar kernel, so callers get tolerance-level
+// (not bitwise) agreement with MatVec.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPD Y0, Y0, Y0 // acc lanes 0
+	VXORPD Y1, Y1, Y1 // acc lanes 1
+	MOVQ CX, DX
+	SHRQ $3, DX       // DX = n/8 unrolled iterations
+	JZ   dot_reduce
+
+dot_loop8:
+	VMOVUPD (SI), Y2
+	VMOVUPD 32(SI), Y3
+	VMOVUPD (DI), Y4
+	VMOVUPD 32(DI), Y5
+	VFMADD231PD Y4, Y2, Y0
+	VFMADD231PD Y5, Y3, Y1
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ DX
+	JNZ  dot_loop8
+
+dot_reduce:
+	VADDPD Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0 // X0[0] = horizontal sum of vector lanes
+	ANDQ $7, CX        // CX = scalar tail length
+	JZ   dot_done
+
+dot_tail:
+	VMOVSD (SI), X2
+	VMOVSD (DI), X3
+	VFMADD231SD X3, X2, X0
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  dot_tail
+
+dot_done:
+	VMOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func axpyAVX2(dst, src *float64, n int, alpha float64)
+//
+// dst += alpha*src, 8 elements per iteration with two 4-wide FMAs, scalar
+// tail. Each dst element receives exactly one FMA, so unlike dotAVX2 this
+// kernel is element-wise exact versus the scalar axpy — the simd-tag
+// tolerance caveat for MulNN comes only from FMA fusing the multiply-add
+// (no intermediate rounding of w*alpha).
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD alpha+24(FP), Y0
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   axpy_tail_setup
+
+axpy_loop8:
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y2
+	VMOVUPD (DI), Y3
+	VMOVUPD 32(DI), Y4
+	VFMADD231PD Y0, Y1, Y3
+	VFMADD231PD Y0, Y2, Y4
+	VMOVUPD Y3, (DI)
+	VMOVUPD Y4, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ DX
+	JNZ  axpy_loop8
+
+axpy_tail_setup:
+	ANDQ $7, CX
+	JZ   axpy_done
+
+axpy_tail:
+	VMOVSD (SI), X1
+	VMOVSD (DI), X2
+	VFMADD231SD X0, X1, X2
+	VMOVSD X2, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  axpy_tail
+
+axpy_done:
+	VZEROUPPER
+	RET

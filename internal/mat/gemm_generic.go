@@ -1,0 +1,13 @@
+//go:build !simd || !amd64
+
+package mat
+
+// SIMDEnabled reports whether the AVX2 assembly GEMM path is compiled in
+// (the simd build tag on amd64). When false — the default build — MulNT
+// and MulNN are bit-identical to per-row MatVec/MatTVec; when true they
+// agree only to floating-point tolerance because vector accumulators sum
+// in a different order. Determinism-sensitive tests key off this constant.
+const SIMDEnabled = false
+
+func mulNT(dst, a, b *Dense) { mulNTGeneric(dst, a, b) }
+func mulNN(dst, a, b *Dense) { mulNNGeneric(dst, a, b) }

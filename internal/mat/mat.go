@@ -71,13 +71,34 @@ func (m *Dense) AddScaled(s float64, other *Dense) {
 
 // MatVec computes dst = m * x. dst must have length m.Rows and x length
 // m.Cols. dst and x must not alias.
+//
+// Output rows are computed four at a time so four independent accumulator
+// chains hide FP-add latency (PR 8); each output still sums its row in
+// ascending column order, so results are bit-identical to the plain
+// one-row-at-a-time loop on every build.
 func MatVec(dst []float64, m *Dense, x []float64) {
 	if len(dst) != m.Rows || len(x) != m.Cols {
 		panic(fmt.Sprintf("mat: MatVec shapes dst=%d m=%dx%d x=%d",
 			len(dst), m.Rows, m.Cols, len(x)))
 	}
-	for r := 0; r < m.Rows; r++ {
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+	k := m.Cols
+	r := 0
+	for ; r+4 <= m.Rows; r += 4 {
+		m0 := m.Data[(r+0)*k : (r+1)*k]
+		m1 := m.Data[(r+1)*k : (r+2)*k]
+		m2 := m.Data[(r+2)*k : (r+3)*k]
+		m3 := m.Data[(r+3)*k : (r+4)*k]
+		var s0, s1, s2, s3 float64
+		for c, v := range x {
+			s0 += m0[c] * v
+			s1 += m1[c] * v
+			s2 += m2[c] * v
+			s3 += m3[c] * v
+		}
+		dst[r], dst[r+1], dst[r+2], dst[r+3] = s0, s1, s2, s3
+	}
+	for ; r < m.Rows; r++ {
+		row := m.Data[r*k : (r+1)*k]
 		sum := 0.0
 		for c, w := range row {
 			sum += w * x[c]
@@ -114,51 +135,18 @@ func MatTVec(dst []float64, m *Dense, y []float64) {
 //
 // This is the batched analog of MatVec: with a holding a batch of input
 // rows and b a weight matrix, row i of dst equals MatVec(b, a row i)
-// bit-for-bit — each dot product accumulates over columns in ascending
-// order, exactly like MatVec. Rows of a are processed four at a time so
-// every row of b is streamed through the cache once per block instead of
-// once per sample and the four independent accumulators fill the FMA
-// pipeline — that is where the batch throughput win comes from.
+// bit-for-bit on the default build — each dot product accumulates over
+// columns in ascending order, exactly like MatVec (see gemm.go for the
+// register-blocked kernel). Under the simd build tag the kernel uses
+// AVX2 vector accumulators whose summation order differs; results then
+// agree with MatVec only to floating-point tolerance (SIMDEnabled
+// reports which contract is active).
 func MulNT(dst, a, b *Dense) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows || a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MulNT shapes dst=%dx%d a=%dx%d b=%dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	k := a.Cols
-	i := 0
-	for ; i+4 <= a.Rows; i += 4 {
-		a0 := a.Data[(i+0)*k : (i+1)*k]
-		a1 := a.Data[(i+1)*k : (i+2)*k]
-		a2 := a.Data[(i+2)*k : (i+3)*k]
-		a3 := a.Data[(i+3)*k : (i+4)*k]
-		d0 := dst.Data[(i+0)*dst.Cols : (i+1)*dst.Cols]
-		d1 := dst.Data[(i+1)*dst.Cols : (i+2)*dst.Cols]
-		d2 := dst.Data[(i+2)*dst.Cols : (i+3)*dst.Cols]
-		d3 := dst.Data[(i+3)*dst.Cols : (i+4)*dst.Cols]
-		for j := 0; j < b.Rows; j++ {
-			bj := b.Data[j*k : (j+1)*k]
-			var s0, s1, s2, s3 float64
-			for c, w := range bj {
-				s0 += a0[c] * w
-				s1 += a1[c] * w
-				s2 += a2[c] * w
-				s3 += a3[c] * w
-			}
-			d0[j], d1[j], d2[j], d3[j] = s0, s1, s2, s3
-		}
-	}
-	for ; i < a.Rows; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := 0; j < b.Rows; j++ {
-			bj := b.Data[j*k : (j+1)*k]
-			sum := 0.0
-			for c, w := range bj {
-				sum += ai[c] * w
-			}
-			di[j] = sum
-		}
-	}
+	mulNT(dst, a, b)
 }
 
 // MulNN computes dst = a * b. dst must be a.Rows x b.Cols and a.Cols must
@@ -166,71 +154,19 @@ func MulNT(dst, a, b *Dense) {
 //
 // This is the batched analog of MatTVec: with a holding a batch of
 // backpropagated error rows and b a weight matrix, row i of dst equals
-// MatTVec(b, a row i) bit-for-bit — each output row is zeroed and then
-// accumulated over b's rows in ascending order with the same zero-skip,
-// so batched backprop matches the scalar path exactly. Rows of a are
-// processed four at a time so each row of b is loaded once per block.
+// MatTVec(b, a row i) bit-for-bit on the default build — each output row
+// is zeroed and then accumulated over b's rows in ascending order with
+// the same zero-skip, so batched backprop matches the scalar path
+// exactly (see gemm.go). Under the simd build tag the per-row axpy is
+// vectorized; the zero-skip is preserved but within-row addition order
+// differs, so results agree with MatTVec only to floating-point
+// tolerance.
 func MulNN(dst, a, b *Dense) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols || a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MulNN shapes dst=%dx%d a=%dx%d b=%dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	for i := range dst.Data {
-		dst.Data[i] = 0
-	}
-	n := dst.Cols
-	i := 0
-	for ; i+4 <= a.Rows; i += 4 {
-		a0 := a.Data[(i+0)*a.Cols : (i+1)*a.Cols]
-		a1 := a.Data[(i+1)*a.Cols : (i+2)*a.Cols]
-		a2 := a.Data[(i+2)*a.Cols : (i+3)*a.Cols]
-		a3 := a.Data[(i+3)*a.Cols : (i+4)*a.Cols]
-		d0 := dst.Data[(i+0)*n : (i+1)*n]
-		d1 := dst.Data[(i+1)*n : (i+2)*n]
-		d2 := dst.Data[(i+2)*n : (i+3)*n]
-		d3 := dst.Data[(i+3)*n : (i+4)*n]
-		for r := 0; r < b.Rows; r++ {
-			y0, y1, y2, y3 := a0[r], a1[r], a2[r], a3[r]
-			if y0 == 0 && y1 == 0 && y2 == 0 && y3 == 0 {
-				continue
-			}
-			br := b.Data[r*n : (r+1)*n]
-			if y0 != 0 {
-				for c, w := range br {
-					d0[c] += w * y0
-				}
-			}
-			if y1 != 0 {
-				for c, w := range br {
-					d1[c] += w * y1
-				}
-			}
-			if y2 != 0 {
-				for c, w := range br {
-					d2[c] += w * y2
-				}
-			}
-			if y3 != 0 {
-				for c, w := range br {
-					d3[c] += w * y3
-				}
-			}
-		}
-	}
-	for ; i < a.Rows; i++ {
-		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
-		di := dst.Data[i*n : (i+1)*n]
-		for r := 0; r < b.Rows; r++ {
-			yr := ai[r]
-			if yr == 0 {
-				continue
-			}
-			br := b.Data[r*n : (r+1)*n]
-			for c, w := range br {
-				di[c] += w * yr
-			}
-		}
-	}
+	mulNN(dst, a, b)
 }
 
 // AddToRows adds v to every row of m (broadcast bias add). v must have

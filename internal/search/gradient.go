@@ -62,6 +62,14 @@ type MindMappings struct {
 	// iterations of Chains× more exploration, at a much lower per-query
 	// cost. 0 or 1 reproduces the paper's single-chain search exactly.
 	Chains int
+	// Queries, when non-nil, routes the batched surrogate queries (the
+	// per-iteration GradientBatch and the injection PredictBatch) through
+	// an alternative querier — in the service, an infer.Client that
+	// coalesces this job's rows with other jobs sharing the surrogate.
+	// Results are identical either way; only query latency and aggregate
+	// throughput change. Nil queries the Surrogate directly. The scalar
+	// ablation path (Context.Scalar) always queries the Surrogate.
+	Queries SurrogateQuerier
 }
 
 // Name implements Searcher.
@@ -120,6 +128,10 @@ func (m MindMappings) Search(ctx *Context, budget Budget) (Result, error) {
 	sur := cfg.Surrogate
 	if sur.Net.InDim() != ctx.Space.VectorLen() {
 		return Result{}, errors.New("search: surrogate input width does not match this map space (was it trained for a different algorithm?)")
+	}
+	queries := SurrogateQuerier(sur)
+	if cfg.Queries != nil {
+		queries = cfg.Queries
 	}
 
 	// The RNG is built over a counted source so every draw is position-
@@ -204,7 +216,7 @@ func (m MindMappings) Search(ctx *Context, budget Budget) (Result, error) {
 					return Result{}, err
 				}
 			}
-		} else if vals, grads, err = sur.GradientBatch(vecs, eExp, dExp, vals, grads); err != nil {
+		} else if vals, grads, err = queries.GradientBatch(vecs, eExp, dExp, vals, grads); err != nil {
 			return Result{}, err
 		}
 
@@ -273,7 +285,7 @@ func (m MindMappings) Search(ctx *Context, budget Budget) (Result, error) {
 					injEnc[2*i] = ctx.Space.EncodeInto(injEnc[2*i], &injCands[i])
 					injEnc[2*i+1] = ctx.Space.EncodeInto(injEnc[2*i+1], &curs[i])
 				}
-				if preds, err = sur.PredictBatch(injEnc, eExp, dExp, preds); err != nil {
+				if preds, err = queries.PredictBatch(injEnc, eExp, dExp, preds); err != nil {
 					return Result{}, err
 				}
 			}

@@ -14,6 +14,7 @@ import (
 
 	"mindmappings/internal/arch"
 	"mindmappings/internal/costmodel"
+	"mindmappings/internal/infer"
 	"mindmappings/internal/loopnest"
 	"mindmappings/internal/mapspace"
 	"mindmappings/internal/modelstore"
@@ -21,6 +22,7 @@ import (
 	"mindmappings/internal/oracle"
 	"mindmappings/internal/resilience"
 	"mindmappings/internal/search"
+	"mindmappings/internal/surrogate"
 	"mindmappings/internal/trainer"
 	"mindmappings/internal/workload"
 
@@ -261,6 +263,24 @@ type JobManager struct {
 	// instr holds the obs metrics set by Instrument, read through
 	// instruments() so workers racing an Instrument call stay safe.
 	instr *jobInstruments
+
+	// Cross-request inference batching: one infer.Batcher per registry
+	// surrogate coalesces Predict/Gradient batches from every concurrent
+	// job that shares the model (internal/infer). Guarded by batchMu, not
+	// mu: batcherFor runs on the job hot path and must not contend with
+	// queue operations. batchCfg is fixed per batcher at creation;
+	// SetBatching before serving traffic.
+	batchMu  sync.Mutex
+	batchCfg infer.Config
+	batchers map[string]*inferBatcherEntry
+}
+
+// inferBatcherEntry pins the surrogate pointer a batcher was built for, so
+// a registry reload/republish under the same name gets a fresh batcher
+// instead of silently routing to the evicted model.
+type inferBatcherEntry struct {
+	sur *surrogate.Surrogate
+	b   *infer.Batcher
 }
 
 // jobInstruments bundles the manager's obs metrics.
@@ -370,6 +390,8 @@ func NewJobManager(registry *ModelRegistry, cache *EvalCache, workers, queueCap 
 		workers:   workers,
 		retention: DefaultJobRetention,
 		counters:  make(map[string]*costmodel.Counter),
+		batchCfg:  infer.Config{Window: infer.DefaultWindow, MaxBatch: infer.DefaultMaxBatch},
+		batchers:  make(map[string]*inferBatcherEntry),
 	}
 	jm.cond = sync.NewCond(&jm.mu)
 	jm.wg.Add(workers)
@@ -393,6 +415,70 @@ func (jm *JobManager) training() (*modelstore.Store, *trainer.Pipeline) {
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
 	return jm.store, jm.trainPipe
+}
+
+// SetBatching configures the cross-request inference batcher that
+// coalesces surrogate queries from concurrent jobs sharing a model
+// (window <= 0 disables batching; zero MaxBatch means infer's default).
+// Batching is on by default with infer's defaults. Call at setup: the
+// config is captured per model when its first job arrives, so changes
+// only affect models not yet batched.
+func (jm *JobManager) SetBatching(cfg infer.Config) {
+	jm.batchMu.Lock()
+	jm.batchCfg = cfg
+	jm.batchers = make(map[string]*inferBatcherEntry)
+	jm.batchMu.Unlock()
+}
+
+// batcherFor returns the shared batcher for a registry surrogate,
+// creating it lazily. Entries are keyed by model name but pinned to the
+// surrogate pointer: if the registry reloaded the model (LRU eviction,
+// republish) the stale batcher is replaced so in-flight jobs on the old
+// surrogate keep their old batcher while new jobs get the new one.
+// Returns nil when batching is disabled.
+func (jm *JobManager) batcherFor(name string, sur *surrogate.Surrogate) *infer.Batcher {
+	jm.batchMu.Lock()
+	defer jm.batchMu.Unlock()
+	if jm.batchCfg.Window <= 0 {
+		return nil
+	}
+	if e := jm.batchers[name]; e != nil && e.sur == sur {
+		return e.b
+	}
+	b := infer.New(sur, jm.batchCfg, jm.batcherInstruments(name))
+	jm.batchers[name] = &inferBatcherEntry{sur: sur, b: b}
+	return b
+}
+
+// batcherInstruments builds the per-model infer metrics from the
+// manager's registry (nil when Instrument was never called). Registering
+// the same series twice returns the existing instruments, so a replaced
+// batcher keeps accumulating into the model's series.
+func (jm *JobManager) batcherInstruments(model string) *infer.Metrics {
+	in := jm.instruments()
+	if in == nil {
+		return nil
+	}
+	names, vals := []string{"model"}, []string{model}
+	m := &infer.Metrics{
+		QueueDepth: in.reg.GaugeWith("infer_batch_queue_rows",
+			"Rows currently queued in the cross-request inference batcher.", names, vals),
+		BatchSize: in.reg.HistogramWith("infer_batch_rows",
+			"Rows per coalesced surrogate batch handed to the GEMM kernels.",
+			obs.ExpBuckets(1, 2, 9), names, vals),
+		WindowWait: in.reg.HistogramWith("infer_batch_wait_seconds",
+			"Time requests wait in the batcher before their flush starts.",
+			obs.ExpBuckets(1e-6, 4, 10), names, vals),
+		Flushes: map[infer.FlushReason]*obs.Counter{},
+		Dropped: in.reg.CounterWith("infer_batch_dropped_total",
+			"Queued batcher requests dropped because their job was cancelled.", names, vals),
+	}
+	for _, r := range []infer.FlushReason{infer.FlushFull, infer.FlushAntiStall, infer.FlushWindow} {
+		m.Flushes[r] = in.reg.CounterWith("infer_batch_flushes_total",
+			"Batcher flushes by trigger (full batch, anti-stall, window expiry).",
+			[]string{"model", "reason"}, []string{model, string(r)})
+	}
+	return m
 }
 
 // EnableAdmission installs a per-tenant admission controller wired to the
@@ -1324,11 +1410,15 @@ func (jm *JobManager) execute(ctx context.Context, job *Job) (*search.Result, *m
 	// Model resolution covers registry loads and, for "auto" with
 	// train_on_miss, the wait on a shared training run.
 	resolveSpan := root.StartChild("resolve-model")
-	searcher, err := jm.searcher(ctx, req, algo)
+	searcher, closeQueries, err := jm.searcher(ctx, req, algo)
 	resolveSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	// Deregister this job's batcher client as soon as the search returns:
+	// the batcher's anti-stall rule flushes when every registered client is
+	// waiting, so a finished job must not linger in that count.
+	defer closeQueries()
 	parallelism := req.Parallelism
 	if parallelism > MaxParallelism {
 		parallelism = MaxParallelism
@@ -1403,40 +1493,59 @@ func (jm *JobManager) execute(ctx context.Context, job *Job) (*search.Result, *m
 // workload by name and (when stamped) by fingerprint. "auto" models
 // resolve through the store by workload fingerprint, training on a miss
 // when the request asks for it.
-func (jm *JobManager) searcher(ctx context.Context, req *SearchRequest, algo *loopnest.Algorithm) (search.Searcher, error) {
+//
+// For mm with batching enabled, the job's surrogate queries are routed
+// through the model's shared infer.Batcher via a per-job client weighted
+// by the request's parallelism (fairness unit: a P-way job may fill up to
+// P shares of a capped batch). The returned cleanup deregisters the
+// client when the job ends — it must be called exactly once, after
+// Search returns, so anti-stall accounting over the remaining jobs stays
+// exact. Cleanup is never nil.
+func (jm *JobManager) searcher(ctx context.Context, req *SearchRequest, algo *loopnest.Algorithm) (search.Searcher, func(), error) {
+	nop := func() {}
 	switch strings.ToLower(req.Searcher) {
 	case "", "mm":
 		name := req.Model
 		if name == "auto" {
 			id, err := jm.resolveAuto(ctx, req, algo)
 			if err != nil {
-				return nil, err
+				return nil, nop, err
 			}
 			name = id
 		}
 		sur, err := jm.registry.Get(name)
 		if err != nil {
-			return nil, err
+			return nil, nop, err
 		}
 		if sur.AlgoName != algo.Name {
-			return nil, fmt.Errorf("service: model %q was trained for %s, request targets %s",
+			return nil, nop, fmt.Errorf("service: model %q was trained for %s, request targets %s",
 				name, sur.AlgoName, algo.Name)
 		}
 		if sur.AlgoFP != "" && sur.AlgoFP != algo.Fingerprint() {
-			return nil, fmt.Errorf("service: model %q was trained for workload %s with fingerprint %.12s…, the requested definition has %.12s…",
+			return nil, nop, fmt.Errorf("service: model %q was trained for workload %s with fingerprint %.12s…, the requested definition has %.12s…",
 				name, sur.AlgoName, sur.AlgoFP, algo.Fingerprint())
 		}
-		return search.MindMappings{Surrogate: sur}, nil
+		mm := search.MindMappings{Surrogate: sur}
+		if b := jm.batcherFor(name, sur); b.Enabled() {
+			weight := req.Parallelism
+			if weight > MaxParallelism {
+				weight = MaxParallelism
+			}
+			client := b.Register(ctx, weight)
+			mm.Queries = client
+			return mm, client.Close, nil
+		}
+		return mm, nop, nil
 	case "sa":
-		return search.SimulatedAnnealing{}, nil
+		return search.SimulatedAnnealing{}, nop, nil
 	case "ga":
-		return search.GeneticAlgorithm{}, nil
+		return search.GeneticAlgorithm{}, nop, nil
 	case "rl":
-		return search.RL{Hidden: 64}, nil
+		return search.RL{Hidden: 64}, nop, nil
 	case "random":
-		return search.RandomSearch{}, nil
+		return search.RandomSearch{}, nop, nil
 	}
-	return nil, fmt.Errorf("service: unknown searcher %q", req.Searcher)
+	return nil, nop, fmt.Errorf("service: unknown searcher %q", req.Searcher)
 }
 
 // resolveAuto maps "model":"auto" to a store artifact ID: the best stored

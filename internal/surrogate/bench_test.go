@@ -78,7 +78,7 @@ func BenchmarkGradientScalar(b *testing.B) {
 }
 
 func BenchmarkGradientBatch(b *testing.B) {
-	for _, batch := range []int{16, 64} {
+	for _, batch := range []int{1, 2, 4, 8, 16, 64} {
 		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
 			sur := newSyntheticSurrogate(b, benchInDim, benchHidden(), benchTensors)
 			vecs := benchVectors(batch)
