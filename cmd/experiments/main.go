@@ -16,6 +16,7 @@
 //	experiments -fig generality  edge-accelerator generality check (extension)
 //	experiments -fig costmodels  cost-model backend head-to-head (extension)
 //	experiments -fig workloads   GA vs MM across every registered workload (extension)
+//	experiments -fig atlas    atlas nearest-neighbor warm-start study (extension)
 //	experiments -fig summary  Figures 5+6 headline ratios
 //	experiments -fig all      everything above
 //
@@ -56,7 +57,7 @@ func main() {
 func parseFlags(args []string, log io.Writer) (experiments.Options, string, error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(log)
-	fig := fs.String("fig", "all", "which experiment to run (t1, 3, space, 5, 6, 7a, 7b, 7c, ablate, step, components, tail, generality, costmodels, workloads, summary, all)")
+	fig := fs.String("fig", "all", "which experiment to run (t1, 3, space, 5, 6, 7a, 7b, 7c, ablate, step, components, tail, generality, costmodels, workloads, atlas, summary, all)")
 	fast := fs.Bool("fast", false, "reduced problem set and budgets")
 	repeats := fs.Int("repeats", 0, "override runs averaged per method/problem (paper: 100)")
 	evals := fs.Int("evals", 0, "override iso-iteration budget (paper: ~1000)")
@@ -138,6 +139,8 @@ func run(h *experiments.Harness, fig string, w io.Writer) error {
 			_, err = h.CostModelHeadToHead(w)
 		case "workloads":
 			_, err = h.WorkloadSweep(w)
+		case "atlas":
+			_, err = h.AtlasSweep(w)
 		case "summary":
 			var iso, it *experiments.Comparison
 			if iso, err = h.RunIsoIteration(); err != nil {
@@ -166,7 +169,7 @@ func run(h *experiments.Harness, fig string, w io.Writer) error {
 	if fig != "all" {
 		return runOne(fig)
 	}
-	for _, name := range []string{"t1", "3", "space", "7a", "7b", "7c", "ablate", "step", "components", "tail", "generality", "costmodels", "workloads", "5", "6", "summary"} {
+	for _, name := range []string{"t1", "3", "space", "7a", "7b", "7c", "ablate", "step", "components", "tail", "generality", "costmodels", "workloads", "atlas", "5", "6", "summary"} {
 		if err := runOne(name); err != nil {
 			return err
 		}

@@ -60,6 +60,8 @@ func main() {
 		err = cmdAlgos(os.Args[2:])
 	case "models":
 		err = cmdModels(os.Args[2:])
+	case "atlas":
+		err = cmdAtlas(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
@@ -85,6 +87,7 @@ commands:
   surface   dump the Figure-3 style cost surface for a CNN problem
   algos     list the registered workloads (dims, tensors, example shapes)
   models    list, gc, or delete artifacts in a versioned model store
+  atlas     build, list, gc, or delete entries in a precomputed mapping atlas
   serve     run the concurrent mapping-search + training HTTP service
 
 workloads are selected with -algo <name> (registered: %s) or defined

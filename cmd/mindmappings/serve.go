@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"mindmappings/internal/atlas"
 	"mindmappings/internal/infer"
 	"mindmappings/internal/modelstore"
 	"mindmappings/internal/resilience"
@@ -42,12 +43,16 @@ func cmdServe(args []string) error {
 	queueCap := fs.Int("queue", 64, "pending-job queue capacity")
 	trainWorkers := fs.Int("trainworkers", 2, "training pipeline worker count (separate pool from search workers)")
 	trainQueue := fs.Int("trainqueue", 16, "pending-training-job queue capacity")
-	cacheCap := fs.Int("cache", service.DefaultEvalCacheCapacity, "eval-cache capacity in entries")
+	cacheCap := fs.Int("cache", 0, "deprecated alias for -evalcache-cap")
+	evalCacheCap := fs.Int("evalcache-cap", 0,
+		fmt.Sprintf("shared eval-cache capacity in entries (default %d); occupancy is reported as eval_cache_utilization", service.DefaultEvalCacheCapacity))
 	regCap := fs.Int("maxmodels", service.DefaultRegistryCapacity, "max surrogates resident in memory (LRU beyond this)")
 	shutdownGrace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	quiet := fs.Bool("quiet", false, "disable per-request structured log lines")
 	journalDir := fs.String("journal", "", `crash-safe job journal directory (default <models>/jobs; "none" disables); queued and running search jobs are recovered and resumed from it on the next start`)
+	atlasDir := fs.String("atlas", "", `precomputed mapping atlas directory (default <models>/atlas; "none" disables); repeat requests are answered from it without running a search, near-miss mm searches warm-start from the nearest solved shape, and completed jobs write their solutions back`)
+	atlasRO := fs.Bool("atlas-readonly", false, "serve atlas hits and neighbor warm starts but never write solved mappings back")
 	checkpointEvals := fs.Int("checkpoint-evals", 0, "evaluations between searcher checkpoints (0: library default)")
 	maxJobTime := fs.Duration("maxjobtime", 0, "server-side anytime deadline applied to every search job; at expiry jobs complete with their best-so-far mapping marked degraded (0: no ceiling)")
 	batchWindow := fs.Duration("batch-window", infer.DefaultWindow, "latency window for cross-request surrogate inference batching; concurrent jobs sharing a model have their queries coalesced into larger GEMM batches within this window (0: disable batching)")
@@ -69,6 +74,12 @@ func cmdServe(args []string) error {
 	if *journalDir == "" {
 		*journalDir = filepath.Join(*modelDir, "jobs")
 	}
+	if *atlasDir == "" {
+		*atlasDir = filepath.Join(*modelDir, "atlas")
+	}
+	if *evalCacheCap <= 0 {
+		*evalCacheCap = *cacheCap // honor the deprecated alias
+	}
 	faults, err := resilience.ParseFaults(*faultsSpec)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -79,11 +90,21 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 	registry := service.NewModelRegistry(*modelDir, *regCap)
-	cache := service.NewEvalCache(*cacheCap)
+	cache := service.NewEvalCache(*evalCacheCap)
 	jobs := service.NewJobManager(registry, cache, *workers, *queueCap)
 	jobs.SetMaxJobTime(*maxJobTime)
 	jobs.SetCheckpointInterval(*checkpointEvals)
 	jobs.SetBatching(infer.Config{Window: *batchWindow, MaxBatch: *batchMax})
+	if *atlasDir != "none" {
+		mappings, err := atlas.Open(*atlasDir)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		jobs.EnableAtlas(mappings, *atlasRO)
+		if faults != nil {
+			mappings.SetFailpoint(faults.Fail)
+		}
+	}
 	if faults != nil {
 		fmt.Fprintf(os.Stderr, "mindmappings serve: fault injection armed (%s)\n", *faultsSpec)
 		jobs.SetFaults(faults)

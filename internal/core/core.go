@@ -138,6 +138,10 @@ type ProblemContext struct {
 	// contract: called from the searcher's goroutine at every recorded
 	// trajectory sample, must be fast, must not block, observation only.
 	Progress func(search.Progress)
+	// SeedMapping, when non-nil, warm-starts Mind Mappings searches run
+	// through this context from a known-good mapping (the atlas
+	// nearest-neighbor path); see search.Context.SeedMapping.
+	SeedMapping *mapspace.Mapping
 }
 
 // NewProblemContext builds the per-problem machinery for any problem of
@@ -201,6 +205,7 @@ func (pc *ProblemContext) searchContext(seed int64) *search.Context {
 		Parallelism:  pc.Parallelism,
 		QueryLatency: pc.QueryLatency,
 		Progress:     pc.Progress,
+		SeedMapping:  pc.SeedMapping,
 		Ctx:          pc.Ctx,
 	}
 }

@@ -113,11 +113,22 @@ type Cache interface {
 	Put(key string, c Cost)
 }
 
+// BytesCache is an optional Cache extension for zero-allocation hits: a
+// lookup keyed by the raw binary key bytes, so the middleware only
+// materializes the key string when it has to store a miss. A Go map
+// indexed with string(bytes) compiles to an allocation-free lookup, so
+// implementations get this for free; GetBytes must not retain key.
+type BytesCache interface {
+	Cache
+	GetBytes(key []byte) (Cost, bool)
+}
+
 // cached memoizes inner's evaluations under fingerprint-prefixed keys.
 type cached struct {
 	inner  Evaluator
 	cache  Cache
-	prefix []byte // evaluator fingerprint, computed once
+	bytes  BytesCache // non-nil when cache supports binary-key lookups
+	prefix []byte     // evaluator fingerprint, computed once
 	keys   sync.Pool
 }
 
@@ -125,13 +136,20 @@ type cached struct {
 // evaluator fingerprint plus the mapping's attribute bits — evaluators
 // differing in backend, accelerator, or problem never share entries. Hits
 // skip inner entirely (and therefore any latency or counting wrapped
-// inside); misses store a detached clone. The only steady-state allocation
-// is the key string itself. A nil cache returns inner unchanged.
+// inside); misses store a detached clone. When cache also implements
+// BytesCache the hit path is allocation-free (the pooled binary key buffer
+// is looked up directly); otherwise, and on every miss, the only
+// steady-state allocation is the key string itself. A nil cache returns
+// inner unchanged.
 func WithCache(inner Evaluator, cache Cache) Evaluator {
+	c := &cached{inner: inner, cache: cache, prefix: inner.AppendFingerprint(nil)}
 	if cache == nil {
 		return inner
 	}
-	return &cached{inner: inner, cache: cache, prefix: inner.AppendFingerprint(nil)}
+	if bc, ok := cache.(BytesCache); ok {
+		c.bytes = bc
+	}
+	return c
 }
 
 func (e *cached) Name() string                        { return e.inner.Name() }
@@ -144,6 +162,20 @@ func (e *cached) EvaluateInto(ctx context.Context, m *mapspace.Mapping, c *Cost)
 		buf = new([]byte)
 	}
 	*buf = AppendMappingKey(append((*buf)[:0], e.prefix...), m)
+	if e.bytes != nil {
+		if hit, ok := e.bytes.GetBytes(*buf); ok {
+			e.keys.Put(buf)
+			hit.CopyTo(c)
+			return nil
+		}
+		key := string(*buf)
+		e.keys.Put(buf)
+		if err := e.inner.EvaluateInto(ctx, m, c); err != nil {
+			return err
+		}
+		e.cache.Put(key, c.Clone())
+		return nil
+	}
 	key := string(*buf)
 	e.keys.Put(buf)
 	if hit, ok := e.cache.Get(key); ok {

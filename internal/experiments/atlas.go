@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mindmappings/internal/atlas"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/search"
+	"mindmappings/internal/workload"
+)
+
+// Atlas warm-start study: the mapping atlas answers repeat shapes by
+// lookup, but its second claim is that a *near-miss* shape benefits too —
+// the nearest solved neighbor's mapping, re-projected into the target map
+// space, seeds the MM descent closer to the optimum than a random start
+// ("Demystifying Map Space Exploration for NPUs" calls this mapping
+// transfer). This sweep quantifies that: for every registered workload,
+// solve a donor problem, warm-start the neighboring problem from it, and
+// count how many evaluations the warm run needs to reach the cold run's
+// final best.
+
+// AtlasRow is one workload's cold vs warm-started MM comparison.
+type AtlasRow struct {
+	Workload string
+	// Donor and Target are the two problem instances: the donor plays the
+	// stored atlas entry, the target the incoming near-miss request.
+	Donor, Target string
+	// Distance is the atlas neighbor metric between the two shapes
+	// (Euclidean in log2 space).
+	Distance float64
+	// ColdBest is the cold run's final best normalized EDP — the bar the
+	// warm run must reach; ColdEvals is when the cold run reached it.
+	ColdBest  float64
+	ColdEvals int
+	// WarmEvals is when the warm-started run first matched ColdBest
+	// (0 when it never did); WarmBest is its final best.
+	WarmEvals int
+	WarmBest  float64
+	// Matched reports whether the warm run reached ColdBest at all;
+	// Ratio is WarmEvals/ColdEvals when it did (< 1 means the warm start
+	// paid off, the headline claim being <= 0.5).
+	Matched bool
+	Ratio   float64
+}
+
+// AtlasSweep runs the warm-start study across every registered workload.
+func (h *Harness) AtlasSweep(w io.Writer) ([]AtlasRow, error) {
+	return h.AtlasSweepFor(w, workload.Names())
+}
+
+// AtlasSweepFor runs the warm-start study across the named workloads. Per
+// workload: the donor is the deterministic mid-size instance (the same one
+// WorkloadSweep searches), the target bumps one dimension to its next
+// sample value — exactly the near-miss an atlas family lookup serves.
+// Cold and warm runs share the RNG seed, so the only difference is the
+// seeded start.
+func (h *Harness) AtlasSweepFor(w io.Writer, names []string) ([]AtlasRow, error) {
+	budget := search.Budget{MaxEvals: h.opts.IsoIterations}
+	fmt.Fprintf(w, "== atlas warm start: cold vs neighbor-seeded MM, %d evals each ==\n", budget.MaxEvals)
+	fmt.Fprintf(w, "%-16s %-30s %6s %10s %8s %8s %8s\n",
+		"workload", "target", "dist", "cold best", "cold@", "warm@", "ratio")
+	var out []AtlasRow
+	for _, name := range names {
+		algo, err := loopnest.AlgorithmByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		donor, err := representativeProblem(algo)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		target, err := neighborProblem(algo)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		sur, err := h.Surrogate(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: training %s surrogate: %w", name, err)
+		}
+		mm := search.MindMappings{Surrogate: sur}
+		seed := h.opts.Seed + 31
+
+		// Cold: MM on the target from a random start.
+		coldCtx, err := h.problemContext(target, 0, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		h.logf("atlas sweep: cold MM on %s\n", target.Name)
+		cold, err := mm.Search(coldCtx, budget)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cold MM on %s: %w", name, err)
+		}
+
+		// Donor: MM on the neighboring problem — the atlas entry's content.
+		donorCtx, err := h.problemContext(donor, 0, seed+1)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		h.logf("atlas sweep: donor MM on %s\n", donor.Name)
+		donorRes, err := mm.Search(donorCtx, budget)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: donor MM on %s: %w", name, err)
+		}
+
+		// Warm: same search as cold, seeded with the donor's best mapping
+		// re-projected into the target's map space.
+		warmCtx, err := h.problemContext(target, 0, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		reprojected := warmCtx.Space.Reproject(&donorRes.Best)
+		warmCtx.SeedMapping = &reprojected
+		h.logf("atlas sweep: warm MM on %s\n", target.Name)
+		warm, err := mm.Search(warmCtx, budget)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: warm MM on %s: %w", name, err)
+		}
+
+		row := AtlasRow{
+			Workload:  name,
+			Donor:     donor.String(),
+			Target:    target.String(),
+			Distance:  atlas.ShapeDistance(donor.Shape, target.Shape),
+			ColdBest:  cold.BestEDP,
+			ColdEvals: evalsToReach(&cold, cold.BestEDP),
+			WarmBest:  warm.BestEDP,
+			WarmEvals: evalsToReach(&warm, cold.BestEDP),
+		}
+		row.Matched = row.WarmEvals > 0
+		if row.Matched && row.ColdEvals > 0 {
+			row.Ratio = float64(row.WarmEvals) / float64(row.ColdEvals)
+		}
+		out = append(out, row)
+		ratio := "   never"
+		if row.Matched {
+			ratio = fmt.Sprintf("%7.2fx", row.Ratio)
+		}
+		fmt.Fprintf(w, "%-16s %-30s %6.2f %10.1f %8d %8d %s\n",
+			row.Workload, row.Target, row.Distance, row.ColdBest, row.ColdEvals, row.WarmEvals, ratio)
+	}
+	fmt.Fprintln(w, "(cold@ / warm@: evaluations until the run first reaches the cold run's final best; ratio < 1 means the neighbor seed reached it sooner)")
+	return out, nil
+}
+
+// evalsToReach returns the 1-based evaluation index at which the run first
+// attained cost <= target, or 0 if it never did.
+func evalsToReach(r *search.Result, target float64) int {
+	for _, s := range r.Trajectory {
+		if s.BestEDP <= target {
+			return s.Eval
+		}
+	}
+	// Strided trajectories can skip the crossing sample; the final best is
+	// still authoritative.
+	if r.BestEDP <= target && r.Evals > 0 {
+		return r.Evals
+	}
+	return 0
+}
+
+// neighborProblem builds the near-miss instance: the representative
+// mid-size problem with the first growable dimension bumped to its next
+// sample value, the smallest shape perturbation the training distribution
+// defines.
+func neighborProblem(algo *loopnest.Algorithm) (loopnest.Problem, error) {
+	shape := make([]int, algo.NumDims())
+	bumped := false
+	for d := range shape {
+		vals := algo.SampleSpace[d]
+		if len(vals) == 0 {
+			return loopnest.Problem{}, fmt.Errorf("dimension %s has no sample space", algo.DimNames[d])
+		}
+		mid := len(vals) / 2
+		idx := mid
+		if !bumped && len(vals) > 1 {
+			if mid+1 < len(vals) {
+				idx = mid + 1
+			} else {
+				idx = mid - 1
+			}
+			bumped = true
+		}
+		shape[d] = vals[idx]
+	}
+	if !bumped {
+		return loopnest.Problem{}, fmt.Errorf("experiments: %s has no dimension to perturb", algo.Name)
+	}
+	p, err := algo.NewProblem(algo.Name+"-near", shape)
+	if err != nil {
+		return loopnest.Problem{}, err
+	}
+	if math.IsInf(atlas.ShapeDistance(p.Shape, shape), 0) {
+		// Unreachable with a well-formed algorithm; guard anyway.
+		return loopnest.Problem{}, fmt.Errorf("experiments: %s neighbor has mismatched rank", algo.Name)
+	}
+	return p, nil
+}

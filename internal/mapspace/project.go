@@ -72,6 +72,28 @@ func (s *Space) Project(m Mapping) Mapping {
 	return s.projectDesired(s.desiredFrom(&m))
 }
 
+// Reproject adapts a mapping solved for a different problem shape of the
+// same algorithm into this space: the donor's on-chip structure (L1,
+// spatial, and L2 tile logs), loop orders, and buffer allocations become
+// the desired point, while each dimension's DRAM factor is re-targeted so
+// the chain covers this space's shape; projection then snaps the result
+// to the nearest valid member. This is the atlas nearest-neighbor warm
+// start — good mappings transfer across similar shapes because the
+// on-chip blocking, not the outer DRAM trip count, is what the search
+// spent its budget discovering.
+func (s *Space) Reproject(m *Mapping) Mapping {
+	des := s.desiredFrom(m)
+	for dim := 0; dim < s.NumDims(); dim++ {
+		onchip := des.logs[dim][ChainL1] + des.logs[dim][ChainSpatial] + des.logs[dim][ChainL2]
+		dram := math.Log2(float64(s.Prob.Shape[dim])) - onchip
+		if dram < 0 {
+			dram = 0
+		}
+		des.logs[dim][ChainDRAM] = dram
+	}
+	return s.projectDesired(des)
+}
+
 // Repair returns m unchanged when it is already valid, otherwise its
 // projection. All mutation-style operators funnel through this.
 func (s *Space) Repair(m Mapping) Mapping {

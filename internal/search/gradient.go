@@ -175,6 +175,14 @@ func (m MindMappings) Search(ctx *Context, budget Budget) (Result, error) {
 		for i := range curs {
 			curs[i] = ctx.Space.Random(rng)
 		}
+		if ctx.SeedMapping != nil {
+			// Warm start: chain 0 begins at the supplied mapping (repaired
+			// into this space) while the other chains keep their random
+			// starts. The random draws above happen regardless, so the RNG
+			// stream position — and therefore checkpoint/resume
+			// reproducibility — is independent of seeding.
+			curs[0] = ctx.Space.Repair(ctx.SeedMapping.Clone())
+		}
 	}
 
 	// Reused per-iteration buffers (encoded vectors, gradients, descent

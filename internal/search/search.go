@@ -204,6 +204,17 @@ type Context struct {
 	// the uninterrupted run under the same Seed and request. The Context's
 	// Seed and problem must match the checkpointed run's.
 	Resume *Checkpoint
+	// SeedMapping, when non-nil, warm-starts the search from a known-good
+	// mapping instead of a purely random initial point: Mind Mappings
+	// repairs it into the space and starts its first descent chain there
+	// (the atlas nearest-neighbor path, where a solved neighbor's mapping
+	// is re-projected into this problem's space); other searchers ignore
+	// it. The RNG stream is drawn identically with or without a seed
+	// mapping, so seeding composes with Checkpoint/Resume: a seeded run
+	// that is checkpointed and resumed reproduces the uninterrupted seeded
+	// trajectory bit-identically. Resume takes precedence — a restored
+	// run's chains come from its checkpoint, never from SeedMapping.
+	SeedMapping *mapspace.Mapping
 	// Scalar forces the scalar (pre-batching) evaluation path everywhere:
 	// per-candidate cost-model queries and per-vector surrogate
 	// forward/backward passes. The batched kernels accumulate in exactly

@@ -61,6 +61,23 @@ func (c *EvalCache) Get(key string) (costmodel.Cost, bool) {
 	return el.Value.(*cacheEntry).cost, true
 }
 
+// GetBytes is Get keyed by the raw binary key bytes (costmodel.BytesCache):
+// the map index with string(key) compiles to an allocation-free lookup, so
+// the shared-cache hit path costs zero allocations — the key string is
+// only ever built to store a miss. key is not retained.
+func (c *EvalCache) GetBytes(key []byte) (costmodel.Cost, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[string(key)]
+	if !ok {
+		c.misses++
+		return costmodel.Cost{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).cost, true
+}
+
 // Put stores a cost under key, evicting the least recently used entry when
 // the cache is full.
 func (c *EvalCache) Put(key string, cost costmodel.Cost) {
@@ -86,11 +103,18 @@ type CacheStats struct {
 	Misses   uint64 `json:"misses"`
 	Entries  int    `json:"entries"`
 	Capacity int    `json:"capacity"`
+	// Utilization is Entries/Capacity in [0,1]: how full the bounded LRU
+	// is, the signal for retuning serve -evalcache-cap.
+	Utilization float64 `json:"utilization"`
 }
 
 // Stats snapshots the hit/miss counters and occupancy.
 func (c *EvalCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.capacity}
+	st := CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.capacity}
+	if st.Capacity > 0 {
+		st.Utilization = float64(st.Entries) / float64(st.Capacity)
+	}
+	return st
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mindmappings/internal/arch"
+	"mindmappings/internal/atlas"
 	"mindmappings/internal/costmodel"
 	"mindmappings/internal/infer"
 	"mindmappings/internal/loopnest"
@@ -131,7 +132,12 @@ type JobResult struct {
 	// Degraded marks an anytime result: the job's deadline expired before
 	// its budget, so this is the best mapping found in the time allowed —
 	// valid, just not the full-budget answer.
-	Degraded   bool              `json:"degraded,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+	// Source marks atlas involvement: "atlas" when the result is a stored
+	// mapping served without running a search, "atlas-neighbor" when the
+	// search was warm-started from the nearest solved neighbor. Empty for
+	// a plain cold search.
+	Source     string            `json:"source,omitempty"`
 	Mapping    string            `json:"mapping,omitempty"`
 	LoopNest   string            `json:"loop_nest,omitempty"`
 	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
@@ -188,6 +194,11 @@ type Job struct {
 	admitted   bool
 	checkpoint *search.Checkpoint
 	resume     *search.Checkpoint
+	// atlasID caches the job's atlas identity (computed at submit when an
+	// atlas is attached); atlasSeeded marks a run warm-started from a
+	// nearest-neighbor atlas entry, stamped into Result.Source at finish.
+	atlasID     *atlasIdentity
+	atlasSeeded bool
 }
 
 // resumable reports whether the job (under jm.mu) can be resumed: it is
@@ -253,6 +264,18 @@ type JobManager struct {
 	maxJobTime      time.Duration
 	checkpointEvery int
 
+	// Atlas wiring (EnableAtlas): exact-key hits are served from the
+	// store without running a search job, mm misses warm-start from the
+	// nearest solved neighbor, and completed jobs write back unless
+	// atlasRO. Counters guarded by mu.
+	atlasStore      *atlas.Atlas
+	atlasRO         bool
+	atlasSource     string
+	atlasHits       uint64
+	atlasNeighbors  uint64
+	atlasCold       uint64
+	atlasWritebacks uint64
+
 	// counters holds one shared paid-eval counter per cost-model backend
 	// (costmodel.WithCounter accounting, surfaced by GET /v1/metrics).
 	// Guarded by countersMu, not mu: jobs read them on the hot path.
@@ -285,9 +308,10 @@ type inferBatcherEntry struct {
 
 // jobInstruments bundles the manager's obs metrics.
 type jobInstruments struct {
-	reg       *obs.Registry
-	queueWait *obs.Histogram
-	run       *obs.Histogram
+	reg         *obs.Registry
+	queueWait   *obs.Histogram
+	run         *obs.Histogram
+	atlasLookup *obs.Histogram
 }
 
 // evalSecondsBuckets spans the analytical backends' ~100ns-per-eval range
@@ -306,6 +330,9 @@ func (jm *JobManager) Instrument(reg *obs.Registry) {
 			"Time search jobs wait in the queue before a worker starts them.", nil),
 		run: reg.Histogram("search_job_run_seconds",
 			"Wall-clock run time of search jobs, start to finish.", obs.ExpBuckets(1e-3, 4, 14)),
+		atlasLookup: reg.Histogram("atlas_lookup_seconds",
+			"Latency of atlas exact-hit lookups on the submit path.",
+			obs.ExpBuckets(1e-6, 4, 10)),
 	}
 	reg.CounterFunc("search_jobs_submitted_total",
 		"Search jobs accepted by POST /v1/search.",
@@ -358,6 +385,28 @@ func (jm *JobManager) Instrument(reg *obs.Registry) {
 	reg.GaugeFunc("admission_in_flight",
 		"Admission-controller concurrency slots currently held.",
 		func() float64 { return float64(admStats().InFlight) })
+	// Atlas series follow the same read-through-getter pattern: they work
+	// whenever EnableAtlas is called and report 0 while no atlas is
+	// attached.
+	atlasStats := func() AtlasServiceStats {
+		st, _ := jm.AtlasStats()
+		return st
+	}
+	reg.CounterFunc("atlas_hits_total",
+		"Search requests answered from the atlas without running a search job.",
+		func() float64 { return float64(atlasStats().Hits) })
+	reg.CounterFunc("atlas_neighbor_total",
+		"Search jobs warm-started from a nearest-neighbor atlas mapping.",
+		func() float64 { return float64(atlasStats().Neighbors) })
+	reg.CounterFunc("atlas_cold_total",
+		"Search jobs run with no atlas assist (no exact hit, no neighbor).",
+		func() float64 { return float64(atlasStats().Cold) })
+	reg.CounterFunc("atlas_writebacks_total",
+		"Completed search jobs whose solutions were published into the atlas.",
+		func() float64 { return float64(atlasStats().Writebacks) })
+	reg.GaugeFunc("atlas_entries",
+		"Committed mapping entries in the attached atlas.",
+		func() float64 { return float64(atlasStats().Entries) })
 	jm.mu.Lock()
 	jm.instr = in
 	jm.mu.Unlock()
@@ -415,6 +464,123 @@ func (jm *JobManager) training() (*modelstore.Store, *trainer.Pipeline) {
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
 	return jm.store, jm.trainPipe
+}
+
+// EnableAtlas attaches the precomputed mapping atlas: requests whose
+// exact identity (workload, shape, arch, cost model, objective) has a
+// stored solution are answered immediately — no search job runs, and
+// admission control and the queue are bypassed entirely, since a lookup
+// consumes none of the capacity those protect. Misses on the mm searcher
+// are warm-started from the nearest same-family neighbor, and — unless
+// readonly — every successfully completed search job publishes its
+// solution back, so the atlas self-populates from live traffic. Call at
+// setup, before traffic.
+func (jm *JobManager) EnableAtlas(a *atlas.Atlas, readonly bool) {
+	jm.mu.Lock()
+	jm.atlasStore = a
+	jm.atlasRO = readonly
+	if jm.atlasSource == "" {
+		jm.atlasSource = "serve"
+	}
+	jm.mu.Unlock()
+}
+
+// SetAtlasSource overrides the provenance stamped on atlas write-back
+// entries ("serve" by default; the offline sweep command stamps "build").
+func (jm *JobManager) SetAtlasSource(source string) {
+	jm.mu.Lock()
+	jm.atlasSource = source
+	jm.mu.Unlock()
+}
+
+func (jm *JobManager) atlasRef() *atlas.Atlas {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.atlasStore
+}
+
+// AtlasServiceStats reports atlas serving effectiveness for /v1/metrics:
+// store occupancy plus how traffic split across the three read outcomes
+// (exact hit, neighbor warm start, cold) and how many solutions flowed
+// back in.
+type AtlasServiceStats struct {
+	ReadOnly   bool   `json:"readonly,omitempty"`
+	Entries    int    `json:"entries"`
+	Keys       int    `json:"keys"`
+	Families   int    `json:"families"`
+	Corrupt    int    `json:"corrupt,omitempty"`
+	Hits       uint64 `json:"hits"`
+	Neighbors  uint64 `json:"neighbors"`
+	Cold       uint64 `json:"cold"`
+	Writebacks uint64 `json:"writebacks"`
+}
+
+// AtlasStats snapshots the atlas serving counters; ok is false when no
+// atlas is attached.
+func (jm *JobManager) AtlasStats() (AtlasServiceStats, bool) {
+	jm.mu.Lock()
+	at := jm.atlasStore
+	st := AtlasServiceStats{
+		ReadOnly:   jm.atlasRO,
+		Hits:       jm.atlasHits,
+		Neighbors:  jm.atlasNeighbors,
+		Cold:       jm.atlasCold,
+		Writebacks: jm.atlasWritebacks,
+	}
+	jm.mu.Unlock()
+	if at == nil {
+		return AtlasServiceStats{}, false
+	}
+	as := at.Stats()
+	st.Entries, st.Keys, st.Families, st.Corrupt = as.Entries, as.Keys, as.Families, as.Corrupt
+	return st, true
+}
+
+// atlasIdentity is a request's fully resolved atlas coordinates: the
+// exact-entry key, its shape-independent family, and the readable pieces
+// both were derived from (stamped into write-back entries).
+type atlasIdentity struct {
+	key       string
+	family    string
+	algo      string
+	algoFP    string
+	archFP    string
+	costModel string
+	objective string
+	shape     []int
+}
+
+// atlasIdentity resolves the request's atlas coordinates. It re-runs the
+// cheap parts of request resolution (algorithm, problem, objective) —
+// microseconds, amortized by the seconds a search costs — and never
+// touches the surrogate registry or the store.
+func (req *SearchRequest) atlasIdentity() (*atlasIdentity, error) {
+	algo, err := req.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	prob, err := req.resolveProblem(algo)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := search.ParseObjective(req.Objective)
+	if err != nil {
+		return nil, err
+	}
+	cm := req.CostModel
+	if cm == "" {
+		cm = costmodel.DefaultBackend
+	}
+	id := &atlasIdentity{
+		algo:      algo.Name,
+		algoFP:    algo.Fingerprint(),
+		archFP:    modelstore.ArchFingerprint(arch.Default(len(algo.Tensors) - 1)),
+		costModel: cm,
+		objective: obj.String(),
+		shape:     append([]int(nil), prob.Shape...),
+	}
+	id.key, id.family = atlas.Key(id.algoFP, id.archFP, id.costModel, id.objective, id.shape)
+	return id, nil
 }
 
 // SetBatching configures the cross-request inference batcher that
@@ -957,6 +1123,18 @@ func (jm *JobManager) SubmitAs(tenant string, req SearchRequest) (Job, error) {
 	if err := req.Validate(); err != nil {
 		return Job{}, err
 	}
+	// Atlas exact-hit check, before admission: a stored answer consumes no
+	// worker or queue slot, so atlas hits bypass quota and queue entirely.
+	var aid *atlasIdentity
+	if at := jm.atlasRef(); at != nil {
+		start := time.Now()
+		job, id, served := jm.tryAtlasServe(at, tenant, &req)
+		aid = id
+		jm.observeAtlasLookup(time.Since(start))
+		if served {
+			return job, nil
+		}
+	}
 	adm := jm.admissionCtrl()
 	admitted := false
 	if adm != nil {
@@ -980,6 +1158,7 @@ func (jm *JobManager) SubmitAs(tenant string, req SearchRequest) (Job, error) {
 		stream:   obs.NewStream[ProgressEvent](progressRing),
 		trace:    obs.NewTrace(id, "search-job"),
 		admitted: admitted,
+		atlasID:  aid,
 	}
 	// Enqueue and register atomically: a worker popping the job
 	// immediately still finds it registered because runJob takes the same
@@ -1009,6 +1188,97 @@ func (jm *JobManager) SubmitAs(tenant string, req SearchRequest) (Job, error) {
 	jm.mu.Unlock()
 	jm.journalPut(job.ID, snap.Status, snap.Tenant, snap.Request, snap.Created, nil)
 	return snap, nil
+}
+
+// observeAtlasLookup records one atlas lookup's latency (no-op before
+// Instrument).
+func (jm *JobManager) observeAtlasLookup(d time.Duration) {
+	if in := jm.instruments(); in != nil && in.atlasLookup != nil {
+		in.atlasLookup.Observe(d.Seconds())
+	}
+}
+
+// tryAtlasServe attempts the exact-hit read path for a validated request:
+// when the atlas holds a solved mapping for the request's exact identity,
+// a synthetic already-done job carrying that mapping (Result.Source
+// "atlas") is registered and returned — no search runs, no admission slot
+// or queue capacity is consumed. The resolved identity is returned either
+// way so the fallthrough search job can reuse it for warm start and
+// write-back.
+func (jm *JobManager) tryAtlasServe(at *atlas.Atlas, tenant string, req *SearchRequest) (Job, *atlasIdentity, bool) {
+	aid, err := req.atlasIdentity()
+	if err != nil {
+		return Job{}, nil, false // Validate passed; let the real path re-report
+	}
+	e, m, ok, err := at.Lookup(aid.key)
+	if err != nil || !ok {
+		return Job{}, aid, false
+	}
+	// Rebuild the target space and verify membership: an entry published
+	// under drifted mapspace constants must fall through to a real search
+	// (atlas GC with a staleness predicate reaps such entries).
+	algo, err := req.algorithm()
+	if err != nil {
+		return Job{}, aid, false
+	}
+	prob, err := req.resolveProblem(algo)
+	if err != nil {
+		return Job{}, aid, false
+	}
+	space, err := mapspace.New(arch.Default(len(algo.Tensors)-1), prob)
+	if err != nil {
+		return Job{}, aid, false
+	}
+	if err := space.IsMember(&m); err != nil {
+		return Job{}, aid, false
+	}
+	id := newJobID()
+	jctx, cancel := context.WithCancel(jm.baseCtx)
+	now := time.Now()
+	job := &Job{
+		ID:       id,
+		Status:   JobDone,
+		Tenant:   tenant,
+		Request:  *req,
+		Created:  now,
+		Started:  now,
+		Finished: now,
+		Result: &JobResult{
+			Method:   e.Method,
+			Source:   "atlas",
+			BestEDP:  e.BestEDP,
+			Mapping:  m.String(),
+			LoopNest: space.RenderLoopNest(&m),
+		},
+		ctx:     jctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		stream:  obs.NewStream[ProgressEvent](progressRing),
+		trace:   obs.NewTrace(id, "search-job"),
+		atlasID: aid,
+	}
+	job.trace.Root().Set("source", "atlas")
+	job.trace.Root().Set("atlas_entry", e.ID)
+	job.trace.Root().Set("status", string(JobDone))
+	job.trace.End()
+	job.stream.Publish(ProgressEvent{Status: JobDone, BestEDP: e.BestEDP})
+	job.stream.Close()
+	cancel()
+	close(job.done)
+	jm.mu.Lock()
+	if jm.baseCtx.Err() != nil || jm.draining {
+		jm.mu.Unlock()
+		return Job{}, aid, false
+	}
+	jm.jobs[id] = job
+	jm.order = append(jm.order, id)
+	jm.submitted++
+	jm.completed++
+	jm.atlasHits++
+	jm.evictTerminalLocked()
+	snap := copyJob(job)
+	jm.mu.Unlock()
+	return snap, aid, true
 }
 
 // enqueueLocked appends the job to the pending FIFO, registers it, and
@@ -1203,8 +1473,21 @@ func (jm *JobManager) runJob(job *Job) {
 	deadlined := errors.Is(runCtx.Err(), context.DeadlineExceeded) && ctx.Err() == nil
 
 	jm.mu.Lock()
-	defer jm.mu.Unlock()
 	result := buildResult(res, space)
+	if result != nil && job.atlasSeeded {
+		result.Source = "atlas-neighbor"
+	}
+	jm.mu.Unlock()
+	// Atlas write-back eligibility: only full-budget successes. Degraded
+	// (deadline-cut) results are valid but under-searched — storing them
+	// would seed future warm starts from half-finished descents. The
+	// publish runs before the job turns terminal so that anyone who
+	// observes the job done also observes its write-back (atlas counters
+	// are deterministic for waiters and `atlas build`).
+	if err == nil && ctx.Err() == nil && !deadlined && result != nil {
+		jm.atlasWriteback(job, res)
+	}
+	jm.mu.Lock()
 	switch {
 	case err != nil && ctx.Err() != nil:
 		// Treat errors after cancellation as cancellation.
@@ -1224,6 +1507,71 @@ func (jm *JobManager) runJob(job *Job) {
 		}
 	default:
 		jm.finishLocked(job, JobDone, result, nil)
+	}
+	jm.mu.Unlock()
+}
+
+// jobAtlasID returns the job's cached atlas identity, computing it for
+// jobs that never passed through the submit-path lookup (journal-recovered
+// jobs in a process that enabled the atlas).
+func (jm *JobManager) jobAtlasID(job *Job) *atlasIdentity {
+	jm.mu.Lock()
+	aid := job.atlasID
+	req := job.Request
+	jm.mu.Unlock()
+	if aid != nil {
+		return aid
+	}
+	aid, err := req.atlasIdentity()
+	if err != nil {
+		return nil
+	}
+	jm.mu.Lock()
+	if job.atlasID == nil {
+		job.atlasID = aid
+	}
+	aid = job.atlasID
+	jm.mu.Unlock()
+	return aid
+}
+
+// atlasWriteback publishes a completed job's best mapping into the atlas
+// (only-if-better per key), so the atlas self-populates from live
+// traffic. Runs outside jm.mu — publishing stages and renames files —
+// and before the job is marked terminal, so write-backs are visible to
+// anyone who observes the job done.
+func (jm *JobManager) atlasWriteback(job *Job, res *search.Result) {
+	jm.mu.Lock()
+	at, readonly, source := jm.atlasStore, jm.atlasRO, jm.atlasSource
+	jm.mu.Unlock()
+	if at == nil || readonly {
+		return
+	}
+	if res == nil || res.Evals == 0 || len(res.Best.Spatial) == 0 || math.IsInf(res.BestEDP, 0) {
+		return
+	}
+	aid := jm.jobAtlasID(job)
+	if aid == nil {
+		return
+	}
+	e := atlas.Entry{
+		Key:       aid.key,
+		Family:    aid.family,
+		Algo:      aid.algo,
+		AlgoFP:    aid.algoFP,
+		ArchFP:    aid.archFP,
+		CostModel: aid.costModel,
+		Objective: aid.objective,
+		Shape:     aid.shape,
+		BestEDP:   res.BestEDP,
+		Evals:     res.Evals,
+		Method:    res.Method,
+		Source:    source,
+	}
+	if _, published, err := at.Publish(e, &res.Best); err == nil && published {
+		jm.mu.Lock()
+		jm.atlasWritebacks++
+		jm.mu.Unlock()
 	}
 }
 
@@ -1391,6 +1739,32 @@ func (jm *JobManager) execute(ctx context.Context, job *Job) (*search.Result, *m
 	if err != nil {
 		return nil, nil, err
 	}
+	// Atlas nearest-neighbor warm start: on an exact-key miss the mm
+	// descent starts from the closest solved same-family shape, its
+	// mapping re-projected into this problem's space. Resumed jobs keep
+	// their checkpointed chains instead (SeedMapping is inert under
+	// Resume, so counting them cold would be wrong too).
+	var seedMapping *mapspace.Mapping
+	if at := jm.atlasRef(); at != nil && resume == nil {
+		aid := jm.jobAtlasID(job)
+		name := strings.ToLower(req.Searcher)
+		if aid != nil && (name == "" || name == "mm") {
+			if e, nm, dist, ok, nerr := at.Nearest(aid.family, prob.Shape); nerr == nil && ok {
+				seed := space.Reproject(&nm)
+				seedMapping = &seed
+				root.Set("atlas_seed", e.ID)
+				root.Set("atlas_seed_distance", dist)
+			}
+		}
+		jm.mu.Lock()
+		if seedMapping != nil {
+			jm.atlasNeighbors++
+			job.atlasSeeded = true
+		} else {
+			jm.atlasCold++
+		}
+		jm.mu.Unlock()
+	}
 	model, err := costmodel.New(req.CostModel, a, prob)
 	if err != nil {
 		return nil, nil, err
@@ -1449,6 +1823,7 @@ func (jm *JobManager) execute(ctx context.Context, job *Job) (*search.Result, *m
 		Evals:       jm.counterFor(model.Name()),
 		Parallelism: parallelism,
 		Resume:      resume,
+		SeedMapping: seedMapping,
 		// Checkpoints always flow to the in-memory job record (enabling
 		// resume without a journal) and, when journaling is on, to disk.
 		CheckpointEvery: checkpointEvery,

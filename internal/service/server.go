@@ -85,6 +85,12 @@ func NewServer(jobs *JobManager, registry *ModelRegistry, cache *EvalCache) *Ser
 	s.reg.GaugeFunc("eval_cache_entries",
 		"Entries resident in the shared eval cache.",
 		func() float64 { return float64(s.cache.Stats().Entries) })
+	s.reg.GaugeFunc("eval_cache_capacity",
+		"Configured capacity of the shared eval cache (serve -evalcache-cap).",
+		func() float64 { return float64(s.cache.Stats().Capacity) })
+	s.reg.GaugeFunc("eval_cache_utilization",
+		"Occupancy fraction of the shared eval cache (entries/capacity).",
+		func() float64 { return s.cache.Stats().Utilization })
 	s.reg.CounterFunc("model_registry_disk_loads_total",
 		"Surrogate loads from disk (registry misses).",
 		func() float64 { return float64(s.registry.Stats().Loads) })
@@ -600,6 +606,9 @@ type Metrics struct {
 	// Trainer and Store are present once WithTraining has been called.
 	Trainer *trainer.Stats    `json:"trainer,omitempty"`
 	Store   *modelstore.Stats `json:"store,omitempty"`
+	// Atlas is present once EnableAtlas has been called: store occupancy
+	// plus the exact-hit / neighbor / cold traffic split and write-backs.
+	Atlas *AtlasServiceStats `json:"atlas,omitempty"`
 	// Runtime reports process health: goroutines, heap, GC, build info.
 	Runtime obs.RuntimeStats `json:"runtime"`
 	// Latencies summarizes every registered latency histogram (HTTP routes,
@@ -629,6 +638,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		ss := s.store.Stats()
 		m.Store = &ss
+	}
+	if as, ok := s.jobs.AtlasStats(); ok {
+		m.Atlas = &as
 	}
 	if hists := s.reg.Histograms(); len(hists) > 0 {
 		m.Latencies = make(map[string]obs.QuantileSummary, len(hists))
