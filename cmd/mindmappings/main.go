@@ -64,6 +64,8 @@ func main() {
 		err = cmdAtlas(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "diag":
+		err = cmdDiag(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -89,6 +91,7 @@ commands:
   models    list, gc, or delete artifacts in a versioned model store
   atlas     build, list, gc, or delete entries in a precomputed mapping atlas
   serve     run the concurrent mapping-search + training HTTP service
+  diag      snapshot a live server (status, metrics, flight recorder, traces) into one tar.gz
 
 workloads are selected with -algo <name> (registered: %s) or defined
 inline with -einsum "O[m,n] += A[m,k] * B[k,n]"

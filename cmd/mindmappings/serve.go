@@ -60,6 +60,11 @@ func cmdServe(args []string) error {
 	quotaRate := fs.Float64("quota-rate", 0, "per-tenant sustained admissions/second (0: no rate quota)")
 	quotaBurst := fs.Float64("quota-burst", 0, "per-tenant token-bucket depth (default max(quota-rate, 1))")
 	quotaConc := fs.Int("quota-concurrent", 0, "per-tenant cap on jobs in flight (0: no cap)")
+	sloOn := fs.Bool("slo", false, "track service-level objectives as multi-window burn rates: /v1/status health score, slo_* series on /metrics, /readyz unready at health 0")
+	sloAvail := fs.Float64("slo-availability", 0.999, "target fraction of terminal jobs finishing successfully (needs -slo; 0 disables the objective)")
+	sloQueueWait := fs.Duration("slo-queue-wait", 30*time.Second, "queue-wait threshold: 95% of jobs must start within it (needs -slo; 0 disables the objective)")
+	sloFirstEval := fs.Duration("slo-first-eval", 5*time.Second, "time-to-first-eval threshold: 95% of jobs must produce an evaluation within it (needs -slo; 0 disables the objective)")
+	minHealth := fs.Float64("min-health", 0, "shed load while the SLO health score is below this fraction (needs -slo; 0: never shed on health)")
 	faultsSpec := fs.String("faults", os.Getenv("MINDMAPPINGS_FAULTS"),
 		`deterministic fault injection for chaos testing, e.g. "seed=7,eval=0.01,eval.lat=0.05:25ms,journal.write=0.05,store.publish=0.1" (default $MINDMAPPINGS_FAULTS)`)
 	if err := fs.Parse(args); err != nil {
@@ -110,15 +115,19 @@ func cmdServe(args []string) error {
 		jobs.SetFaults(faults)
 		store.SetFailpoint(faults.Fail)
 	}
-	if *quotaRate > 0 || *quotaConc > 0 {
+	if *minHealth > 0 && !*sloOn {
+		return fmt.Errorf("serve: -min-health needs -slo (the health score it sheds on)")
+	}
+	if *quotaRate > 0 || *quotaConc > 0 || *minHealth > 0 {
 		jobs.EnableAdmission(resilience.AdmissionConfig{
 			Rate:          *quotaRate,
 			Burst:         *quotaBurst,
 			MaxConcurrent: *quotaConc,
 			// Shed per-tenant once the pending queue is nearly full: the
 			// queue-full 503 would hit soon anyway, but shedding first keeps
-			// light tenants admitted while heavy ones back off.
-			Thresholds: resilience.Thresholds{QueueFraction: 0.9},
+			// light tenants admitted while heavy ones back off. MinHealth
+			// adds SLO-driven shedding once -slo wires in a health score.
+			Thresholds: resilience.Thresholds{QueueFraction: 0.9, MinHealth: *minHealth},
 		})
 	}
 	if *journalDir != "none" {
@@ -139,6 +148,15 @@ func cmdServe(args []string) error {
 	}
 	pipeline := trainer.New(store, *trainWorkers, *trainQueue)
 	api := service.NewServer(jobs, registry, cache).WithTraining(store, pipeline)
+	if *sloOn {
+		cfg := service.DefaultSLOConfig()
+		cfg.Availability = *sloAvail
+		cfg.QueueWaitMax = *sloQueueWait
+		cfg.FirstEvalMax = *sloFirstEval
+		if api.EnableSLO(cfg) == nil {
+			return fmt.Errorf("serve: -slo set but every objective is disabled")
+		}
+	}
 	if !*quiet {
 		api.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	}

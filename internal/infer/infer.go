@@ -326,6 +326,7 @@ func (b *Batcher) dropLocked(req *request, key classKey) {
 			}
 			b.metrics.setQueueDepth(float64(b.pendingRows))
 			b.metrics.dropped()
+			b.metrics.anomaly("drop", "request cancelled before flush collected it")
 			return
 		}
 	}
@@ -551,6 +552,9 @@ func (b *Batcher) runGroup(g *group) {
 		} else {
 			r.outVals, r.err = b.sur.PredictBatch(r.vecs, g.key.eExp, g.key.dExp, r.dst)
 		}
+		if r.err != nil {
+			b.metrics.anomaly("exec-error", r.err.Error())
+		}
 		return
 	}
 
@@ -561,6 +565,9 @@ func (b *Batcher) runGroup(g *group) {
 	vals := make([]float64, len(merged))
 	if !g.key.gradient {
 		vals, err := b.sur.PredictBatch(merged, g.key.eExp, g.key.dExp, vals)
+		if err != nil {
+			b.metrics.anomaly("exec-error", err.Error())
+		}
 		lo := 0
 		for _, r := range g.reqs {
 			r.err = err
@@ -587,6 +594,9 @@ func (b *Batcher) runGroup(g *group) {
 		}
 	}
 	vals, grads, err := b.sur.GradientBatch(merged, g.key.eExp, g.key.dExp, vals, grads)
+	if err != nil {
+		b.metrics.anomaly("exec-error", err.Error())
+	}
 	lo := 0
 	for _, r := range g.reqs {
 		r.err = err

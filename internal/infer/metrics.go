@@ -23,6 +23,14 @@ type Metrics struct {
 	// Dropped counts requests removed by context cancellation before any
 	// flush collected them.
 	Dropped *obs.Counter
+	// Anomaly, when set, is called on flush anomalies: a request dropped
+	// before any flush collected it (kind "drop") and a surrogate execution
+	// error poisoning a whole flush group (kind "exec-error"). The service
+	// wires it into the flight recorder so the seconds before a degraded
+	// job include what the batcher saw. The callback may run under the
+	// batcher lock: it must be fast, must not block, and must never call
+	// back into the batcher.
+	Anomaly func(kind, detail string)
 }
 
 func (m *Metrics) setQueueDepth(v float64) {
@@ -54,5 +62,11 @@ func (m *Metrics) flush(reason FlushReason) {
 func (m *Metrics) dropped() {
 	if m != nil && m.Dropped != nil {
 		m.Dropped.Inc()
+	}
+}
+
+func (m *Metrics) anomaly(kind, detail string) {
+	if m != nil && m.Anomaly != nil {
+		m.Anomaly(kind, detail)
 	}
 }

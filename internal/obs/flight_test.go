@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderKeepsMostRecentOldestFirst(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 1; i <= 10; i++ {
+		fr.Record(SevInfo, "test", fmt.Sprintf("e%d", i), nil)
+	}
+	snap := fr.Snapshot()
+	if snap.Total != 10 || snap.Size != 4 {
+		t.Fatalf("snapshot total=%d size=%d, want 10/4", snap.Total, snap.Size)
+	}
+	if len(snap.Events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(snap.Events))
+	}
+	for i, e := range snap.Events {
+		wantSeq := uint64(7 + i) // 7,8,9,10 oldest first
+		if e.Seq != wantSeq || e.Msg != fmt.Sprintf("e%d", wantSeq) {
+			t.Fatalf("event %d = seq %d msg %q, want seq %d", i, e.Seq, e.Msg, wantSeq)
+		}
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record(SevWarn, "k", "only", map[string]string{"a": "b"})
+	snap := fr.Snapshot()
+	if len(snap.Events) != 1 || snap.Events[0].Seq != 1 || snap.Events[0].Attrs["a"] != "b" {
+		t.Fatalf("partial-fill snapshot wrong: %+v", snap)
+	}
+	if fr.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", fr.Total())
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(SevError, "k", "m", nil) // must not panic
+	if fr.Total() != 0 {
+		t.Fatal("nil Total != 0")
+	}
+	if snap := fr.Snapshot(); snap.Total != 0 || len(snap.Events) != 0 {
+		t.Fatalf("nil snapshot not zero: %+v", snap)
+	}
+}
+
+func TestFlightRecorderConcurrentRecord(t *testing.T) {
+	fr := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				fr.Record(SevInfo, "load", "x", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := fr.Snapshot()
+	if snap.Total != workers*per {
+		t.Fatalf("total = %d, want %d", snap.Total, workers*per)
+	}
+	if len(snap.Events) != 64 {
+		t.Fatalf("retained = %d, want full ring 64", len(snap.Events))
+	}
+	for i := 1; i < len(snap.Events); i++ {
+		if snap.Events[i].Seq != snap.Events[i-1].Seq+1 {
+			t.Fatalf("snapshot seqs not contiguous at %d: %d then %d", i, snap.Events[i-1].Seq, snap.Events[i].Seq)
+		}
+	}
+}

@@ -143,6 +143,23 @@ func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// CountLE returns how many observations landed in buckets whose upper
+// bound is <= le — the lock-free read behind threshold SLIs ("fraction of
+// queue waits under 2s"). The threshold is effectively rounded down to the
+// nearest bucket boundary, so choose SLI thresholds on (or near) bucket
+// edges. Like any concurrent snapshot, a racing Observe may or may not be
+// included.
+func (h *Histogram) CountLE(le float64) int64 {
+	var cum int64
+	for i, b := range h.bounds {
+		if b > le {
+			break
+		}
+		cum += h.buckets[i].Load()
+	}
+	return cum
+}
+
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 

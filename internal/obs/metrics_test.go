@@ -81,6 +81,72 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(1.5)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 1 || got > 2 {
+			t.Fatalf("single observation in (1,2]: Quantile(%v) = %v, want within bucket", q, got)
+		}
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("Quantile(1) = %v, want the bucket's upper edge 2", got)
+	}
+}
+
+func TestHistogramQuantileAllInOneBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	// Interpolation is linear within the containing bucket: the q-quantile
+	// of a single occupied bucket (lo, hi] is lo + q*(hi-lo).
+	for _, tc := range []struct{ q, want float64 }{
+		{0.25, 1.25}, {0.5, 1.5}, {0.75, 1.75}, {1, 2},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("all-in-one-bucket Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Quantile(0.5); got < h.Quantile(0.25) || h.Quantile(0.75) < got {
+		t.Fatal("within-bucket interpolation not monotone")
+	}
+}
+
+func TestHistogramQuantileInfObservations(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(math.Inf(1))  // +Inf bucket
+	h.Observe(math.Inf(-1)) // first bucket (-Inf <= 1)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	// Low quantile resolves in the first bucket and stays finite; high
+	// quantile hits the +Inf bucket and clamps to the last finite bound.
+	if got := h.Quantile(0.25); math.IsInf(got, 0) || got > 1 {
+		t.Fatalf("Quantile(0.25) with -Inf sample = %v, want finite <= 1", got)
+	}
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("Quantile(0.99) with +Inf sample = %v, want clamp to 2", got)
+	}
+}
+
+func TestHistogramQuantileExactBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3})
+	// Boundary observations land in the bucket whose upper bound they equal
+	// (bounds are inclusive upper edges), so the k/3-quantiles are exact.
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	for _, tc := range []struct{ q, want float64 }{
+		{1.0 / 3, 1}, {2.0 / 3, 2}, {1, 3},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("boundary Quantile(%v) = %v, want exactly %v", tc.q, got, tc.want)
+		}
+	}
+}
+
 func TestHistogramConcurrentObserve(t *testing.T) {
 	h := NewHistogram(DefBuckets)
 	var wg sync.WaitGroup

@@ -6,7 +6,18 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
+
+// DefaultMaxCardinality is the per-family cap on distinct label sets. Label
+// values often come from request fields (tenant IDs, model names), and an
+// adversarial or misconfigured client must not be able to grow the registry
+// without bound; series beyond the cap collapse into one shared overflow
+// child per family and the drop is counted (DroppedLabels).
+const DefaultMaxCardinality = 64
+
+// overflowLabel is the label value of the shared per-family overflow child.
+const overflowLabel = "_overflow"
 
 // Registry collects named metrics for exposition. Metrics belong to
 // families (one name, one type, one help string); a family either holds a
@@ -18,6 +29,9 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	names    []string // registration order is irrelevant; exposition sorts
+	maxCard  int      // per-family label-set cap; <= 0 means unlimited
+
+	droppedLabels atomic.Int64
 }
 
 type metricKind int
@@ -61,10 +75,23 @@ type family struct {
 var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 var labelNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default cardinality cap.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return &Registry{families: make(map[string]*family), maxCard: DefaultMaxCardinality}
 }
+
+// SetMaxCardinality sets the per-family cap on distinct label sets
+// (<= 0 disables the cap). Setup-time only; lowering the cap does not
+// evict already-registered series.
+func (r *Registry) SetMaxCardinality(n int) {
+	r.mu.Lock()
+	r.maxCard = n
+	r.mu.Unlock()
+}
+
+// DroppedLabels reports how many label-set registrations were collapsed
+// into per-family overflow children by the cardinality cap.
+func (r *Registry) DroppedLabels() int64 { return r.droppedLabels.Load() }
 
 // familyFor returns (creating if needed) the family, enforcing that a name
 // is never reused with a different type, help, or label layout.
@@ -101,17 +128,32 @@ func (r *Registry) familyFor(name, help string, kind metricKind, labelNames []st
 	return f
 }
 
-func (f *family) childFor(values []string) *child {
+func (f *family) childFor(r *Registry, values []string) *child {
 	if len(values) != len(f.labelNames) {
 		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labelNames), len(values)))
 	}
 	key := strings.Join(values, "\x00")
-	c, ok := f.children[key]
-	if !ok {
-		c = &child{labels: append([]string(nil), values...)}
-		f.children[key] = c
-		f.order = append(f.order, key)
+	if c, ok := f.children[key]; ok {
+		return c
 	}
+	if r.maxCard > 0 && len(f.labelNames) > 0 && len(f.children) >= r.maxCard {
+		// Cap reached: collapse the new series into the family's shared
+		// overflow child so the totals survive, and count the drop so the
+		// collapse is visible (obs_dropped_labels_total).
+		r.droppedLabels.Add(1)
+		ov := make([]string, len(f.labelNames))
+		for i := range ov {
+			ov[i] = overflowLabel
+		}
+		key = strings.Join(ov, "\x00")
+		if c, ok := f.children[key]; ok {
+			return c
+		}
+		values = ov
+	}
+	c := &child{labels: append([]string(nil), values...)}
+	f.children[key] = c
+	f.order = append(f.order, key)
 	return c
 }
 
@@ -124,7 +166,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 func (r *Registry) CounterWith(name, help string, labelNames, labelValues []string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.familyFor(name, help, kindCounter, labelNames).childFor(labelValues)
+	c := r.familyFor(name, help, kindCounter, labelNames).childFor(r, labelValues)
 	if c.ctr == nil {
 		c.ctr = &Counter{}
 	}
@@ -135,7 +177,7 @@ func (r *Registry) CounterWith(name, help string, labelNames, labelValues []stri
 func (r *Registry) Gauge(name, help string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.familyFor(name, help, kindGauge, nil).childFor(nil)
+	c := r.familyFor(name, help, kindGauge, nil).childFor(r, nil)
 	if c.gauge == nil {
 		c.gauge = &Gauge{}
 	}
@@ -146,7 +188,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 func (r *Registry) GaugeWith(name, help string, labelNames, labelValues []string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.familyFor(name, help, kindGauge, labelNames).childFor(labelValues)
+	c := r.familyFor(name, help, kindGauge, labelNames).childFor(r, labelValues)
 	if c.gauge == nil {
 		c.gauge = &Gauge{}
 	}
@@ -164,7 +206,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 func (r *Registry) GaugeFuncWith(name, help string, labelNames, labelValues []string, fn func() float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.familyFor(name, help, kindGauge, labelNames).childFor(labelValues)
+	c := r.familyFor(name, help, kindGauge, labelNames).childFor(r, labelValues)
 	c.gaugeF = fn
 }
 
@@ -178,7 +220,7 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 func (r *Registry) CounterFuncWith(name, help string, labelNames, labelValues []string, fn func() float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.familyFor(name, help, kindCounter, labelNames).childFor(labelValues)
+	c := r.familyFor(name, help, kindCounter, labelNames).childFor(r, labelValues)
 	c.gaugeF = fn
 }
 
@@ -195,7 +237,7 @@ func (r *Registry) HistogramWith(name, help string, bounds []float64, labelNames
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.familyFor(name, help, kindHistogram, labelNames).childFor(labelValues)
+	c := r.familyFor(name, help, kindHistogram, labelNames).childFor(r, labelValues)
 	if c.hist == nil {
 		c.hist = NewHistogram(bounds)
 	}

@@ -1,0 +1,276 @@
+// Package slo evaluates declarative service-level objectives as
+// multi-window burn rates and folds them into a single health score.
+//
+// An Objective is a target fraction of "good" events plus an SLI callback
+// that reports cumulative (good, total) counts — availability (good = jobs
+// that finished, total = jobs that terminated), latency (good =
+// observations under the threshold bucket, total = all observations), or
+// any other counter pair the service already maintains. The Tracker
+// samples those cumulative counts lazily (no goroutine: a sample is taken
+// on evaluation when at least SampleInterval has passed) into a bounded
+// ring, and computes trailing-window deltas from it.
+//
+// Burn rate is the Google-SRE convention: the rate at which the error
+// budget is being consumed, bad_fraction(window) / (1 - target). Burn 1
+// spends exactly the budget over the SLO period; burn 14.4 exhausts a
+// 30-day budget in ~2 days. Two windows (fast ~5m, slow ~1h) are combined
+// with AND semantics — the effective burn is min(fast, slow) — so a brief
+// spike (fast high, slow low) and old history (slow high, fast low) both
+// read as healthy, while a sustained problem drives both up. The health
+// score maps effective burn onto [0, 1]: 1 at burn 0, 0 at CriticalBurn,
+// linear between; the tracker's overall health is the minimum across
+// objectives and is 1 when there is no traffic — an idle server is a
+// healthy server.
+//
+// SLI callbacks run under the tracker mutex and at exposition time, so
+// they must be cheap lock-free reads (obs atomics), and must never call
+// back into a Registry or the Tracker.
+package slo
+
+import (
+	"sync"
+	"time"
+
+	"mindmappings/internal/obs"
+)
+
+// SLI reports cumulative good and total event counts since process start.
+// Counts must be monotone non-decreasing; good <= total.
+type SLI func() (good, total float64)
+
+// Objective is one declarative SLO.
+type Objective struct {
+	Name        string  // metric label value, e.g. "availability"
+	Description string  // operator-facing one-liner
+	Target      float64 // required good fraction in (0, 1), e.g. 0.999
+	SLI         SLI
+}
+
+// Config tunes the tracker. Zero values select the defaults.
+type Config struct {
+	FastWindow     time.Duration // spike window, default 5m
+	SlowWindow     time.Duration // sustained window, default 1h
+	SampleInterval time.Duration // min spacing of ring samples, default 10s
+	CriticalBurn   float64       // effective burn at which health reaches 0, default 14.4
+}
+
+func (c Config) withDefaults() Config {
+	if c.FastWindow <= 0 {
+		c.FastWindow = 5 * time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = time.Hour
+	}
+	if c.SlowWindow < c.FastWindow {
+		c.SlowWindow = c.FastWindow
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 10 * time.Second
+	}
+	if c.CriticalBurn <= 0 {
+		c.CriticalBurn = 14.4
+	}
+	return c
+}
+
+// maxBurn caps reported burn rates so JSON marshalling never sees ±Inf
+// (a zero error budget with any bad traffic would otherwise divide by 0).
+const maxBurn = 1000
+
+// sample is one ring entry: cumulative counts of every objective at t.
+type sample struct {
+	t     time.Time
+	good  []float64
+	total []float64
+}
+
+// Tracker evaluates a fixed set of objectives. Safe for concurrent use.
+type Tracker struct {
+	cfg  Config
+	objs []Objective
+	now  func() time.Time
+
+	mu      sync.Mutex
+	ring    []sample // time-ascending; pruned past the slow window
+	lastAdd time.Time
+}
+
+// NewTracker builds a tracker over the given objectives. Objectives with a
+// nil SLI or a target outside (0, 1) are dropped rather than evaluated
+// wrong.
+func NewTracker(cfg Config, objectives ...Objective) *Tracker {
+	kept := make([]Objective, 0, len(objectives))
+	for _, o := range objectives {
+		if o.SLI != nil && o.Target > 0 && o.Target < 1 {
+			kept = append(kept, o)
+		}
+	}
+	return &Tracker{cfg: cfg.withDefaults(), objs: kept, now: time.Now}
+}
+
+// WithClock replaces the tracker's clock (tests). Returns the tracker.
+func (t *Tracker) WithClock(now func() time.Time) *Tracker {
+	t.now = now
+	return t
+}
+
+// Evaluation is the assessment of one objective.
+type Evaluation struct {
+	Name            string  `json:"name"`
+	Description     string  `json:"description,omitempty"`
+	Target          float64 `json:"target"`
+	Good            float64 `json:"good"`
+	Total           float64 `json:"total"`
+	Compliance      float64 `json:"compliance"`       // lifetime good/total; 1 with no traffic
+	BudgetRemaining float64 `json:"budget_remaining"` // lifetime error-budget fraction left; negative = overspent
+	FastBurn        float64 `json:"fast_burn"`
+	SlowBurn        float64 `json:"slow_burn"`
+	Health          float64 `json:"health"` // [0,1] from min(fast, slow) burn
+}
+
+// Report is one full evaluation pass.
+type Report struct {
+	Health     float64      `json:"health"` // min over objectives; 1 when none
+	Objectives []Evaluation `json:"objectives"`
+}
+
+// Evaluate reads every SLI, records a ring sample if due, and returns the
+// burn rates and health scores.
+func (t *Tracker) Evaluate() Report {
+	now := t.now()
+	good := make([]float64, len(t.objs))
+	total := make([]float64, len(t.objs))
+	for i, o := range t.objs {
+		g, tot := o.SLI()
+		if g < 0 {
+			g = 0
+		}
+		if tot < g {
+			tot = g
+		}
+		good[i], total[i] = g, tot
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.lastAdd.IsZero() || now.Sub(t.lastAdd) >= t.cfg.SampleInterval {
+		t.ring = append(t.ring, sample{t: now, good: good, total: total})
+		t.lastAdd = now
+		t.pruneLocked(now)
+	}
+
+	rep := Report{Health: 1, Objectives: make([]Evaluation, len(t.objs))}
+	for i, o := range t.objs {
+		ev := Evaluation{
+			Name:        o.Name,
+			Description: o.Description,
+			Target:      o.Target,
+			Good:        good[i],
+			Total:       total[i],
+			Compliance:  1,
+		}
+		budget := 1 - o.Target
+		if total[i] > 0 {
+			ev.Compliance = good[i] / total[i]
+		}
+		ev.BudgetRemaining = clamp(1-(1-ev.Compliance)/budget, -maxBurn, 1)
+		ev.FastBurn = t.burnLocked(i, now, t.cfg.FastWindow, good[i], total[i], budget)
+		ev.SlowBurn = t.burnLocked(i, now, t.cfg.SlowWindow, good[i], total[i], budget)
+		eff := ev.FastBurn
+		if ev.SlowBurn < eff {
+			eff = ev.SlowBurn
+		}
+		ev.Health = clamp(1-eff/t.cfg.CriticalBurn, 0, 1)
+		if ev.Health < rep.Health {
+			rep.Health = ev.Health
+		}
+		rep.Objectives[i] = ev
+	}
+	return rep
+}
+
+// Health is Evaluate reduced to the overall score.
+func (t *Tracker) Health() float64 { return t.Evaluate().Health }
+
+// burnLocked computes the burn rate of objective i over the trailing
+// window, using the newest ring sample at least window old as the baseline
+// (or the oldest sample when history is shorter than the window). No
+// baseline or no traffic in the window → burn 0.
+func (t *Tracker) burnLocked(i int, now time.Time, window time.Duration, goodNow, totalNow, budget float64) float64 {
+	var base *sample
+	cutoff := now.Add(-window)
+	for j := range t.ring {
+		s := &t.ring[j]
+		if s.t.After(cutoff) {
+			if base == nil {
+				base = s // history shorter than the window: use the oldest
+			}
+			break
+		}
+		base = s
+	}
+	if base == nil || base.t.Equal(now) {
+		return 0
+	}
+	dTotal := totalNow - base.total[i]
+	if dTotal <= 0 {
+		return 0
+	}
+	badFrac := (dTotal - (goodNow - base.good[i])) / dTotal
+	return clamp(badFrac/budget, 0, maxBurn)
+}
+
+// pruneLocked drops samples that can no longer be a baseline: everything
+// strictly older than the newest sample outside the slow window.
+func (t *Tracker) pruneLocked(now time.Time) {
+	cutoff := now.Add(-t.cfg.SlowWindow)
+	keepFrom := 0
+	for j := range t.ring {
+		if t.ring[j].t.After(cutoff) {
+			break
+		}
+		keepFrom = j // newest at-or-before cutoff stays as baseline
+	}
+	if keepFrom > 0 {
+		t.ring = append(t.ring[:0], t.ring[keepFrom:]...)
+	}
+}
+
+// RegisterMetrics exposes the tracker on reg: slo_target, slo_compliance_ratio,
+// slo_burn_rate{objective,window="fast"|"slow"}, slo_error_budget_remaining,
+// and the overall slo_health_score. Gauge callbacks re-evaluate on read, so
+// a scrape is also what advances the sample ring — the tracker needs no
+// goroutine of its own.
+func (t *Tracker) RegisterMetrics(reg *obs.Registry) {
+	for i, o := range t.objs {
+		target := o.Target
+		reg.GaugeFuncWith("slo_target", "Configured SLO target fraction.",
+			[]string{"objective"}, []string{o.Name},
+			func() float64 { return target })
+		idx := i
+		reg.GaugeFuncWith("slo_compliance_ratio", "Lifetime good/total fraction for the objective.",
+			[]string{"objective"}, []string{o.Name},
+			func() float64 { return t.Evaluate().Objectives[idx].Compliance })
+		reg.GaugeFuncWith("slo_error_budget_remaining", "Fraction of the lifetime error budget left (negative = overspent).",
+			[]string{"objective"}, []string{o.Name},
+			func() float64 { return t.Evaluate().Objectives[idx].BudgetRemaining })
+		reg.GaugeFuncWith("slo_burn_rate", "Error-budget burn rate over the trailing window.",
+			[]string{"objective", "window"}, []string{o.Name, "fast"},
+			func() float64 { return t.Evaluate().Objectives[idx].FastBurn })
+		reg.GaugeFuncWith("slo_burn_rate", "Error-budget burn rate over the trailing window.",
+			[]string{"objective", "window"}, []string{o.Name, "slow"},
+			func() float64 { return t.Evaluate().Objectives[idx].SlowBurn })
+	}
+	reg.GaugeFunc("slo_health_score", "Overall health in [0,1]: min across objectives of 1 - min(fast,slow burn)/critical.",
+		func() float64 { return t.Health() })
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

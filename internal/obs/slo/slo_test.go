@@ -1,0 +1,220 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mindmappings/internal/obs"
+)
+
+// fakeSLI is a mutable cumulative counter pair driven by the tests.
+type fakeSLI struct {
+	mu          sync.Mutex
+	good, total float64
+}
+
+func (f *fakeSLI) add(good, total float64) {
+	f.mu.Lock()
+	f.good += good
+	f.total += total
+	f.mu.Unlock()
+}
+
+func (f *fakeSLI) read() (float64, float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.good, f.total
+}
+
+// clock is a deterministic test clock.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTracker(sli *fakeSLI, target float64) (*Tracker, *clock) {
+	ck := &clock{t: time.Unix(1_700_000_000, 0)}
+	tr := NewTracker(Config{
+		FastWindow:     time.Minute,
+		SlowWindow:     10 * time.Minute,
+		SampleInterval: 10 * time.Second,
+		CriticalBurn:   10,
+	}, Objective{Name: "avail", Target: target, SLI: sli.read}).WithClock(ck.now)
+	return tr, ck
+}
+
+func TestIdleTrackerIsHealthy(t *testing.T) {
+	sli := &fakeSLI{}
+	tr, ck := newTestTracker(sli, 0.9)
+	for i := 0; i < 10; i++ {
+		tr.Evaluate()
+		ck.advance(10 * time.Second)
+	}
+	rep := tr.Evaluate()
+	if rep.Health != 1 {
+		t.Fatalf("idle health = %v, want 1", rep.Health)
+	}
+	o := rep.Objectives[0]
+	if o.Compliance != 1 || o.FastBurn != 0 || o.SlowBurn != 0 || o.BudgetRemaining != 1 {
+		t.Fatalf("idle objective not pristine: %+v", o)
+	}
+}
+
+func TestSustainedBurnDegradesHealth(t *testing.T) {
+	sli := &fakeSLI{}
+	tr, ck := newTestTracker(sli, 0.9) // budget 0.1
+	// 50% failures for well past the fast window: bad fraction 0.5 →
+	// burn 5 on both windows.
+	for i := 0; i < 18; i++ { // 3 minutes of 10s steps
+		sli.add(5, 10)
+		tr.Evaluate()
+		ck.advance(10 * time.Second)
+	}
+	rep := tr.Evaluate()
+	o := rep.Objectives[0]
+	if math.Abs(o.FastBurn-5) > 0.2 || math.Abs(o.SlowBurn-5) > 0.2 {
+		t.Fatalf("burns = %v/%v, want ~5", o.FastBurn, o.SlowBurn)
+	}
+	want := 1 - 5.0/10 // CriticalBurn 10
+	if math.Abs(rep.Health-want) > 0.05 {
+		t.Fatalf("health = %v, want ~%v", rep.Health, want)
+	}
+	if o.Compliance >= 0.9 {
+		t.Fatalf("compliance = %v, want < target", o.Compliance)
+	}
+	if o.BudgetRemaining >= 0 {
+		t.Fatalf("budget remaining = %v, want overspent (negative)", o.BudgetRemaining)
+	}
+}
+
+func TestMultiWindowRecoveryIsFast(t *testing.T) {
+	sli := &fakeSLI{}
+	tr, ck := newTestTracker(sli, 0.9)
+	// A bad burst...
+	for i := 0; i < 12; i++ {
+		sli.add(0, 10) // 100% failures
+		tr.Evaluate()
+		ck.advance(10 * time.Second)
+	}
+	if h := tr.Health(); h > 0.1 {
+		t.Fatalf("health during incident = %v, want ~0", h)
+	}
+	// ...then full recovery. The slow window still remembers the burst,
+	// but min(fast, slow) forgets as soon as the fast window is clean.
+	for i := 0; i < 9; i++ { // 90s of clean traffic > 60s fast window
+		sli.add(10, 10)
+		tr.Evaluate()
+		ck.advance(10 * time.Second)
+	}
+	rep := tr.Evaluate()
+	o := rep.Objectives[0]
+	if o.FastBurn != 0 {
+		t.Fatalf("fast burn after recovery = %v, want 0", o.FastBurn)
+	}
+	if o.SlowBurn == 0 {
+		t.Fatal("slow burn should still remember the burst")
+	}
+	if rep.Health != 1 {
+		t.Fatalf("health after recovery = %v, want 1 (AND semantics)", rep.Health)
+	}
+}
+
+func TestRingPrunesBeyondSlowWindow(t *testing.T) {
+	sli := &fakeSLI{}
+	tr, ck := newTestTracker(sli, 0.9)
+	for i := 0; i < 500; i++ {
+		sli.add(10, 10)
+		tr.Evaluate()
+		ck.advance(10 * time.Second)
+	}
+	tr.mu.Lock()
+	n := len(tr.ring)
+	tr.mu.Unlock()
+	// 10-minute slow window at 10s samples = 60 live samples + 1 baseline.
+	if n > 62 {
+		t.Fatalf("ring holds %d samples, want pruned to ~61", n)
+	}
+}
+
+func TestInvalidObjectivesDropped(t *testing.T) {
+	sli := &fakeSLI{}
+	tr := NewTracker(Config{},
+		Objective{Name: "no-sli", Target: 0.9},
+		Objective{Name: "bad-target", Target: 1.0, SLI: sli.read},
+		Objective{Name: "ok", Target: 0.99, SLI: sli.read},
+	)
+	rep := tr.Evaluate()
+	if len(rep.Objectives) != 1 || rep.Objectives[0].Name != "ok" {
+		t.Fatalf("objectives = %+v, want only 'ok'", rep.Objectives)
+	}
+}
+
+func TestRegisterMetricsExposition(t *testing.T) {
+	sli := &fakeSLI{}
+	tr, _ := newTestTracker(sli, 0.9)
+	sli.add(9, 10)
+	reg := obs.NewRegistry()
+	tr.RegisterMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if _, err := obs.ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`slo_health_score`,
+		`slo_target{objective="avail"} 0.9`,
+		`slo_burn_rate{objective="avail",window="fast"}`,
+		`slo_burn_rate{objective="avail",window="slow"}`,
+		`slo_compliance_ratio{objective="avail"}`,
+		`slo_error_budget_remaining{objective="avail"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestEvaluateConcurrent(t *testing.T) {
+	sli := &fakeSLI{}
+	tr, ck := newTestTracker(sli, 0.99)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sli.add(1, 1)
+				_ = tr.Evaluate()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			ck.advance(time.Second)
+		}
+	}()
+	wg.Wait()
+	if h := tr.Health(); h != 1 {
+		t.Fatalf("all-good concurrent health = %v, want 1", h)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +20,15 @@ import (
 
 // MaxChildren caps the stored children per span.
 const MaxChildren = 128
+
+// droppedSpans counts spans discarded process-wide by the MaxChildren cap.
+// Per-span drops already surface in that span's snapshot, but nothing
+// aggregated them, so cap-induced data loss was invisible to a scrape.
+var droppedSpans atomic.Int64
+
+// DroppedSpans reports the process-wide number of spans discarded because
+// their parent hit MaxChildren (exported as obs_dropped_spans_total).
+func DroppedSpans() int64 { return droppedSpans.Load() }
 
 // Span is one timed operation in a trace tree.
 type Span struct {
@@ -66,6 +76,7 @@ func (s *Span) StartChild(name string) *Span {
 	defer s.mu.Unlock()
 	if len(s.children) >= MaxChildren {
 		s.dropped++
+		droppedSpans.Add(1)
 		return nil
 	}
 	s.children = append(s.children, c)

@@ -3,6 +3,7 @@ package resilience
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 )
@@ -10,23 +11,33 @@ import (
 // Load is a snapshot of the live overload signals the admission controller
 // sheds on, fed from the service's obs instruments: queue depth and
 // capacity (the queued-jobs gauge), queue-wait p95 (the queue-wait
-// histogram), and process heap (the runtime gauge).
+// histogram), process heap (the runtime gauge), and the SLO health score.
 type Load struct {
 	QueueDepth   int
 	QueueCap     int
 	QueueWaitP95 time.Duration
 	HeapBytes    uint64
+	// Health is the SLO tracker's overall score in [0, 1] (1 = pristine).
+	// Only meaningful when Thresholds.MinHealth is set; a load source that
+	// enables MinHealth must populate Health on every snapshot.
+	Health float64
 }
 
 // Thresholds separates healthy from overloaded. Zero fields disable that
-// signal. QueueWaitP95 and QueueFraction mark *soft* overload: the system
-// is backing up, so tenants over their fair share are shed while light
-// tenants still get through. HeapBytes marks *hard* overload: memory
-// pressure threatens the whole process, so everything sheds.
+// signal. QueueWaitP95, QueueFraction, and MinHealth mark *soft* overload:
+// the system is backing up or burning error budget, so tenants over their
+// fair share are shed while light tenants still get through. HeapBytes
+// marks *hard* overload: memory pressure threatens the whole process, so
+// everything sheds — as does a health score of exactly 0 (every objective's
+// budget burning at critical rate).
 type Thresholds struct {
 	QueueWaitP95  time.Duration
 	QueueFraction float64
 	HeapBytes     uint64
+	// MinHealth sheds when Load.Health drops below it. This is the SLO-
+	// driven replacement for tuning raw heap/queue numbers: the shed point
+	// is "the error budget is burning", whatever resource causes it.
+	MinHealth float64
 }
 
 // AdmissionConfig sizes the per-tenant quotas. Zero fields disable the
@@ -77,12 +88,54 @@ type Admission struct {
 	mu      sync.Mutex
 	tenants map[string]*tenantState
 	stats   AdmissionStats
+	// rej accumulates per-tenant rejection counters. tenantState is evicted
+	// when a tenant goes idle, so rejection history lives in its own map,
+	// bounded at maxRejTenants (extras collapse into the overflow key) —
+	// an unauthenticated flood of distinct X-Tenant values cannot grow it.
+	rej map[string]*TenantRejections
 }
 
 type tenantState struct {
 	tokens   float64
 	refilled time.Time
 	inFlight int
+}
+
+// TenantRejections is one tenant's cumulative rejection counters, for the
+// admission sections of /metrics and /v1/metrics.
+type TenantRejections struct {
+	Tenant       string `json:"tenant"`
+	RejectedRate int64  `json:"rejected_rate"`        // 429: token bucket
+	RejectedConc int64  `json:"rejected_concurrency"` // 429: concurrency cap
+	Shed         int64  `json:"shed"`                 // 503: load shedding
+}
+
+// maxRejTenants bounds the per-tenant rejection map; the 65th and later
+// distinct tenants share the RejOverflowTenant bucket.
+const maxRejTenants = 64
+
+// RejOverflowTenant is the shared bucket key once maxRejTenants distinct
+// tenants have rejection history.
+const RejOverflowTenant = "_overflow"
+
+// rejFor returns (creating if needed) tenant's rejection counters; must be
+// called with a.mu held.
+func (a *Admission) rejForLocked(tenant string) *TenantRejections {
+	if a.rej == nil {
+		a.rej = make(map[string]*TenantRejections)
+	}
+	r, ok := a.rej[tenant]
+	if !ok {
+		if len(a.rej) >= maxRejTenants {
+			tenant = RejOverflowTenant
+			if r, ok = a.rej[tenant]; ok {
+				return r
+			}
+		}
+		r = &TenantRejections{Tenant: tenant}
+		a.rej[tenant] = r
+	}
+	return r
 }
 
 // NewAdmission builds a controller. loadFn supplies live overload signals
@@ -147,10 +200,12 @@ func (a *Admission) Admit(tenant string) Decision {
 
 	if reason, shed := a.shedLocked(ts, load); shed {
 		a.stats.Shed++
+		a.rejForLocked(tenant).Shed++
 		return Decision{Code: 503, Reason: reason, RetryAfter: retryHint}
 	}
 	if a.cfg.MaxConcurrent > 0 && ts.inFlight >= a.cfg.MaxConcurrent {
 		a.stats.RejectedConc++
+		a.rejForLocked(tenant).RejectedConc++
 		return Decision{
 			Code:       429,
 			Reason:     fmt.Sprintf("tenant concurrency cap (%d in flight)", ts.inFlight),
@@ -165,6 +220,7 @@ func (a *Admission) Admit(tenant string) Decision {
 		}
 		if ts.tokens < 1 {
 			a.stats.RejectedRate++
+			a.rejForLocked(tenant).RejectedRate++
 			wait := time.Duration((1 - ts.tokens) / a.cfg.Rate * float64(time.Second))
 			return Decision{Code: 429, Reason: "tenant rate quota exhausted", RetryAfter: clampRetry(wait)}
 		}
@@ -185,6 +241,11 @@ func (a *Admission) shedLocked(ts *tenantState, load Load) (string, bool) {
 	if th.HeapBytes > 0 && load.HeapBytes >= th.HeapBytes {
 		return "heap pressure", true
 	}
+	if th.MinHealth > 0 && load.Health <= 0 {
+		// Every objective is at critical burn: protect the process like
+		// memory pressure, regardless of who is asking.
+		return "slo health exhausted", true
+	}
 	soft := false
 	reason := ""
 	if th.QueueWaitP95 > 0 && load.QueueWaitP95 >= th.QueueWaitP95 {
@@ -193,6 +254,9 @@ func (a *Admission) shedLocked(ts *tenantState, load Load) (string, bool) {
 	if th.QueueFraction > 0 && load.QueueCap > 0 &&
 		float64(load.QueueDepth) >= th.QueueFraction*float64(load.QueueCap) {
 		soft, reason = true, "queue depth over threshold"
+	}
+	if th.MinHealth > 0 && load.Health < th.MinHealth {
+		soft, reason = true, "slo health under threshold"
 	}
 	if !soft {
 		return "", false
@@ -266,4 +330,29 @@ func (a *Admission) Stats() AdmissionStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.stats
+}
+
+// RejectionsByTenant snapshots the per-tenant rejection counters, sorted
+// by tenant for stable JSON output.
+func (a *Admission) RejectionsByTenant() []TenantRejections {
+	a.mu.Lock()
+	out := make([]TenantRejections, 0, len(a.rej))
+	for _, r := range a.rej {
+		out = append(out, *r)
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// RejectionsFor snapshots one tenant's rejection counters (zero value if
+// the tenant has none) — the read side of lazily registered per-tenant
+// metric callbacks.
+func (a *Admission) RejectionsFor(tenant string) TenantRejections {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r, ok := a.rej[tenant]; ok {
+		return *r
+	}
+	return TenantRejections{Tenant: tenant}
 }

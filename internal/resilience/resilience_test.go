@@ -3,8 +3,10 @@ package resilience
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -410,5 +412,87 @@ func TestAdmissionConcurrentAccounting(t *testing.T) {
 	}
 	if a.InFlight("shared") != 0 {
 		t.Fatalf("tenant in-flight %d after all releases", a.InFlight("shared"))
+	}
+}
+
+// TestAdmissionHealthShedding pins the SLO-health shed path: a score under
+// MinHealth soft-sheds heavy tenants, and a score of exactly 0 hard-sheds
+// everyone — the health signal, not raw heap/queue numbers, drives the
+// decision.
+func TestAdmissionHealthShedding(t *testing.T) {
+	load := Load{Health: 1}
+	a := NewAdmission(AdmissionConfig{
+		MaxConcurrent: 4,
+		Thresholds:    Thresholds{MinHealth: 0.5},
+	}, func() Load { return load })
+
+	if d := a.Admit("t"); !d.OK {
+		t.Fatalf("healthy admit rejected: %+v", d)
+	}
+
+	// Health under threshold: soft shed — light tenants pass, tenants at
+	// fair share (cap/2 = 2) shed.
+	load = Load{Health: 0.3}
+	if d := a.Admit("light"); !d.OK {
+		t.Fatalf("light tenant shed on degraded health: %+v", d)
+	}
+	a.Admit("t") // t at 2 in flight = fair share
+	d := a.Admit("t")
+	if d.OK || d.Code != 503 {
+		t.Fatalf("heavy tenant not shed on degraded health: %+v", d)
+	}
+	if !strings.Contains(d.Reason, "health") {
+		t.Fatalf("shed reason %q does not name the health signal", d.Reason)
+	}
+
+	// Health exhausted: hard shed, even a fresh tenant.
+	load = Load{Health: 0}
+	if d := a.Admit("fresh"); d.OK || d.Code != 503 {
+		t.Fatalf("zero health did not hard-shed: %+v", d)
+	}
+
+	// Recovery: admits resume.
+	load = Load{Health: 0.9}
+	if d := a.Admit("fresh"); !d.OK {
+		t.Fatalf("admit after recovery rejected: %+v", d)
+	}
+}
+
+// TestAdmissionPerTenantRejections pins that rejection counters are kept
+// per tenant, survive tenantState eviction, and stay bounded.
+func TestAdmissionPerTenantRejections(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1}, nil)
+	if !a.Admit("a").OK {
+		t.Fatal("first admit rejected")
+	}
+	a.Admit("a") // conc cap
+	a.Admit("a") // conc cap
+	a.Release("a")
+	// tenantState for "a" is now evicted, but rejection history survives.
+	got := a.RejectionsFor("a")
+	if got.RejectedConc != 2 {
+		t.Fatalf("RejectionsFor(a) = %+v, want 2 concurrency rejections", got)
+	}
+	all := a.RejectionsByTenant()
+	if len(all) != 1 || all[0].Tenant != "a" || all[0].RejectedConc != 2 {
+		t.Fatalf("RejectionsByTenant = %+v", all)
+	}
+}
+
+// TestAdmissionRejectionMapBounded floods distinct tenants with sheds and
+// checks the rejection map collapses extras into the overflow bucket.
+func TestAdmissionRejectionMapBounded(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Thresholds: Thresholds{HeapBytes: 1}},
+		func() Load { return Load{HeapBytes: 2} })
+	for i := 0; i < maxRejTenants+10; i++ {
+		a.Admit(fmt.Sprintf("t%03d", i))
+	}
+	all := a.RejectionsByTenant()
+	if len(all) > maxRejTenants+1 {
+		t.Fatalf("rejection map grew to %d entries, want <= %d", len(all), maxRejTenants+1)
+	}
+	ov := a.RejectionsFor(RejOverflowTenant)
+	if ov.Shed != 10 {
+		t.Fatalf("overflow bucket shed = %d, want 10", ov.Shed)
 	}
 }

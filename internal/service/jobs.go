@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mindmappings/internal/arch"
@@ -141,6 +142,11 @@ type JobResult struct {
 	Mapping    string            `json:"mapping,omitempty"`
 	LoopNest   string            `json:"loop_nest,omitempty"`
 	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
+	// Convergence reduces the trajectory to search-quality metrics:
+	// sample efficiency (evals to within 10%/1% of the final best),
+	// improvement-rate EWMA, and trailing-stall accounting. Absent for
+	// atlas-served results (no search ran).
+	Convergence *search.Convergence `json:"convergence,omitempty"`
 }
 
 // ProgressEvent is one live telemetry sample from a search job, published
@@ -199,6 +205,9 @@ type Job struct {
 	// nearest-neighbor atlas entry, stamped into Result.Source at finish.
 	atlasID     *atlasIdentity
 	atlasSeeded bool
+	// tin is the tenant's instrument set, resolved once at submission
+	// (outside jm.mu) so the finish path under jm.mu only does atomic adds.
+	tin *tenantInstruments
 }
 
 // resumable reports whether the job (under jm.mu) can be resumed: it is
@@ -264,6 +273,29 @@ type JobManager struct {
 	maxJobTime      time.Duration
 	checkpointEvery int
 
+	// healthFn, when set (SetHealth), feeds the SLO tracker's overall
+	// score into Load so admission thresholds can shed on burn rate
+	// instead of raw heap/queue numbers. Guarded by mu; invoked outside it.
+	healthFn func() float64
+	// flightRec, when set (SetFlightRecorder), receives operational events:
+	// job lifecycle, admission rejections, shed decisions, journal errors,
+	// batcher anomalies. Guarded by mu for the pointer; Record itself is a
+	// leaf mutex, safe to call under mu.
+	flightRec *obs.FlightRecorder
+
+	// SLO counterparts of the mu-guarded lifecycle counters: SLI callbacks
+	// run under the tracker's own mutex and at metric-exposition time, so
+	// they must never take jm.mu — they read these instead.
+	sloDone   atomic.Uint64 // jobs finished JobDone (degraded included)
+	sloFailed atomic.Uint64 // jobs finished JobFailed
+
+	// Per-tenant instrument sets, lazily registered on first sight of a
+	// tenant. Guarded by tenantMu, a leaf below nothing: tenantFor must
+	// never run under jm.mu (registration takes the registry lock, and
+	// exposition callbacks take jm.mu under it).
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantInstruments
+
 	// Atlas wiring (EnableAtlas): exact-key hits are served from the
 	// store without running a search job, mm misses warm-start from the
 	// nearest solved neighbor, and completed jobs write back unless
@@ -312,6 +344,9 @@ type jobInstruments struct {
 	queueWait   *obs.Histogram
 	run         *obs.Histogram
 	atlasLookup *obs.Histogram
+	// firstEval observes time from job start to the first progress sample —
+	// the time-to-first-eval latency the SLO tracker's objective reads.
+	firstEval *obs.Histogram
 }
 
 // evalSecondsBuckets spans the analytical backends' ~100ns-per-eval range
@@ -333,6 +368,9 @@ func (jm *JobManager) Instrument(reg *obs.Registry) {
 		atlasLookup: reg.Histogram("atlas_lookup_seconds",
 			"Latency of atlas exact-hit lookups on the submit path.",
 			obs.ExpBuckets(1e-6, 4, 10)),
+		firstEval: reg.Histogram("search_job_first_eval_seconds",
+			"Time from job start to its first progress sample (time-to-first-eval).",
+			nil),
 	}
 	reg.CounterFunc("search_jobs_submitted_total",
 		"Search jobs accepted by POST /v1/search.",
@@ -638,6 +676,14 @@ func (jm *JobManager) batcherInstruments(model string) *infer.Metrics {
 		Flushes: map[infer.FlushReason]*obs.Counter{},
 		Dropped: in.reg.CounterWith("infer_batch_dropped_total",
 			"Queued batcher requests dropped because their job was cancelled.", names, vals),
+		// Anomalies land in the flight recorder so the seconds before a
+		// degraded job include what the batcher saw. The callback may run
+		// under the batcher lock; Record is one leaf mutex and never calls
+		// back into the batcher.
+		Anomaly: func(kind, detail string) {
+			jm.flight().Record(obs.SevWarn, "batcher."+kind, detail,
+				map[string]string{"model": model})
+		},
 	}
 	for _, r := range []infer.FlushReason{infer.FlushFull, infer.FlushAntiStall, infer.FlushWindow} {
 		m.Flushes[r] = in.reg.CounterWith("infer_batch_flushes_total",
@@ -667,7 +713,7 @@ func (jm *JobManager) admissionCtrl() *resilience.Admission {
 // Load snapshots the overload signals admission decisions shed on.
 func (jm *JobManager) Load() resilience.Load {
 	st := jm.Stats()
-	l := resilience.Load{QueueDepth: st.Queued, QueueCap: jm.QueueCap()}
+	l := resilience.Load{QueueDepth: st.Queued, QueueCap: jm.QueueCap(), Health: 1}
 	if in := jm.instruments(); in != nil {
 		if q := in.queueWait.Quantile(0.95); q > 0 && !math.IsNaN(q) {
 			l.QueueWaitP95 = time.Duration(q * float64(time.Second))
@@ -676,7 +722,43 @@ func (jm *JobManager) Load() resilience.Load {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	l.HeapBytes = ms.HeapAlloc
+	if fn := jm.health(); fn != nil {
+		l.Health = fn()
+	}
 	return l
+}
+
+// SetHealth wires the SLO tracker's overall score into Load, making
+// Thresholds.MinHealth meaningful: admission sheds when the error budget
+// is burning, whatever resource is causing it. fn must be safe for
+// concurrent use and must not call back into the manager's public API
+// beyond lock-free reads. Call at setup.
+func (jm *JobManager) SetHealth(fn func() float64) {
+	jm.mu.Lock()
+	jm.healthFn = fn
+	jm.mu.Unlock()
+}
+
+func (jm *JobManager) health() func() float64 {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.healthFn
+}
+
+// SetFlightRecorder attaches the operational-event ring. Call at setup,
+// before traffic; nil detaches (Record is nil-safe throughout).
+func (jm *JobManager) SetFlightRecorder(fr *obs.FlightRecorder) {
+	jm.mu.Lock()
+	jm.flightRec = fr
+	jm.mu.Unlock()
+}
+
+// flight returns the recorder (possibly nil; Record on nil is a no-op).
+// Never call while holding jm.mu — read jm.flightRec directly there.
+func (jm *JobManager) flight() *obs.FlightRecorder {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.flightRec
 }
 
 // RetryAfterHint estimates how long until capacity frees up — in-flight
@@ -767,6 +849,8 @@ func (jm *JobManager) journalPut(id string, status JobStatus, tenant string, req
 		jm.mu.Lock()
 		jm.journalErrs++
 		jm.mu.Unlock()
+		jm.flight().Record(obs.SevError, "journal.error", err.Error(),
+			map[string]string{"id": id, "op": "put"})
 	}
 }
 
@@ -812,6 +896,7 @@ func (jm *JobManager) EnableJournal(j *resilience.Journal) (int, error) {
 			trace:      obs.NewTrace(rec.ID, "search-job"),
 			checkpoint: rec.Checkpoint,
 			resume:     rec.Checkpoint,
+			tin:        jm.tenantFor(rec.Tenant),
 		}
 		jm.mu.Lock()
 		if _, exists := jm.jobs[job.ID]; exists || jm.baseCtx.Err() != nil {
@@ -868,6 +953,9 @@ func (jm *JobManager) Resume(id string) (Job, error) {
 	snap := copyJob(job)
 	ck := job.checkpoint
 	jm.mu.Unlock()
+	job.tin.accepted()
+	jm.flight().Record(obs.SevInfo, "job.resume", "search job re-enqueued from its checkpoint",
+		map[string]string{"id": snap.ID, "tenant": tenantLabel(snap.Tenant)})
 	jm.journalPut(snap.ID, snap.Status, snap.Tenant, snap.Request, snap.Created, ck)
 	return snap, nil
 }
@@ -1123,12 +1211,13 @@ func (jm *JobManager) SubmitAs(tenant string, req SearchRequest) (Job, error) {
 	if err := req.Validate(); err != nil {
 		return Job{}, err
 	}
+	ti := jm.tenantFor(tenant)
 	// Atlas exact-hit check, before admission: a stored answer consumes no
 	// worker or queue slot, so atlas hits bypass quota and queue entirely.
 	var aid *atlasIdentity
 	if at := jm.atlasRef(); at != nil {
 		start := time.Now()
-		job, id, served := jm.tryAtlasServe(at, tenant, &req)
+		job, id, served := jm.tryAtlasServe(at, tenant, ti, &req)
 		aid = id
 		jm.observeAtlasLookup(time.Since(start))
 		if served {
@@ -1140,6 +1229,12 @@ func (jm *JobManager) SubmitAs(tenant string, req SearchRequest) (Job, error) {
 	if adm != nil {
 		d := adm.Admit(tenant)
 		if !d.OK {
+			kind, sev := "admission.reject", obs.SevWarn
+			if d.Code == 503 {
+				kind = "admission.shed"
+			}
+			jm.flight().Record(sev, kind, d.Reason,
+				map[string]string{"tenant": tenantLabel(tenant), "code": fmt.Sprint(d.Code)})
 			return Job{}, &AdmissionError{Decision: d}
 		}
 		admitted = true
@@ -1159,6 +1254,7 @@ func (jm *JobManager) SubmitAs(tenant string, req SearchRequest) (Job, error) {
 		trace:    obs.NewTrace(id, "search-job"),
 		admitted: admitted,
 		atlasID:  aid,
+		tin:      ti,
 	}
 	// Enqueue and register atomically: a worker popping the job
 	// immediately still finds it registered because runJob takes the same
@@ -1180,12 +1276,17 @@ func (jm *JobManager) SubmitAs(tenant string, req SearchRequest) (Job, error) {
 			adm.Release(tenant)
 		}
 		cancel()
+		jm.flight().Record(obs.SevWarn, "queue.full", "submission rejected: pending queue at capacity",
+			map[string]string{"tenant": tenantLabel(tenant)})
 		return Job{}, ErrQueueFull
 	}
 	jm.enqueueLocked(job)
 	jm.submitted++
 	snap := copyJob(job)
 	jm.mu.Unlock()
+	ti.accepted()
+	jm.flight().Record(obs.SevInfo, "job.submit", "search job queued",
+		map[string]string{"id": job.ID, "tenant": tenantLabel(tenant)})
 	jm.journalPut(job.ID, snap.Status, snap.Tenant, snap.Request, snap.Created, nil)
 	return snap, nil
 }
@@ -1198,6 +1299,45 @@ func (jm *JobManager) observeAtlasLookup(d time.Duration) {
 	}
 }
 
+// stallFractionBuckets spans the trailing-stall fraction in [0, 1].
+var stallFractionBuckets = []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9}
+
+// observeConvergence feeds a finished job's convergence metrics into the
+// per-workload histograms, labeled by workload and atlas assist so the
+// warm-start uplift (atlas-neighbor vs cold sample efficiency) is readable
+// straight off /metrics. Runs once per job, outside jm.mu: HistogramWith
+// takes the registry lock and returns the existing series after the first
+// registration.
+func (jm *JobManager) observeConvergence(job *Job, result *JobResult) {
+	in := jm.instruments()
+	if in == nil || result == nil || result.Convergence == nil {
+		return
+	}
+	algo := job.Request.Algo
+	if algo == "" {
+		algo = "einsum"
+	}
+	assist := "cold"
+	if result.Source == "atlas-neighbor" {
+		assist = "atlas-neighbor"
+	}
+	names, vals := []string{"algo", "assist"}, []string{algo, assist}
+	conv := result.Convergence
+	if conv.EvalsToWithin10Pct > 0 {
+		in.reg.HistogramWith("search_convergence_evals_to_10pct",
+			"Evaluations until the best-so-far came within 10% of the run's final best, by workload and atlas assist.",
+			obs.ExpBuckets(1, 2, 16), names, vals).Observe(float64(conv.EvalsToWithin10Pct))
+	}
+	in.reg.HistogramWith("search_convergence_stall_fraction",
+		"Fraction of the budget spent after the last improvement, by workload and atlas assist.",
+		stallFractionBuckets, names, vals).Observe(conv.StallFraction)
+	if conv.Stalled {
+		in.reg.CounterWith("search_convergence_stalled_total",
+			"Finished jobs that spent at least half their budget past the last improvement.",
+			names, vals).Inc()
+	}
+}
+
 // tryAtlasServe attempts the exact-hit read path for a validated request:
 // when the atlas holds a solved mapping for the request's exact identity,
 // a synthetic already-done job carrying that mapping (Result.Source
@@ -1205,7 +1345,7 @@ func (jm *JobManager) observeAtlasLookup(d time.Duration) {
 // or queue capacity is consumed. The resolved identity is returned either
 // way so the fallthrough search job can reuse it for warm start and
 // write-back.
-func (jm *JobManager) tryAtlasServe(at *atlas.Atlas, tenant string, req *SearchRequest) (Job, *atlasIdentity, bool) {
+func (jm *JobManager) tryAtlasServe(at *atlas.Atlas, tenant string, ti *tenantInstruments, req *SearchRequest) (Job, *atlasIdentity, bool) {
 	aid, err := req.atlasIdentity()
 	if err != nil {
 		return Job{}, nil, false // Validate passed; let the real path re-report
@@ -1256,6 +1396,7 @@ func (jm *JobManager) tryAtlasServe(at *atlas.Atlas, tenant string, req *SearchR
 		stream:  obs.NewStream[ProgressEvent](progressRing),
 		trace:   obs.NewTrace(id, "search-job"),
 		atlasID: aid,
+		tin:     ti,
 	}
 	job.trace.Root().Set("source", "atlas")
 	job.trace.Root().Set("atlas_entry", e.ID)
@@ -1275,9 +1416,13 @@ func (jm *JobManager) tryAtlasServe(at *atlas.Atlas, tenant string, req *SearchR
 	jm.submitted++
 	jm.completed++
 	jm.atlasHits++
+	jm.sloDone.Add(1)
 	jm.evictTerminalLocked()
 	snap := copyJob(job)
 	jm.mu.Unlock()
+	ti.atlasServed()
+	jm.flight().Record(obs.SevInfo, "job.atlas-hit", "request served from the atlas",
+		map[string]string{"id": id, "tenant": tenantLabel(tenant)})
 	return snap, aid, true
 }
 
@@ -1478,6 +1623,7 @@ func (jm *JobManager) runJob(job *Job) {
 		result.Source = "atlas-neighbor"
 	}
 	jm.mu.Unlock()
+	jm.observeConvergence(job, result)
 	// Atlas write-back eligibility: only full-budget successes. Degraded
 	// (deadline-cut) results are valid but under-searched — storing them
 	// would seed future warm starts from half-finished descents. The
@@ -1605,10 +1751,28 @@ func (jm *JobManager) finishLocked(job *Job, status JobStatus, result *JobResult
 	switch status {
 	case JobDone:
 		jm.completed++
+		jm.sloDone.Add(1)
 	case JobFailed:
 		jm.failed++
+		jm.sloFailed.Add(1)
 	case JobCancelled:
 		jm.cancelled++
+	}
+	job.tin.finished(job, status, result)
+	// Flight-recorder entry for the terminal transition. Record is a leaf
+	// mutex, safe under jm.mu; instruments were resolved at submit.
+	if jm.flightRec != nil {
+		sev, msg := obs.SevInfo, "search job finished"
+		switch {
+		case status == JobFailed:
+			sev, msg = obs.SevError, job.Error
+		case status == JobCancelled:
+			msg = "search job cancelled"
+		case result != nil && result.Degraded:
+			sev, msg = obs.SevWarn, "search job completed degraded at its anytime deadline"
+		}
+		jm.flightRec.Record(sev, "job.finish", msg, map[string]string{
+			"id": job.ID, "tenant": tenantLabel(job.Tenant), "status": string(status)})
 	}
 	// Final event carries the terminal status, then the stream closes so
 	// SSE watchers see end-of-stream rather than hanging. The stream's own
@@ -1637,6 +1801,8 @@ func (jm *JobManager) finishLocked(job *Job, status JobStatus, result *JobResult
 	if jm.journal != nil && !jm.draining {
 		if err := jm.journal.Delete(job.ID); err != nil {
 			jm.journalErrs++
+			jm.flightRec.Record(obs.SevError, "journal.error", err.Error(),
+				map[string]string{"id": job.ID, "op": "delete"})
 		}
 	}
 	jm.evictTerminalLocked()
@@ -1812,6 +1978,7 @@ func (jm *JobManager) execute(ctx context.Context, job *Job) (*search.Result, *m
 	// One child span per recorded trajectory sample (improvements plus
 	// stride boundaries); Span's child cap bounds the tree for long jobs.
 	var strideSpan *obs.Span
+	firstSample := true
 	sctx := &search.Context{
 		Space:       space,
 		Model:       evaluator,
@@ -1819,7 +1986,7 @@ func (jm *JobManager) execute(ctx context.Context, job *Job) (*search.Result, *m
 		Seed:        req.Seed,
 		Objective:   obj,
 		Ctx:         ctx,
-		Cache:       jm.cache,
+		Cache:       jm.cacheFor(job.tin),
 		Evals:       jm.counterFor(model.Name()),
 		Parallelism: parallelism,
 		Resume:      resume,
@@ -1836,6 +2003,14 @@ func (jm *JobManager) execute(ctx context.Context, job *Job) (*search.Result, *m
 			jm.journalPut(job.ID, JobRunning, tenant, creq, created, ck)
 		},
 		Progress: func(p search.Progress) {
+			if firstSample {
+				// Progress runs on the job's worker goroutine, so the flag
+				// needs no lock; job.Started was set before execute began.
+				firstSample = false
+				if in := jm.instruments(); in != nil && in.firstEval != nil {
+					in.firstEval.Observe(time.Since(job.Started).Seconds())
+				}
+			}
 			strideSpan.End()
 			strideSpan = searchSpan.StartChild("stride")
 			strideSpan.Set("eval", p.Eval)
@@ -1988,6 +2163,9 @@ func buildResult(res *search.Result, space *mapspace.Space) *JobResult {
 			ElapsedMS: float64(s.Elapsed.Microseconds()) / 1e3,
 			BestEDP:   s.BestEDP,
 		})
+	}
+	if conv := res.Convergence(); len(res.Trajectory) > 0 {
+		out.Convergence = &conv
 	}
 	return out
 }

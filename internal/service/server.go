@@ -12,6 +12,7 @@ import (
 
 	"mindmappings/internal/modelstore"
 	"mindmappings/internal/obs"
+	"mindmappings/internal/obs/slo"
 	"mindmappings/internal/resilience"
 	"mindmappings/internal/trainer"
 	"mindmappings/internal/workload"
@@ -47,10 +48,15 @@ import (
 //	GET    /v1/train/{id}/events  live training progress (Server-Sent Events)
 //	GET    /v1/metrics            JSON: job, trainer, cache, registry, store counters,
 //	                              runtime stats, and latency-histogram quantiles
+//	GET    /v1/status             operational summary: SLO health score, per-objective
+//	                              burn rates, queue pressure, retry hint
 //	GET    /metrics               Prometheus text exposition of the same registry
+//	                              (per-tenant RED series, SLO burn-rate gauges)
+//	GET    /debug/flightrecorder  recent operational events (rejections, shed
+//	                              decisions, job failures, journal errors)
 //	GET    /healthz               liveness probe
-//	GET    /readyz                readiness probe: 503 once draining begins, so
-//	                              load balancers stop routing before shutdown
+//	GET    /readyz                readiness probe: 503 once draining begins (or SLO
+//	                              health hits 0), so load balancers stop routing
 //
 // The training endpoints answer 503 until WithTraining attaches a store
 // and pipeline. EnablePprof mounts net/http/pprof under /debug/pprof/.
@@ -66,6 +72,12 @@ type Server struct {
 	httpMetrics *obs.HTTPMetrics
 	logger      *slog.Logger
 	pprofOn     bool
+
+	// slo is the declarative objective tracker (EnableSLO); flight is the
+	// operational-event ring behind GET /debug/flightrecorder, always on
+	// (a fixed-size ring costs nothing when nothing goes wrong).
+	slo    *slo.Tracker
+	flight *obs.FlightRecorder
 }
 
 // NewServer wires the service components into an HTTP front end, building
@@ -76,6 +88,21 @@ func NewServer(jobs *JobManager, registry *ModelRegistry, cache *EvalCache) *Ser
 	obs.RegisterRuntimeMetrics(s.reg, s.started)
 	s.httpMetrics = obs.NewHTTPMetrics(s.reg)
 	jobs.Instrument(s.reg)
+	s.flight = obs.NewFlightRecorder(0)
+	jobs.SetFlightRecorder(s.flight)
+	// Observability-hygiene counters: how much telemetry the obs layer
+	// itself discarded (label sets collapsed by the cardinality cap, spans
+	// dropped by the per-parent child cap). Nonzero values mean the
+	// telemetry is summarizing, not lying silently.
+	s.reg.CounterFunc("obs_dropped_labels_total",
+		"Label-set registrations collapsed into _overflow series by the cardinality cap.",
+		func() float64 { return float64(s.reg.DroppedLabels()) })
+	s.reg.CounterFunc("obs_dropped_spans_total",
+		"Trace spans dropped by the per-parent child cap.",
+		func() float64 { return float64(obs.DroppedSpans()) })
+	s.reg.GaugeFunc("admission_retry_after_hint_seconds",
+		"Live Retry-After estimate handed to rejected clients.",
+		func() float64 { return s.jobs.RetryAfterHint().Seconds() })
 	s.reg.CounterFunc("eval_cache_hits_total",
 		"Shared eval-cache hits across all search jobs.",
 		func() float64 { return float64(s.cache.Stats().Hits) })
@@ -180,7 +207,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
 	mux.HandleFunc("POST /v1/models/gc", s.handleGCModels)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
 	if s.pprofOn {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -349,12 +378,50 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // handleReady is the readiness probe: unlike /healthz (liveness — the
 // process is up), it flips to 503 the moment a graceful drain begins, so
 // load balancers stop routing new work while in-flight jobs checkpoint.
+// With SLOs enabled it also turns unready at health 0 — every objective
+// burning at critical rate — the same signal the admission controller
+// hard-sheds on, so the balancer and the shedder agree on "unhealthy".
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.jobs.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
+	if s.slo != nil {
+		if h := s.slo.Health(); h <= 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unhealthy", "health": h})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// handleStatus is the one-glance operational summary: overall SLO health
+// and per-objective burn rates, queue pressure, and the retry hint —
+// everything /readyz and the load shedder act on, in readable form.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := StatusReport{
+		Health:               1,
+		Uptime:               time.Since(s.started).Round(time.Millisecond).String(),
+		Draining:             s.jobs.Draining(),
+		Jobs:                 s.jobs.Stats(),
+		QueueCap:             s.jobs.QueueCap(),
+		Workers:              s.jobs.Workers(),
+		RetryAfterHint:       s.jobs.RetryAfterHint().String(),
+		FlightRecorderEvents: s.flight.Total(),
+	}
+	if s.slo != nil {
+		rep := s.slo.Evaluate()
+		st.Health = rep.Health
+		st.SLO = &rep
+	}
+	st.Status = statusOf(st.Health, st.Draining)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleFlightRecorder dumps the operational-event ring, oldest first —
+// the "what happened just before this?" endpoint the diag bundle snapshots.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.Snapshot())
 }
 
 // setRetryAfter writes a Retry-After header of at least one whole second.
@@ -603,6 +670,18 @@ type Metrics struct {
 	// Admission is present once EnableAdmission has been called: per-tenant
 	// quota rejections, load-shed count, and slots in flight.
 	Admission *resilience.AdmissionStats `json:"admission,omitempty"`
+	// AdmissionTenants breaks rejections down per tenant (bounded set;
+	// beyond the cap tenants collapse into "_overflow").
+	AdmissionTenants []resilience.TenantRejections `json:"admission_tenants,omitempty"`
+	// RetryAfterHintSeconds is the live Retry-After estimate rejected
+	// clients are being handed right now.
+	RetryAfterHintSeconds float64 `json:"retry_after_hint_seconds"`
+	// SLO carries the tracker's latest per-objective evaluation once
+	// EnableSLO has been called.
+	SLO *slo.Report `json:"slo,omitempty"`
+	// Obs reports the observability layer's own hygiene: telemetry it
+	// discarded to stay bounded (nonzero = summarizing, not lying).
+	Obs ObsHygiene `json:"obs"`
 	// Trainer and Store are present once WithTraining has been called.
 	Trainer *trainer.Stats    `json:"trainer,omitempty"`
 	Store   *modelstore.Stats `json:"store,omitempty"`
@@ -616,6 +695,15 @@ type Metrics struct {
 	Latencies map[string]obs.QuantileSummary `json:"latencies,omitempty"`
 }
 
+// ObsHygiene counts telemetry discarded by the obs layer's own bounds.
+type ObsHygiene struct {
+	// DroppedLabels is label-set registrations collapsed into _overflow
+	// series by the per-family cardinality cap (e.g. an X-Tenant flood).
+	DroppedLabels int64 `json:"dropped_labels"`
+	// DroppedSpans is trace spans discarded by the per-parent child cap.
+	DroppedSpans int64 `json:"dropped_spans"`
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := Metrics{
 		Uptime:     time.Since(s.started).Round(time.Millisecond).String(),
@@ -627,9 +715,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Registry:   s.registry.Stats(),
 		Runtime:    obs.ReadRuntime(s.started),
 	}
+	m.RetryAfterHintSeconds = s.jobs.RetryAfterHint().Seconds()
+	m.Obs = ObsHygiene{DroppedLabels: s.reg.DroppedLabels(), DroppedSpans: obs.DroppedSpans()}
 	if a := s.jobs.admissionCtrl(); a != nil {
 		as := a.Stats()
 		m.Admission = &as
+		m.AdmissionTenants = a.RejectionsByTenant()
+	}
+	if s.slo != nil {
+		rep := s.slo.Evaluate()
+		m.SLO = &rep
 	}
 	if s.trainer != nil {
 		ts := s.trainer.Stats()

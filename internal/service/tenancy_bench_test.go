@@ -1,0 +1,50 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"mindmappings/internal/arch"
+	"mindmappings/internal/costmodel"
+	"mindmappings/internal/loopnest"
+	"mindmappings/internal/mapspace"
+	"mindmappings/internal/obs"
+)
+
+// BenchmarkTenantCacheHit pins the PR-10 accounting contract: attributing
+// shared-cache traffic to a tenant costs one atomic add on the hit path
+// and keeps it allocation-free (run with -benchmem; allocs/op must be 0).
+// Compare against BenchmarkEvalCacheHit, the unattributed path.
+func BenchmarkTenantCacheHit(b *testing.B) {
+	p, err := loopnest.NewConv1DProblem("bench", 1024, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := arch.Default(2)
+	inner, err := costmodel.New("timeloop", a, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, err := mapspace.New(a, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := &tenantCache{inner: NewEvalCache(64), hits: &obs.Counter{}, misses: &obs.Counter{}}
+	ev := costmodel.WithCache(inner, tc)
+	m := space.Minimal()
+	ctx := context.Background()
+	var ws costmodel.Cost
+	if err := ev.EvaluateInto(ctx, &m, &ws); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.EvaluateInto(ctx, &m, &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if tc.hits.Value() == 0 {
+		b.Fatal("tenant cache wrapper never saw a hit — the middleware bypassed it")
+	}
+}
